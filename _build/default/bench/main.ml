@@ -1,0 +1,226 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus Bechamel microbenchmarks of the µproxy hot paths and
+   ablations of the design choices called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, bench scale
+     dune exec bench/main.exe -- table2       -- one exhibit
+     dune exec bench/main.exe -- all --full   -- slower, larger scales
+
+   Scales shrink file sizes / op counts / file sets (and, for SPECsfs,
+   the server caches by the same rule) so the whole run finishes in
+   minutes; shapes are scale-invariant (see EXPERIMENTS.md). *)
+
+module E = Slice_experiments
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Codec = Slice_nfs.Codec
+module Packet = Slice_net.Packet
+module Cksum = Slice_net.Cksum
+module Routekey = Slice_nfs.Routekey
+
+(* ---- Bechamel microbenchmarks: the real code on the µproxy's critical
+   path, one group per exhibit that leans on it ---- *)
+
+let sample_fh =
+  { Fh.file_id = 424242L; gen = 1; ftype = Fh.Reg; mirrored = false; attr_site = 0; cap = 0L }
+
+let sample_call = Codec.encode_call ~xid:7 (Nfs.Lookup (sample_fh, "kern_descrip.c"))
+
+let sample_pkt () =
+  Packet.make ~src:3 ~dst:9 ~sport:1000 ~dport:2049 (Bytes.copy sample_call)
+
+let micro_tests =
+  let open Bechamel in
+  Test.make_grouped ~name:"uproxy"
+    [
+      (* Table 3: packet decode *)
+      Test.make ~name:"table3/peek-call"
+        (Staged.stage (fun () -> ignore (Codec.peek_call sample_call)));
+      Test.make ~name:"table3/full-decode"
+        (Staged.stage (fun () -> ignore (Codec.decode_call sample_call)));
+      (* Table 3: redirection/rewriting — incremental checksum vs naive *)
+      (let pkt = sample_pkt () in
+       Test.make ~name:"table3/rewrite-dst-incremental"
+         (Staged.stage (fun () -> Cksum.rewrite_dst pkt ((pkt.Packet.dst + 1) land 0xFF))));
+      (let pkt = sample_pkt () in
+       Test.make ~name:"table3/checksum-full-recompute"
+         (Staged.stage (fun () -> ignore (Cksum.compute pkt))));
+      (* Table 2: bulk I/O routing *)
+      Test.make ~name:"table2/stripe-route"
+        (Staged.stage (fun () ->
+             ignore (Routekey.stripe_site ~nsites:8 ~stripe_unit:32768 sample_fh 1048576L);
+             ignore (Routekey.local_offset ~nsites:8 ~stripe_unit:32768 1048576L)));
+      (* Figures 3/4: name-space routing hash — MD5 (the paper's choice)
+         vs FNV (the "competing hash function" ablation) *)
+      Test.make ~name:"fig3/md5-name-site"
+        (Staged.stage (fun () -> ignore (Routekey.name_site ~nsites:4 sample_fh "dir01234")));
+      Test.make ~name:"fig3/fnv-name-site"
+        (Staged.stage (fun () ->
+             ignore (Slice_hash.Fnv.bucket (Fh.key sample_fh ^ "\x00dir01234") 4)));
+      (* Figures 5/6: per-op wire cost *)
+      Test.make ~name:"fig5/encode-write-call"
+        (Staged.stage (fun () ->
+             ignore
+               (Codec.encode_call ~xid:9 (Nfs.Write (sample_fh, 0L, Nfs.Unstable, Nfs.Synthetic 8192)))));
+      (let wal = Slice_wal.Wal.create ~name:"bench" () in
+       Test.make ~name:"managers/wal-append"
+         (Staged.stage (fun () -> ignore (Slice_wal.Wal.append wal ~rtype:1 "0123456789abcdef"))));
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "\n== Microbenchmarks (Bechamel, ns/op) ==";
+  print_endline "the real hot-path code behind each exhibit:";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] micro_tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some (t :: _) -> Printf.printf "  %-44s %10.1f ns/op\n" name t
+      | _ -> Printf.printf "  %-44s %10s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ---- ablations ---- *)
+
+let hash_balance_ablation () =
+  print_endline "\n== Ablation: MD5 vs FNV routing balance ==";
+  print_endline "(the paper chose MD5 for \"balanced distribution and low cost\")";
+  let n = 8 and keys = 20_000 in
+  let imbalance bucket =
+    let counts = Array.make n 0 in
+    for i = 1 to keys do
+      let k = Printf.sprintf "%Ld/file%06d" (Int64.of_int (i * 7919)) i in
+      let b = bucket k n in
+      counts.(b) <- counts.(b) + 1
+    done;
+    let mx = Array.fold_left max 0 counts and mn = Array.fold_left min max_int counts in
+    float_of_int mx /. float_of_int mn
+  in
+  Printf.printf "  max/min bucket load over %d keys, %d sites: md5 %.3f, fnv %.3f\n" keys n
+    (imbalance Slice_hash.Md5.bucket)
+    (imbalance Slice_hash.Fnv.bucket)
+
+let threshold_ablation ~scale =
+  print_endline "\n== Ablation: small-file threshold offset ==";
+  print_endline "untar-created small files re-read cold; threshold 0 sends all I/O to the";
+  print_endline "storage array, 64 KB serves it from the small-file class:";
+  List.iter
+    (fun threshold ->
+      let ens =
+        Slice.Ensemble.create
+          {
+            Slice.Ensemble.default_config with
+            storage_nodes = 2;
+            smallfile_servers = (if threshold = 0 then 0 else 2);
+            proxy_params = { Slice.Params.default with threshold };
+          }
+      in
+      let eng = Slice.Ensemble.engine ens in
+      let host, _ = Slice.Ensemble.add_client ens ~name:"c" in
+      let cl = Slice_workload.Client.create host ~server:(Slice.Ensemble.virtual_addr ens) () in
+      let files = max 16 (int_of_float (200.0 *. scale)) in
+      let lat = ref 0.0 in
+      Slice_sim.Engine.spawn eng (fun () ->
+          let fhs =
+            List.init files (fun i ->
+                match
+                  Slice_workload.Client.create_file cl Slice.Ensemble.root
+                    (Printf.sprintf "f%d" i)
+                with
+                | Ok (fh, _) ->
+                    ignore
+                      (Slice_workload.Client.write_at cl fh ~off:0L
+                         ~data:(Nfs.Synthetic (4096 + (i mod 8 * 4096))) ());
+                    fh
+                | Error _ -> failwith "setup")
+          in
+          ignore (Slice_workload.Client.commit cl (List.hd fhs));
+          (* cold storage caches: the threshold decides whether the reads
+             are served by the small-file class or go to the array *)
+          Array.iter Slice_storage.Obsd.drop_caches (Slice.Ensemble.storage ens);
+          let t0 = Slice_sim.Engine.now eng in
+          List.iter
+            (fun fh -> ignore (Slice_workload.Client.read_at cl fh ~off:0L ~count:4096))
+            fhs;
+          lat := (Slice_sim.Engine.now eng -. t0) /. float_of_int files);
+      Slice_sim.Engine.run eng;
+      Printf.printf "  threshold %6d B: avg small read %.2f ms\n" threshold (!lat *. 1e3))
+    [ 0; 16384; 65536; 262144 ]
+
+let stripe_unit_ablation ~scale =
+  print_endline "\n== Ablation: stripe unit for bulk I/O ==";
+  print_endline "single-client sequential read bandwidth by stripe unit:";
+  List.iter
+    (fun stripe_unit ->
+      let ens =
+        Slice.Ensemble.create
+          {
+            Slice.Ensemble.default_config with
+            storage_nodes = 8;
+            smallfile_servers = 0;
+            proxy_params = { Slice.Params.default with threshold = 0; stripe_unit };
+          }
+      in
+      let eng = Slice.Ensemble.engine ens in
+      let host, _ = Slice.Ensemble.add_client ens ~name:"c" in
+      let cl =
+        Slice_workload.Client.create host ~server:(Slice.Ensemble.virtual_addr ens)
+          ~io_size:(min stripe_unit 32768) ()
+      in
+      let bytes = Int64.of_float (3.2e8 *. scale) in
+      let fh = { sample_fh with Fh.file_id = Int64.of_int (1000 + stripe_unit) } in
+      let mbs = ref 0.0 in
+      Slice_sim.Engine.spawn eng (fun () ->
+          Slice_workload.Client.sequential_write cl fh ~bytes;
+          Array.iter Slice_storage.Obsd.drop_caches (Slice.Ensemble.storage ens);
+          let t0 = Slice_sim.Engine.now eng in
+          Slice_workload.Client.sequential_read cl fh ~bytes;
+          mbs := Int64.to_float bytes /. (Slice_sim.Engine.now eng -. t0) /. 1e6);
+      Slice_sim.Engine.run eng;
+      Printf.printf "  stripe unit %6d B: %.1f MB/s\n" stripe_unit !mbs)
+    [ 8192; 32768; 131072 ]
+
+(* ---- driver ---- *)
+
+let parse_args () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let which =
+    List.filter
+      (fun a ->
+        List.mem a
+          [ "table2"; "table3"; "fig3"; "fig4"; "fig5"; "fig6"; "micro"; "ablation"; "all" ])
+      args
+  in
+  ((match which with [] -> "all" | w :: _ -> w), full)
+
+let () =
+  let which, full = parse_args () in
+  let want x = which = "all" || which = x in
+  print_endline "Slice reproduction benchmarks (Anderson/Chase/Vahdat, OSDI 2000)";
+  Printf.printf "mode: %s%s\n" which (if full then " (--full)" else "");
+  if want "micro" then run_micro ();
+  if want "table2" then E.Report.print (E.Table2.report ~scale:(if full then 0.4 else 0.08) ());
+  if want "table3" then E.Report.print (E.Table3.report ~scale:(if full then 0.5 else 0.05) ());
+  if want "fig3" then E.Report.print (E.Fig3.report ~scale:(if full then 0.1 else 0.03) ());
+  if want "fig4" then E.Report.print (E.Fig4.report ~scale:(if full then 0.08 else 0.025) ());
+  if want "fig5" || want "fig6" then begin
+    let t =
+      E.Fig5.compute
+        ~scale:(if full then 0.02 else 0.006)
+        ~points_per_curve:(if full then 5 else 3)
+        ()
+    in
+    if want "fig5" then E.Report.print (E.Fig5.report_fig5 t);
+    if want "fig6" then E.Report.print (E.Fig5.report_fig6 t)
+  end;
+  if want "ablation" then begin
+    hash_balance_ablation ();
+    threshold_ablation ~scale:(if full then 1.0 else 0.3);
+    stripe_unit_ablation ~scale:(if full then 1.0 else 0.25)
+  end;
+  print_endline "\nbench: done"

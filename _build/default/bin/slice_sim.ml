@@ -1,0 +1,74 @@
+(* slice_sim: command-line driver for the Slice reproduction.
+
+   Each subcommand regenerates one exhibit from the paper's evaluation
+   (Section 5) at a configurable scale. `all` runs everything. *)
+
+module E = Slice_experiments
+open Cmdliner
+
+let scale_arg ~default =
+  let doc =
+    "Scale factor for the experiment (file sizes, op counts, file sets). 1.0 reproduces the \
+     paper's full workload sizes; smaller values preserve the shapes and run much faster."
+  in
+  Arg.(value & opt float default & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let run_table2 scale = E.Report.print (E.Table2.report ~scale ())
+let run_table3 scale = E.Report.print (E.Table3.report ~scale ())
+let run_fig3 scale = E.Report.print (E.Fig3.report ~scale ())
+let run_fig4 scale = E.Report.print (E.Fig4.report ~scale ())
+
+let run_fig56 ~fig5 ~fig6 scale points =
+  let t = E.Fig5.compute ~scale ~points_per_curve:points () in
+  if fig5 then E.Report.print (E.Fig5.report_fig5 t);
+  if fig6 then E.Report.print (E.Fig5.report_fig6 t)
+
+let points_arg =
+  Arg.(value & opt int 4 & info [ "points" ] ~docv:"N" ~doc:"Load points per curve.")
+
+let cmd name ~default_scale ~doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg ~default:default_scale)
+
+let table2_cmd = cmd "table2" ~default_scale:0.08 ~doc:"Table 2: bulk I/O bandwidth." run_table2
+
+let table3_cmd =
+  cmd "table3" ~default_scale:0.05 ~doc:"Table 3: uproxy CPU cost breakdown." run_table3
+
+let fig3_cmd = cmd "fig3" ~default_scale:0.04 ~doc:"Figure 3: directory service scaling." run_fig3
+
+let fig4_cmd =
+  cmd "fig4" ~default_scale:0.03 ~doc:"Figure 4: mkdir-switching affinity sweep." run_fig4
+
+let fig5_cmd =
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Figure 5: SPECsfs97 delivered throughput.")
+    Term.(
+      const (fun s p -> run_fig56 ~fig5:true ~fig6:false s p)
+      $ scale_arg ~default:0.01 $ points_arg)
+
+let fig6_cmd =
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Figure 6: SPECsfs97 latency vs throughput.")
+    Term.(
+      const (fun s p -> run_fig56 ~fig5:false ~fig6:true s p)
+      $ scale_arg ~default:0.01 $ points_arg)
+
+let all_cmd =
+  let run fast =
+    let f = if fast then 0.5 else 1.0 in
+    run_table2 (0.08 *. f);
+    run_table3 0.05;
+    run_fig3 (0.04 *. f);
+    run_fig4 (0.03 *. f);
+    run_fig56 ~fig5:true ~fig6:true (0.01 *. f) (if fast then 3 else 4)
+  in
+  let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Halve the default scales.") in
+  Cmd.v (Cmd.info "all" ~doc:"Every table and figure.") Term.(const run $ fast)
+
+let main_cmd =
+  let doc = "reproduce the evaluation of Slice (Interposed Request Routing, OSDI 2000)" in
+  Cmd.group
+    (Cmd.info "slice_sim" ~version:"1.0" ~doc)
+    [ table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/failover.ml: Array List Printf Slice Slice_dir Slice_nfs Slice_sim Slice_workload

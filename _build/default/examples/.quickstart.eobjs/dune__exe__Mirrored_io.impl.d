@@ -1,0 +1,1 @@
+examples/mirrored_io.ml: Array Int64 List Printf Slice Slice_nfs Slice_sim Slice_storage Slice_workload

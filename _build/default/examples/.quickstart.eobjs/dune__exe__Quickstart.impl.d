@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 List Printf Slice Slice_nfs Slice_sim Slice_workload String

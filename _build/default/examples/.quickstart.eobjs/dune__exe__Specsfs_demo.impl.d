@@ -1,0 +1,1 @@
+examples/specsfs_demo.ml: Array Format Int64 Printf Slice Slice_smallfile Slice_workload

@@ -1,0 +1,1 @@
+examples/specsfs_demo.mli:

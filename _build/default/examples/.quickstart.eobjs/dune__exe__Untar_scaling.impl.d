@@ -1,0 +1,1 @@
+examples/untar_scaling.ml: Array List Printf Slice Slice_dir Slice_sim Slice_workload String

@@ -1,0 +1,1 @@
+examples/untar_scaling.mli:

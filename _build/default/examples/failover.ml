@@ -1,0 +1,63 @@
+(* Dataless file managers and fast failover (Section 2.3): a directory
+   server's state is entirely reconstructible from its backing objects
+   plus its write-ahead log. This example builds a name space, crashes a
+   directory server mid-flight, recovers it from the surviving log, and
+   keeps working — clients only see retransmissions.
+
+   Run with: dune exec examples/failover.exe *)
+
+module Engine = Slice_sim.Engine
+module Nfs = Slice_nfs.Nfs
+module Client = Slice_workload.Client
+module Dirserver = Slice_dir.Dirserver
+
+let () =
+  let ens =
+    Slice.Ensemble.create
+      {
+        Slice.Ensemble.default_config with
+        storage_nodes = 0;
+        smallfile_servers = 0;
+        dir_servers = 2;
+        proxy_params =
+          { Slice.Params.default with threshold = 0; name_policy = Slice.Params.Name_hashing };
+      }
+  in
+  let eng = Slice.Ensemble.engine ens in
+  let host, _ = Slice.Ensemble.add_client ens ~name:"client" in
+  let cl = Client.create host ~server:(Slice.Ensemble.virtual_addr ens) () in
+  let dirs = Slice.Ensemble.dirs ens in
+  Engine.spawn eng (fun () ->
+      let ok label = function
+        | Ok v -> v
+        | Error st -> failwith (label ^ ": " ^ Nfs.status_name st)
+      in
+      (* build some state spread over both directory servers *)
+      let d, _ = ok "mkdir" (Client.mkdir cl Slice.Ensemble.root "project") in
+      for i = 0 to 39 do
+        ignore (ok "create" (Client.create_file cl d (Printf.sprintf "src%02d.ml" i)))
+      done;
+      Printf.printf "before crash: %d + %d name entries on the two servers\n"
+        (Dirserver.entry_count dirs.(0))
+        (Dirserver.entry_count dirs.(1));
+
+      (* crash server 0: volatile cells are gone; only the synced log and
+         backing objects survive *)
+      Dirserver.crash dirs.(0);
+      Printf.printf "server 0 crashed (volatile state dropped); recovering from its log...\n";
+      Dirserver.recover dirs.(0);
+      Engine.sleep eng 0.1;
+      Printf.printf "after recovery: %d + %d name entries\n"
+        (Dirserver.entry_count dirs.(0))
+        (Dirserver.entry_count dirs.(1));
+
+      (* the volume is intact and writable *)
+      let fh, _ = ok "lookup survives" (Client.lookup cl d "src07.ml") in
+      Printf.printf "lookup src07.ml -> fileid %Ld (state rebuilt from the journal)\n"
+        fh.Slice_nfs.Fh.file_id;
+      ignore (ok "create after recovery" (Client.create_file cl d "post_crash.ml"));
+      let entries = ok "readdir" (Client.readdir_all cl d) in
+      Printf.printf "directory lists %d entries; client saw %d retransmissions, 0 data loss\n"
+        (List.length entries) (Client.retransmissions cl));
+  Engine.run eng;
+  print_endline "failover: done"

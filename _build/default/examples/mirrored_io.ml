@@ -1,0 +1,75 @@
+(* Per-file mirrored striping (Section 3.1): the attribute-based policy
+   where the µproxy replicates each block of a mirrored file on two
+   storage nodes, duplicating writes and alternating reads between the
+   replicas — with failure atomicity through the coordinator's
+   intention log.
+
+   Run with: dune exec examples/mirrored_io.exe *)
+
+module Engine = Slice_sim.Engine
+module Nfs = Slice_nfs.Nfs
+module Client = Slice_workload.Client
+module Obsd = Slice_storage.Obsd
+
+let mb = 1024 * 1024
+
+let () =
+  let ens =
+    Slice.Ensemble.create
+      {
+        Slice.Ensemble.default_config with
+        storage_nodes = 8;
+        smallfile_servers = 0;
+        mirror_new_files = true (* new regular files get the mirrored policy flag *);
+        proxy_params = { Slice.Params.default with threshold = 0 };
+      }
+  in
+  let eng = Slice.Ensemble.engine ens in
+  let host, proxy = Slice.Ensemble.add_client ens ~name:"client" in
+  let cl = Client.create host ~server:(Slice.Ensemble.virtual_addr ens) () in
+  Engine.spawn eng (fun () ->
+      let fh, _ =
+        match Client.create_file cl Slice.Ensemble.root "database.img" with
+        | Ok v -> v
+        | Error st -> failwith (Nfs.status_name st)
+      in
+      Printf.printf "created %s — fh carries the per-file mirror flag: %b\n" "database.img"
+        fh.Slice_nfs.Fh.mirrored;
+
+      let bytes = Int64.of_int (32 * mb) in
+      let t0 = Client.now cl in
+      Client.sequential_write cl fh ~bytes;
+      let t1 = Client.now cl in
+      Printf.printf "mirrored write: %.1f MB/s (every block written to both replicas)\n"
+        (32.0 /. (t1 -. t0));
+
+      (* where did the data land? *)
+      let holders =
+        Array.to_list (Slice.Ensemble.storage ens)
+        |> List.filteri (fun _ node -> Obsd.object_size node fh <> None)
+        |> List.length
+      in
+      Printf.printf "replicas on %d of 8 storage nodes; %d duplicate packets emitted\n" holders
+        (Slice.Proxy.mirror_duplicates proxy);
+
+      (* cold read: alternates between the mirrors to balance load *)
+      Array.iter Obsd.drop_caches (Slice.Ensemble.storage ens);
+      let t2 = Client.now cl in
+      Client.sequential_read cl fh ~bytes;
+      Printf.printf "mirrored read:  %.1f MB/s (alternating between replicas;\n"
+        (32.0 /. (Client.now cl -. t2));
+      print_endline "  the skipped half of each node's prefetch is the paper's";
+      print_endline "  'unused prefetched data' that lowers mirrored bandwidth)";
+
+      (* the coordinator guarded the multi-site writes *)
+      (match Slice.Ensemble.coordinator ens with
+      | Some coord ->
+          Printf.printf
+            "coordinator: %d intention(s) logged for the mirrored writes, %d still open\n"
+            (Slice_storage.Coordinator.intents_logged coord)
+            (Slice_storage.Coordinator.pending_intents coord)
+      | None -> ());
+      Printf.printf "client errors: %d, retransmissions: %d\n" (Client.errors cl)
+        (Client.retransmissions cl));
+  Engine.run eng;
+  print_endline "mirrored_io: done"

@@ -1,0 +1,61 @@
+(* SPECsfs97 against a Slice ensemble: the paper's whole-system benchmark
+   (Figures 5 and 6) in miniature. Shows the functional decomposition at
+   work: one load, three request classes, three server populations.
+
+   Run with: dune exec examples/specsfs_demo.exe *)
+
+module Client = Slice_workload.Client
+module Specsfs = Slice_workload.Specsfs
+
+let () =
+  let ens =
+    Slice.Ensemble.create
+      { Slice.Ensemble.default_config with storage_nodes = 4; dir_servers = 1; smallfile_servers = 2 }
+  in
+  let eng = Slice.Ensemble.engine ens in
+  let clients_and_proxies =
+    Array.init 4 (fun i -> Slice.Ensemble.add_client ens ~name:(Printf.sprintf "loadgen%d" i))
+  in
+  let clients =
+    Array.map
+      (fun (host, _) -> Client.create host ~server:(Slice.Ensemble.virtual_addr ens) ())
+      clients_and_proxies
+  in
+  let cfg =
+    {
+      Specsfs.default_config with
+      offered_iops = 800.0;
+      processes = 8;
+      duration = 3.0;
+      warmup = 0.5;
+      bytes_per_iops = 100_000.0;
+    }
+  in
+  Printf.printf "SPECsfs97 mix against Slice-4 (1 dir server, 2 small-file servers)...\n%!";
+  let r = Specsfs.run eng ~clients ~root:Slice.Ensemble.root cfg in
+  Format.printf "%a@." Specsfs.pp_result r;
+
+  (* where the µproxies sent the traffic: the functional decomposition *)
+  let storage, smallfile, dir =
+    Array.fold_left
+      (fun (s, f, d) (_, px) ->
+        ( s + Slice.Proxy.routed_to_storage px,
+          f + Slice.Proxy.routed_to_smallfile px,
+          d + Slice.Proxy.routed_to_dir px ))
+      (0, 0, 0) clients_and_proxies
+  in
+  let total = float_of_int (storage + smallfile + dir) in
+  Printf.printf
+    "request classes: %.0f%% name space -> directory servers, %.0f%% small-file I/O,\n\
+    \                 %.0f%% bulk I/O direct to storage nodes\n"
+    (100.0 *. float_of_int dir /. total)
+    (100.0 *. float_of_int smallfile /. total)
+    (100.0 *. float_of_int storage /. total);
+  Array.iter
+    (fun sf ->
+      Printf.printf "small-file server: %d files, %.1f MB logical / %.1f MB physical\n"
+        (Slice_smallfile.Smallfile.file_count sf)
+        (Int64.to_float (Slice_smallfile.Smallfile.logical_bytes sf) /. 1e6)
+        (Int64.to_float (Slice_smallfile.Smallfile.bytes_stored sf) /. 1e6))
+    (Slice.Ensemble.smallfiles ens);
+  print_endline "specsfs_demo: done"

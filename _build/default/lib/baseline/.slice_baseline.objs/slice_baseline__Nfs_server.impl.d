@@ -1,0 +1,1 @@
+lib/baseline/nfs_server.ml: Bytes Hashtbl Int64 List Slice_disk Slice_nfs Slice_sim Slice_storage String

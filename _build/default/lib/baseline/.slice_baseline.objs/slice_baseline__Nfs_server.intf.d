@@ -1,0 +1,1 @@
+lib/baseline/nfs_server.mli: Slice_net Slice_nfs Slice_storage

@@ -1,0 +1,1 @@
+lib/core/ensemble.ml: Array Int64 List Params Printf Proxy Slice_dir Slice_disk Slice_net Slice_nfs Slice_sim Slice_smallfile Slice_storage Table

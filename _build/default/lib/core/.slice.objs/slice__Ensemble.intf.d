@@ -1,0 +1,1 @@
+lib/core/ensemble.mli: Params Proxy Slice_dir Slice_net Slice_nfs Slice_sim Slice_smallfile Slice_storage Table

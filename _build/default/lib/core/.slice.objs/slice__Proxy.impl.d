@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Array Bytes Hashtbl Int32 Int64 List Option Params Slice_net Slice_nfs Slice_sim Slice_storage Slice_util Table

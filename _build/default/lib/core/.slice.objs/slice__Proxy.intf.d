@@ -1,0 +1,1 @@
+lib/core/proxy.mli: Params Slice_net Slice_storage Table

@@ -1,0 +1,314 @@
+module Engine = Slice_sim.Engine
+module Net = Slice_net.Net
+module Rpc = Slice_net.Rpc
+module Packet = Slice_net.Packet
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Codec = Slice_nfs.Codec
+module Routekey = Slice_nfs.Routekey
+module Host = Slice_storage.Host
+module Obsd = Slice_storage.Obsd
+module Coordinator = Slice_storage.Coordinator
+module Smallfile = Slice_smallfile.Smallfile
+module Bcache = Slice_disk.Bcache
+module Dirserver = Slice_dir.Dirserver
+
+type config = {
+  seed : int;
+  net_params : Net.params option;
+  storage_nodes : int;
+  disks_per_node : int;
+  storage_cache : int;
+  dir_servers : int;
+  smallfile_servers : int;
+  smallfile_cache : int;
+  proxy_params : Params.t;
+  dir_costs : Dirserver.costs option;
+  mirror_new_files : bool;
+  secure_objects : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    net_params = None;
+    storage_nodes = 4;
+    disks_per_node = 8;
+    storage_cache = 256 * 1024 * 1024;
+    dir_servers = 1;
+    smallfile_servers = 2;
+    smallfile_cache = 1024 * 1024 * 1024;
+    proxy_params = Params.default;
+    dir_costs = None;
+    mirror_new_files = false;
+    secure_objects = false;
+  }
+
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  net_ : Net.t;
+  vaddr : Packet.addr;
+  storage_ : Obsd.t array;
+  storage_addrs : Packet.addr array;
+  coord : Coordinator.t option;
+  dirs_ : Dirserver.t array;
+  smallfiles_ : Smallfile.t array;
+  dir_tbl : Table.t;
+  sf_tbl : Table.t option;
+  mutable next_client : int;
+}
+
+let root = Fh.root
+
+let dir_policy (p : Params.t) =
+  match p.Params.name_policy with
+  | Params.Mkdir_switching -> Dirserver.Mkdir_switching
+  | Params.Name_hashing -> Dirserver.Name_hashing
+
+(* Zone handles for a dataless small-file server's backing objects: one
+   per (server, cache-object) pair, striped across the storage array by
+   the manager host's own storage-only µproxy. *)
+let zone_fh ~secure ~sf_idx ~obj =
+  let fh =
+    {
+      Fh.file_id = Int64.add 900_000_000_000L (Int64.of_int ((sf_idx * 16) + Int64.to_int obj));
+      gen = 1;
+      ftype = Fh.Reg;
+      mirrored = false;
+      attr_site = 0;
+      cap = 0L;
+    }
+  in
+  if secure then Slice_nfs.Cap.seal ~secret:"slice-ensemble-shared-secret" fh else fh
+
+(* Remote backend: zone blocks live on the network storage array, reached
+   through [rpc] + the host's µproxy (which stripes and, on commit,
+   orchestrates through the coordinator). *)
+let remote_backend eng rpc ~vaddr ~secure ~sf_idx ~stripe_unit =
+  let chunked_io ~write ~obj ~block ~count k =
+    (* split requests on stripe-chunk boundaries so each lands whole on
+       one storage node *)
+    let bs = Bcache.block_size in
+    let remaining = ref count in
+    let blk = ref block in
+    let reqs = ref [] in
+    while !remaining > 0 do
+      let off = !blk * bs in
+      let within = off mod stripe_unit in
+      let room = (stripe_unit - within) / bs in
+      let n = min !remaining (max 1 room) in
+      reqs := (off, n * bs) :: !reqs;
+      blk := !blk + n;
+      remaining := !remaining - n
+    done;
+    let fh = zone_fh ~secure ~sf_idx ~obj in
+    let jobs =
+      List.map
+        (fun (off, len) () ->
+          let xid = Rpc.fresh_xid rpc in
+          let call =
+            if write then Nfs.Write (fh, Int64.of_int off, Nfs.Unstable, Nfs.Synthetic len)
+            else Nfs.Read (fh, Int64.of_int off, len)
+          in
+          let payload = Codec.encode_call ~xid call in
+          ignore
+            (Rpc.call rpc ~timeout:2.0 ~dst:vaddr ~dport:2049
+               ~extra_size:(Codec.extra_size_of_call call) payload))
+        !reqs
+    in
+    Slice_sim.Fiber.join_all eng jobs;
+    k ()
+  in
+  {
+    Bcache.demand_read =
+      (fun ~obj ~block ~count ~sequential:_ ->
+        chunked_io ~write:false ~obj ~block ~count (fun () -> ()));
+    readahead =
+      (fun ~obj ~block ~count ->
+        Engine.spawn eng (fun () ->
+            chunked_io ~write:false ~obj ~block ~count (fun () -> ())));
+    write_back =
+      (fun ~obj ~block ~count ~done_ ->
+        Engine.spawn eng (fun () -> chunked_io ~write:true ~obj ~block ~count done_));
+    sync =
+      (fun () ->
+        (* zone commit: the µproxy orchestrates commitment across the
+           storage sites via the coordinator *)
+        Slice_sim.Fiber.join_all eng
+          (List.map
+             (fun obj () ->
+               let fh = zone_fh ~secure ~sf_idx ~obj in
+               let xid = Rpc.fresh_xid rpc in
+               let payload = Codec.encode_call ~xid (Nfs.Commit (fh, 0L, 0)) in
+               ignore (Rpc.call rpc ~timeout:2.0 ~dst:vaddr ~dport:2049 payload))
+             [ 1L; 2L ]));
+  }
+
+(* Shared secret between the file managers and the storage nodes. Any
+   value works — the µproxies never see it. *)
+let cap_secret = "slice-ensemble-shared-secret"
+
+let create cfg =
+  let eng = Engine.create () in
+  let net_ = Net.create eng ?params:cfg.net_params ~seed:cfg.seed () in
+  let vaddr = Net.add_node net_ ~name:"virtual-nfs" in
+  (* storage nodes: 733 MHz Xeon-class, 8-arm arrays *)
+  let storage_hosts =
+    Array.init cfg.storage_nodes (fun i ->
+        Host.create net_ ~name:(Printf.sprintf "storage%d" i) ~cpu_scale:1.6
+          ~disks:cfg.disks_per_node ())
+  in
+  let storage_ =
+    Array.map
+      (fun h ->
+        Obsd.attach h ~cache_bytes:cfg.storage_cache
+          ?cap_secret:(if cfg.secure_objects then Some cap_secret else None)
+          ())
+      storage_hosts
+  in
+  let storage_addrs = Array.map (fun (h : Host.t) -> h.Host.addr) storage_hosts in
+  let coord =
+    if cfg.storage_nodes > 0 then
+      Some (Coordinator.attach storage_hosts.(0) ~map_sites:storage_addrs ())
+    else None
+  in
+  let coord_of _fh =
+    match coord with Some c -> Some (Coordinator.addr c, Coordinator.port c) | None -> None
+  in
+  (* directory servers: PC-class with a dedicated sequential log disk *)
+  let dir_hosts =
+    Array.init cfg.dir_servers (fun i ->
+        Host.create net_ ~name:(Printf.sprintf "dir%d" i) ~disks:1 ())
+  in
+  let dir_tbl = Table.create (Array.map (fun (h : Host.t) -> h.Host.addr) dir_hosts) in
+  (* small-file servers *)
+  let sf_hosts =
+    Array.init cfg.smallfile_servers (fun i ->
+        if cfg.storage_nodes > 0 then
+          Host.create net_ ~name:(Printf.sprintf "smallfile%d" i) ()
+        else
+          (* standalone (no storage array): local disks stand in *)
+          Host.create net_ ~name:(Printf.sprintf "smallfile%d" i) ~disks:cfg.disks_per_node ())
+  in
+  let sf_tbl =
+    if cfg.smallfile_servers > 0 then
+      Some (Table.create (Array.map (fun (h : Host.t) -> h.Host.addr) sf_hosts))
+    else None
+  in
+  let sf_addrs = Array.map (fun (h : Host.t) -> h.Host.addr) sf_hosts in
+  let smallfile_site fh =
+    if Array.length sf_addrs = 0 || cfg.proxy_params.Params.threshold <= 0 then None
+    else Some sf_addrs.(Routekey.file_site ~nsites:(Array.length sf_addrs) fh)
+  in
+  let data_sites (fh : Fh.t) =
+    let n = Array.length storage_addrs in
+    if n = 0 then []
+    else if fh.Fh.mirrored then begin
+      let r0, r1 = Routekey.mirror_sites ~nsites:n fh in
+      if r0 = r1 then [ storage_addrs.(r0) ] else [ storage_addrs.(r0); storage_addrs.(r1) ]
+    end
+    else Array.to_list storage_addrs
+  in
+  let dirs_ =
+    Array.init cfg.dir_servers (fun i ->
+        let config =
+          {
+            Dirserver.logical_id = i;
+            nsites = cfg.dir_servers;
+            policy = dir_policy cfg.proxy_params;
+            resolve = (fun logical -> Table.lookup dir_tbl (logical mod cfg.dir_servers));
+            peer_port = 2051;
+            data_sites;
+            smallfile_site;
+            coordinator = coord_of;
+            mirror_new_files = cfg.mirror_new_files;
+            cap_secret = (if cfg.secure_objects then Some cap_secret else None);
+            also_owns = [];
+          }
+        in
+        Dirserver.attach dir_hosts.(i) ?costs:cfg.dir_costs config)
+  in
+  (* small-file servers attach last: their dataless backends route through
+     their own storage-only µproxies *)
+  let t =
+    {
+      cfg;
+      eng;
+      net_;
+      vaddr;
+      storage_;
+      storage_addrs;
+      coord;
+      dirs_;
+      smallfiles_ = [||];
+      dir_tbl;
+      sf_tbl;
+      next_client = 0;
+    }
+  in
+  let smallfiles_ =
+    Array.init cfg.smallfile_servers (fun i ->
+        let host = sf_hosts.(i) in
+        if cfg.storage_nodes > 0 then begin
+          let storage_only =
+            {
+              cfg.proxy_params with
+              Params.threshold = 0;
+              name_policy = cfg.proxy_params.Params.name_policy;
+            }
+          in
+          let _px : Proxy.t =
+            Proxy.install host ~params:storage_only ~seed:(cfg.seed + 100 + i)
+              {
+                Proxy.virtual_addr = vaddr;
+                dir_table = dir_tbl;
+                smallfile_table = None;
+                storage = storage_addrs;
+                coordinator = coord_of Fh.root;
+              }
+          in
+          let rpc = Rpc.create net_ host.Host.addr ~port:1900 in
+          let backend =
+            remote_backend eng rpc ~vaddr ~secure:cfg.secure_objects ~sf_idx:i
+              ~stripe_unit:cfg.proxy_params.Params.stripe_unit
+          in
+          Smallfile.attach host ~cache_bytes:cfg.smallfile_cache
+            ~threshold:cfg.proxy_params.Params.threshold ~backend ()
+        end
+        else
+          Smallfile.attach host ~cache_bytes:cfg.smallfile_cache
+            ~threshold:cfg.proxy_params.Params.threshold ())
+  in
+  { t with smallfiles_ }
+
+let engine t = t.eng
+let net t = t.net_
+let virtual_addr t = t.vaddr
+
+let add_client t ~name:client_name =
+  t.next_client <- t.next_client + 1;
+  let host = Host.create t.net_ ~name:client_name () in
+  let coordinator =
+    match t.coord with Some c -> Some (Coordinator.addr c, Coordinator.port c) | None -> None
+  in
+  let proxy =
+    Proxy.install host ~params:t.cfg.proxy_params ~seed:(t.cfg.seed + t.next_client)
+      {
+        Proxy.virtual_addr = t.vaddr;
+        dir_table = t.dir_tbl;
+        smallfile_table = t.sf_tbl;
+        storage = t.storage_addrs;
+        coordinator;
+      }
+  in
+  (host, proxy)
+
+let storage t = t.storage_
+let coordinator t = t.coord
+let dirs t = t.dirs_
+let smallfiles t = t.smallfiles_
+let dir_table t = t.dir_tbl
+let smallfile_table t = t.sf_tbl
+let config t = t.cfg
+let run ?until t = Engine.run ?until t.eng

@@ -1,0 +1,61 @@
+(** Ensemble assembly: builds a complete Slice deployment on a simulated
+    switched LAN — storage nodes, block-service coordinator, directory
+    servers, small-file servers, routing tables, a virtual NFS server
+    address — and installs a µproxy on each client host added to it.
+
+    Faithful structural details:
+    - storage nodes are 733 MHz-class machines with 8-arm disk arrays;
+    - the coordinator runs as an extension of storage node 0's module;
+    - directory and small-file servers are PC-class {e dataless} managers:
+      small-file zones are striped over the network storage array through
+      a storage-only µproxy on the manager's own host, and directory
+      journals go to a dedicated local log disk (sequential-only traffic;
+      see DESIGN.md for the substitution note);
+    - clients are PC-class hosts whose µproxy interposes on the path to
+      the virtual server address. *)
+
+type config = {
+  seed : int;
+  net_params : Slice_net.Net.params option;
+  storage_nodes : int;
+  disks_per_node : int;
+  storage_cache : int;  (** bytes of buffer cache per storage node *)
+  dir_servers : int;
+  smallfile_servers : int;
+  smallfile_cache : int;  (** bytes of cache per small-file server *)
+  proxy_params : Params.t;  (** routing policies shared by all µproxies *)
+  dir_costs : Slice_dir.Dirserver.costs option;
+  mirror_new_files : bool;
+  secure_objects : bool;
+      (** seal NASD-style capability tags into minted handles and make the
+          storage nodes verify them (the µproxy stays outside the trust
+          boundary; see {!Slice_nfs.Cap}) *)
+}
+
+val default_config : config
+(** 4 storage nodes × 8 disks, 1 directory server, 2 small-file servers,
+    default µproxy parameters. *)
+
+type t
+
+val create : config -> t
+
+val engine : t -> Slice_sim.Engine.t
+val net : t -> Slice_net.Net.t
+val virtual_addr : t -> Slice_net.Packet.addr
+val root : Slice_nfs.Fh.t
+(** The volume root handle clients start from. *)
+
+val add_client : t -> name:string -> Slice_storage.Host.t * Proxy.t
+(** A fresh client host with its µproxy interposed. *)
+
+val storage : t -> Slice_storage.Obsd.t array
+val coordinator : t -> Slice_storage.Coordinator.t option
+val dirs : t -> Slice_dir.Dirserver.t array
+val smallfiles : t -> Slice_smallfile.Smallfile.t array
+val dir_table : t -> Table.t
+val smallfile_table : t -> Table.t option
+val config : t -> config
+
+val run : ?until:float -> t -> unit
+(** Convenience: run the underlying engine. *)

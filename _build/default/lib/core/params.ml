@@ -1,0 +1,35 @@
+type name_policy = Mkdir_switching | Name_hashing
+type io_policy = Static_striping | Block_map
+
+type t = {
+  threshold : int;
+  stripe_unit : int;
+  name_policy : name_policy;
+  mkdir_p : float;
+  io_policy : io_policy;
+  intercept_cost : float;
+  decode_cost_per_item : float;
+  rewrite_cost : float;
+  softstate_cost : float;
+  mirror_dup_cost_per_byte : float;
+  attr_cache_capacity : int;
+  attr_writeback_interval : float;
+  rpc_port : int;
+}
+
+let default =
+  {
+    threshold = 65536;
+    stripe_unit = 32768;
+    name_policy = Mkdir_switching;
+    mkdir_p = 0.25;
+    io_policy = Static_striping;
+    intercept_cost = 1.12e-6;
+    decode_cost_per_item = 0.33e-6;
+    rewrite_cost = 0.8e-6;
+    softstate_cost = 1.28e-6;
+    mirror_dup_cost_per_byte = 5.2e-9;
+    attr_cache_capacity = 4096;
+    attr_writeback_interval = 0.0;
+    rpc_port = 3001;
+  }

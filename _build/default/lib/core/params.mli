@@ -1,0 +1,39 @@
+(** µproxy policy and cost parameters.
+
+    The CPU costs are calibrated from the paper's Table 3: at 6250
+    packets/second a client-based µproxy spent 0.7 % of a 500 MHz CPU
+    intercepting packets (1.12 µs each), 4.1 % decoding (6.56 µs — mostly
+    skipping variable-length RPC/NFS header fields, ≈20 XDR items at
+    ~0.33 µs), 0.5 % redirecting/rewriting (0.8 µs) and 0.8 % managing
+    soft state (1.28 µs). *)
+
+type name_policy = Mkdir_switching | Name_hashing
+type io_policy = Static_striping | Block_map
+
+type t = {
+  threshold : int;
+      (** small-file threshold offset in bytes; I/O below it routes to a
+          small-file server (64 KB in the paper; 0 disables the
+          small-file class) *)
+  stripe_unit : int;  (** bulk-I/O striping granularity (32 KB) *)
+  name_policy : name_policy;
+  mkdir_p : float;
+      (** mkdir-switching redirection probability p: a new directory is
+          placed on a different site from its parent with probability p *)
+  io_policy : io_policy;
+  intercept_cost : float;  (** CPU seconds per intercepted packet *)
+  decode_cost_per_item : float;  (** CPU seconds per XDR item examined *)
+  rewrite_cost : float;  (** CPU per field-rewrite + checksum adjust *)
+  softstate_cost : float;  (** CPU per pending-record / cache update *)
+  mirror_dup_cost_per_byte : float;
+      (** client-side cost to emit the duplicate packet of a mirrored
+          write (buffer requeue + checksum share; ~1/5 of the full write
+          path per byte, calibrated to Table 2's 38.9 -> 32.2 MB/s) *)
+  attr_cache_capacity : int;  (** attribute cache entries *)
+  attr_writeback_interval : float;
+      (** period of the background push of dirty cached attributes to the
+          directory servers (0 = rely on commit/evict-driven writeback) *)
+  rpc_port : int;  (** port of the µproxy's own endpoint on the client *)
+}
+
+val default : t

@@ -1,0 +1,711 @@
+module Engine = Slice_sim.Engine
+module Fiber = Slice_sim.Fiber
+module Net = Slice_net.Net
+module Rpc = Slice_net.Rpc
+module Packet = Slice_net.Packet
+module Cksum = Slice_net.Cksum
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Codec = Slice_nfs.Codec
+module Routekey = Slice_nfs.Routekey
+module Host = Slice_storage.Host
+module Ctrl = Slice_storage.Ctrl
+module Prng = Slice_util.Prng
+module Lru = Slice_util.Lru
+
+type targets = {
+  virtual_addr : Packet.addr;
+  dir_table : Table.t;
+  smallfile_table : Table.t option;
+  storage : Packet.addr array;
+  coordinator : (Packet.addr * int) option;
+}
+
+type phase_cpu = {
+  interception : float;
+  decode : float;
+  rewrite : float;
+  soft_state : float;
+}
+
+type klass = KName | KStorage | KSmallfile
+
+type pending = {
+  p_klass : klass;
+  p_fh : Fh.t option;
+  p_proc : int;
+  p_offset : int64 option;
+  p_count : int option;
+  p_orig : bytes option; (* original request payload, for misdirect retry *)
+  p_rd_site : int; (* readdir: logical dir site the request was sent to *)
+  mutable p_mirror_left : int;
+}
+
+type cached_attr = { ca_fh : Fh.t; mutable ca_attr : Nfs.fattr; mutable ca_dirty : bool }
+
+type t = {
+  host : Host.t;
+  net : Net.t;
+  eng : Engine.t;
+  p : Params.t;
+  tg : targets;
+  prng : Prng.t;
+  rpc : Rpc.t;
+  pending : (int, pending) Hashtbl.t;
+  attrs : (int64, cached_attr) Lru.t;
+  map_cache : (int64, Packet.addr array ref) Hashtbl.t;
+  intents_open : (int64, int64) Hashtbl.t;
+  (* private snapshots (hints) of the routing tables *)
+  mutable dir_map : Packet.addr array;
+  mutable dir_version : int;
+  mutable sf_map : Packet.addr array;
+  mutable sf_version : int;
+  (* Table 3 phase accounting *)
+  mutable t_intercept : float;
+  mutable t_decode : float;
+  mutable t_rewrite : float;
+  mutable t_softstate : float;
+  (* counters *)
+  mutable n_intercepted : int;
+  mutable n_replies : int;
+  mutable n_storage : int;
+  mutable n_smallfile : int;
+  mutable n_dir : int;
+  dir_hist : int array;
+  mutable n_mkdir_redirect : int;
+  mutable n_mirror_dup : int;
+  mutable n_attr_patch : int;
+  mutable n_writeback : int;
+  mutable n_commits : int;
+  mutable n_intents : int;
+  mutable n_stale : int;
+  mutable n_map_fetch : int;
+}
+
+(* ---- per-packet cost accounting ----
+   Phases accumulate into a per-packet cell, are charged to the client CPU
+   in one booking, and the packet moves on when the booking completes. *)
+
+type cost = { mutable c_total : float }
+
+let charge t (c : cost) phase amount =
+  c.c_total <- c.c_total +. amount;
+  match phase with
+  | `Intercept -> t.t_intercept <- t.t_intercept +. amount
+  | `Decode -> t.t_decode <- t.t_decode +. amount
+  | `Rewrite -> t.t_rewrite <- t.t_rewrite +. amount
+  | `Softstate -> t.t_softstate <- t.t_softstate +. amount
+
+let after_cpu t (c : cost) k =
+  let finish = Host.cpu_async t.host c.c_total in
+  Engine.schedule_at t.eng finish k
+
+(* ---- outgoing calls from the µproxy itself ---- *)
+
+let nfs_call t (call : Nfs.call) ~dst =
+  let xid = Rpc.fresh_xid t.rpc in
+  let payload = Codec.encode_call ~xid call in
+  let reply =
+    Rpc.call t.rpc ~timeout:2.0 ~dst ~dport:2049
+      ~extra_size:(Codec.extra_size_of_call call) payload
+  in
+  snd (Codec.decode_reply reply)
+
+let ctrl_call t msg =
+  match t.tg.coordinator with
+  | None -> Ctrl.Nack
+  | Some (addr, port) ->
+      let xid = Rpc.fresh_xid t.rpc in
+      let reply = Rpc.call t.rpc ~timeout:2.0 ~dst:addr ~dport:port (Ctrl.encode_msg ~xid msg) in
+      snd (Ctrl.decode_reply reply)
+
+(* ---- attribute cache ---- *)
+
+let cached_attr t (fh : Fh.t) =
+  match Lru.find t.attrs fh.Fh.file_id with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          ca_fh = fh;
+          ca_attr = Nfs.default_attr ~ftype:fh.Fh.ftype ~fileid:fh.Fh.file_id ~now:(Engine.now t.eng);
+          ca_dirty = false;
+        }
+      in
+      Lru.add t.attrs fh.Fh.file_id c;
+      c
+
+let dir_phys t logical = t.dir_map.(logical mod Array.length t.dir_map)
+
+(* Push one dirty cached attribute back to its directory server (the
+   paper's setattr write-back on commit / eviction / interval). *)
+let writeback_one t (c : cached_attr) =
+  if c.ca_dirty then begin
+    c.ca_dirty <- false;
+    t.n_writeback <- t.n_writeback + 1;
+    let a = c.ca_attr in
+    let s =
+      {
+        Nfs.sattr_empty with
+        set_size = Some a.Nfs.size;
+        set_mtime = Some a.Nfs.mtime;
+        set_atime = Some a.Nfs.atime;
+      }
+    in
+    ignore (nfs_call t (Nfs.Setattr (c.ca_fh, s)) ~dst:(dir_phys t c.ca_fh.Fh.attr_site))
+  end
+
+let writeback_dirty_attrs t =
+  let dirty = ref [] in
+  Lru.iter t.attrs (fun _ c -> if c.ca_dirty then dirty := c :: !dirty);
+  List.iter (fun c -> Engine.spawn t.eng (fun () -> writeback_one t c)) !dirty
+
+(* ---- table snapshots ---- *)
+
+let refresh_tables t =
+  let m, v = Table.snapshot t.tg.dir_table in
+  t.dir_map <- m;
+  t.dir_version <- v;
+  match t.tg.smallfile_table with
+  | Some tbl ->
+      let m, v = Table.snapshot tbl in
+      t.sf_map <- m;
+      t.sf_version <- v
+  | None -> ()
+
+(* ---- forwarding ---- *)
+
+let remember t (peek : Codec.peek) ~klass ~orig ~rd_site ~mirrors =
+  Hashtbl.replace t.pending peek.Codec.xid
+    {
+      p_klass = klass;
+      p_fh = peek.Codec.fh;
+      p_proc = peek.Codec.proc;
+      p_offset = peek.Codec.offset;
+      p_count = peek.Codec.count;
+      p_orig = orig;
+      p_rd_site = rd_site;
+      p_mirror_left = mirrors;
+    }
+
+let forward t (c : cost) (pkt : Packet.t) ~dst =
+  charge t c `Rewrite t.p.Params.rewrite_cost;
+  Cksum.rewrite_dst pkt dst;
+  charge t c `Softstate t.p.Params.softstate_cost;
+  after_cpu t c (fun () -> Net.inject t.net pkt)
+
+let patch_offset t (c : cost) (pkt : Packet.t) (peek : Codec.peek) v =
+  match peek.Codec.offset_field_off with
+  | Some off ->
+      charge t c `Rewrite t.p.Params.rewrite_cost;
+      Cksum.patch_payload pkt ~off (Codec.u64_be v)
+  | None -> ()
+
+(* ---- commit orchestration ---- *)
+
+let storage_sites_of t (fh : Fh.t) =
+  let n = Array.length t.tg.storage in
+  if n = 0 then []
+  else if fh.Fh.mirrored then begin
+    let r0, r1 = Routekey.mirror_sites ~nsites:n fh in
+    if r0 = r1 then [ t.tg.storage.(r0) ] else [ t.tg.storage.(r0); t.tg.storage.(r1) ]
+  end
+  else Array.to_list t.tg.storage
+
+let smallfile_dst t (fh : Fh.t) =
+  if t.p.Params.threshold <= 0 || Array.length t.sf_map = 0 then None
+  else Some t.sf_map.(Routekey.file_site ~nsites:(Array.length t.sf_map) fh)
+
+let orchestrate_commit t (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
+  t.n_commits <- t.n_commits + 1;
+  let client = pkt.Packet.src in
+  let client_port = pkt.Packet.sport in
+  Engine.spawn t.eng (fun () ->
+      let jobs = ref [] in
+      (match smallfile_dst t fh with
+      | Some dst -> jobs := (fun () -> ignore (nfs_call t (Nfs.Commit (fh, 0L, 0)) ~dst)) :: !jobs
+      | None -> ());
+      let sites = storage_sites_of t fh in
+      (match (sites, t.tg.coordinator) with
+      | [], _ -> ()
+      | sites, Some _ ->
+          jobs := (fun () -> ignore (ctrl_call t (Ctrl.Commit_file { fh; sites }))) :: !jobs
+      | sites, None ->
+          jobs :=
+            List.map (fun dst () -> ignore (nfs_call t (Nfs.Commit (fh, 0L, 0)) ~dst)) sites
+            @ !jobs);
+      Fiber.join_all t.eng !jobs;
+      (* Close any open mirrored-write intention. *)
+      (match Hashtbl.find_opt t.intents_open fh.Fh.file_id with
+      | Some op_id ->
+          Hashtbl.remove t.intents_open fh.Fh.file_id;
+          ignore (ctrl_call t (Ctrl.Complete { op_id }))
+      | None -> ());
+      (* Push modified attributes to the directory server (the paper's
+         µproxy generates a setattr on NFS V3 commit). *)
+      let c = cached_attr t fh in
+      writeback_one t c;
+      (* Synthesize the commit reply to the client. *)
+      let payload = Codec.encode_reply ~xid:peek.Codec.xid (Ok (Nfs.RCommit c.ca_attr)) in
+      let reply =
+        Packet.make ~src:t.tg.virtual_addr ~dst:client ~sport:2049 ~dport:client_port payload
+      in
+      Net.dispatch t.net reply)
+
+(* ---- mirrored-write intention (amortized across the file's writes) ---- *)
+
+let open_intent_if_needed t (fh : Fh.t) =
+  if t.tg.coordinator <> None && not (Hashtbl.mem t.intents_open fh.Fh.file_id) then begin
+    let op_id = Int64.of_int (Rpc.fresh_xid t.rpc) in
+    Hashtbl.replace t.intents_open fh.Fh.file_id op_id;
+    t.n_intents <- t.n_intents + 1;
+    let participants = storage_sites_of t fh in
+    Engine.spawn t.eng (fun () ->
+        ignore (ctrl_call t (Ctrl.Intent { op_id; kind = Ctrl.K_mirror_write; fh; participants })))
+  end
+
+(* ---- request routing ---- *)
+
+let name_logical t (peek : Codec.peek) (fh : Fh.t) =
+  let nsites = Array.length t.dir_map in
+  let by_hash name = Routekey.name_site ~nsites fh name in
+  match (peek.Codec.proc, t.p.Params.name_policy) with
+  | (1 | 2 | 4 | 5), _ -> fh.Fh.attr_site mod nsites (* getattr/setattr/access/readlink *)
+  | 9, Params.Name_hashing -> by_hash (Option.value ~default:"" peek.Codec.name)
+  | 9, Params.Mkdir_switching ->
+      (* mkdir switching: redirect with probability p to the site named by
+         the hash (so a raced name involves at most two sites). *)
+      let parent_site = fh.Fh.attr_site mod nsites in
+      if nsites > 1 && Prng.float t.prng 1.0 < t.p.Params.mkdir_p then begin
+        let site = by_hash (Option.value ~default:"" peek.Codec.name) in
+        if site <> parent_site then t.n_mkdir_redirect <- t.n_mkdir_redirect + 1;
+        site
+      end
+      else parent_site
+  | (3 | 8 | 10 | 12 | 13 | 14), Params.Name_hashing ->
+      by_hash (Option.value ~default:"" peek.Codec.name)
+  | 15, Params.Name_hashing -> (
+      (* link routes by the new entry (destination dir, new name) *)
+      match peek.Codec.fh2 with
+      | Some dir -> Routekey.name_site ~nsites dir (Option.value ~default:"" peek.Codec.name)
+      | None -> fh.Fh.attr_site mod nsites)
+  | 15, Params.Mkdir_switching -> (
+      match peek.Codec.fh2 with
+      | Some dir -> dir.Fh.attr_site mod nsites
+      | None -> fh.Fh.attr_site mod nsites)
+  | (3 | 8 | 10 | 12 | 13 | 14), Params.Mkdir_switching -> fh.Fh.attr_site mod nsites
+  | 16, _ -> (
+      (* readdir: under name hashing the cookie's high half carries the
+         site being iterated. *)
+      match t.p.Params.name_policy with
+      | Params.Mkdir_switching -> fh.Fh.attr_site mod nsites
+      | Params.Name_hashing ->
+          Int64.to_int (Int64.shift_right_logical (Option.value ~default:0L peek.Codec.offset) 32)
+          mod nsites)
+  | _ -> fh.Fh.attr_site mod nsites
+
+let route_name t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
+  let site = name_logical t peek fh in
+  t.n_dir <- t.n_dir + 1;
+  if site < Array.length t.dir_hist then t.dir_hist.(site) <- t.dir_hist.(site) + 1;
+  (* readdir under name hashing: strip the site from the cookie before
+     forwarding. *)
+  (if peek.Codec.proc = 16 && t.p.Params.name_policy = Params.Name_hashing then
+     let local = Int64.logand (Option.value ~default:0L peek.Codec.offset) 0xFFFFFFFFL in
+     patch_offset t c pkt peek local);
+  remember t peek ~klass:KName
+    ~orig:(Some (Bytes.copy pkt.Packet.payload))
+    ~rd_site:site ~mirrors:1;
+  forward t c pkt ~dst:(dir_phys t site)
+
+let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
+  let off = Option.value ~default:0L peek.Codec.offset in
+  match smallfile_dst t fh with
+  | Some dst when Int64.compare off (Int64.of_int t.p.Params.threshold) < 0 ->
+      t.n_smallfile <- t.n_smallfile + 1;
+      remember t peek ~klass:KSmallfile ~orig:None ~rd_site:0 ~mirrors:1;
+      forward t c pkt ~dst
+  | _ ->
+      let n = Array.length t.tg.storage in
+      if n = 0 then begin
+        (* No storage class configured: let a directory server reject it. *)
+        t.n_dir <- t.n_dir + 1;
+        remember t peek ~klass:KName ~orig:None ~rd_site:0 ~mirrors:1;
+        forward t c pkt ~dst:(dir_phys t 0)
+      end
+      else if fh.Fh.mirrored then begin
+        let r0, r1 = Routekey.mirror_sites ~nsites:n fh in
+        let chunk = Routekey.chunk_of_offset ~stripe_unit:t.p.Params.stripe_unit off in
+        if peek.Codec.proc = 6 then begin
+          (* mirrored read: alternate between the replicas to balance load *)
+          let site = if chunk land 1 = 0 then r0 else r1 in
+          t.n_storage <- t.n_storage + 1;
+          remember t peek ~klass:KStorage ~orig:None ~rd_site:0 ~mirrors:1;
+          forward t c pkt ~dst:t.tg.storage.(site)
+        end
+        else begin
+          (* mirrored write: duplicate to both replicas *)
+          open_intent_if_needed t fh;
+          t.n_storage <- t.n_storage + 1;
+          t.n_mirror_dup <- t.n_mirror_dup + 1;
+          remember t peek ~klass:KStorage ~orig:None ~rd_site:0
+            ~mirrors:(if r0 = r1 then 1 else 2);
+          let copy = Packet.copy pkt in
+          forward t c pkt ~dst:t.tg.storage.(r0);
+          if r1 <> r0 then begin
+            let c2 = { c_total = 0.0 } in
+            (* duplicate emission: requeue + checksum share of the data *)
+            charge t c2 `Rewrite
+              (t.p.Params.rewrite_cost
+              +. (t.p.Params.mirror_dup_cost_per_byte
+                 *. float_of_int (Option.value ~default:0 peek.Codec.count)));
+            forward t c2 copy ~dst:t.tg.storage.(r1)
+          end
+        end
+      end
+      else begin
+        let su = t.p.Params.stripe_unit in
+        let chunk = Routekey.chunk_of_offset ~stripe_unit:su off in
+        let static_route () =
+          let site = Routekey.stripe_site ~nsites:n ~stripe_unit:su fh off in
+          patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
+          t.n_storage <- t.n_storage + 1;
+          remember t peek ~klass:KStorage ~orig:None ~rd_site:0 ~mirrors:1;
+          forward t c pkt ~dst:t.tg.storage.(site)
+        in
+        match t.p.Params.io_policy with
+        | Params.Static_striping -> static_route ()
+        | Params.Block_map -> (
+            match Hashtbl.find_opt t.map_cache fh.Fh.file_id with
+            | Some map when chunk < Array.length !map ->
+                patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
+                t.n_storage <- t.n_storage + 1;
+                remember t peek ~klass:KStorage ~orig:None ~rd_site:0 ~mirrors:1;
+                forward t c pkt ~dst:!map.(chunk)
+            | _ ->
+                (* Map-fragment miss: fetch from the coordinator, then
+                   re-route the absorbed request (the µproxy "interacts
+                   with the coordinators to fetch and cache fragments of
+                   the block maps"). *)
+                t.n_map_fetch <- t.n_map_fetch + 1;
+                charge t c `Softstate t.p.Params.softstate_cost;
+                after_cpu t c (fun () ->
+                    Engine.spawn t.eng (fun () ->
+                        (match
+                           ctrl_call t (Ctrl.Get_map { fh; first_block = 0; count = chunk + 64 })
+                         with
+                        | Ctrl.Map { first_block = _; sites } ->
+                            Hashtbl.replace t.map_cache fh.Fh.file_id (ref sites)
+                        | Ctrl.Ack | Ctrl.Nack ->
+                            (* no dynamic map: fall back to static *)
+                            Hashtbl.replace t.map_cache fh.Fh.file_id
+                              (ref
+                                 (Array.init (chunk + 64) (fun b ->
+                                      t.tg.storage.((Routekey.file_site ~nsites:n fh + b) mod n)))));
+                        let c2 = { c_total = 0.0 } in
+                        route_io t c2 pkt peek fh)))
+      end
+
+let handle_request t (pkt : Packet.t) =
+  t.n_intercepted <- t.n_intercepted + 1;
+  let c = { c_total = 0.0 } in
+  charge t c `Intercept t.p.Params.intercept_cost;
+  match Codec.peek_call pkt.Packet.payload with
+  | None ->
+      (* not an NFS call: the virtual server has nothing else behind it *)
+      charge t c `Decode t.p.Params.decode_cost_per_item
+  | Some peek -> (
+      charge t c `Decode (t.p.Params.decode_cost_per_item *. float_of_int peek.Codec.items);
+      match peek.Codec.fh with
+      | None ->
+          (* NULL: any directory server can answer *)
+          t.n_dir <- t.n_dir + 1;
+          remember t peek ~klass:KName ~orig:None ~rd_site:0 ~mirrors:1;
+          forward t c pkt ~dst:(dir_phys t 0)
+      | Some fh -> (
+          match peek.Codec.proc with
+          | 6 | 7 when fh.Fh.ftype = Fh.Reg -> route_io t c pkt peek fh
+          | 21 when fh.Fh.ftype = Fh.Reg ->
+              charge t c `Softstate t.p.Params.softstate_cost;
+              after_cpu t c (fun () -> orchestrate_commit t pkt peek fh)
+          | _ -> route_name t c pkt peek fh))
+
+(* ---- reply handling ---- *)
+
+let reply_status (payload : bytes) =
+  if Bytes.length payload >= 28 then Int32.to_int (Bytes.get_int32_be payload 24)
+  else -1
+
+(* Retry a bounced request after refreshing the routing tables. *)
+let retry_misdirected t (pd : pending) (client_pkt : Packet.t) =
+  match pd.p_orig with
+  | None -> ()
+  | Some payload ->
+      let pkt =
+        Packet.make ~src:client_pkt.Packet.dst ~dst:t.tg.virtual_addr ~sport:client_pkt.Packet.dport
+          ~dport:2049 (Bytes.copy payload)
+      in
+      handle_request t pkt
+
+(* readdir iteration across hash sites: translate local cookies into
+   (site, cookie) pairs and splice sites together at EOF boundaries. *)
+let translate_readdir t (c : cost) (pd : pending) (pkt : Packet.t) =
+  match Codec.decode_reply pkt.Packet.payload with
+  | _, Error _ -> Some pkt (* pass errors through *)
+  | xid, Ok (Nfs.RReaddir (entries, cookie, eof)) ->
+      charge t c `Decode
+        (t.p.Params.decode_cost_per_item *. float_of_int (4 + (3 * List.length entries)));
+      let site = Int64.of_int pd.p_rd_site in
+      let tag v = Int64.logor (Int64.shift_left site 32) (Int64.logand v 0xFFFFFFFFL) in
+      let entries =
+        List.map (fun (e : Nfs.entry) -> { e with Nfs.entry_cookie = tag e.Nfs.entry_cookie }) entries
+      in
+      let nsites = Array.length t.dir_map in
+      let cookie, eof =
+        if eof && pd.p_rd_site + 1 < nsites then
+          (Int64.shift_left (Int64.add site 1L) 32, false)
+        else (tag cookie, eof)
+      in
+      let payload = Codec.encode_reply ~xid (Ok (Nfs.RReaddir (entries, cookie, eof))) in
+      charge t c `Rewrite t.p.Params.rewrite_cost;
+      let reply =
+        Packet.make ~src:t.tg.virtual_addr ~dst:pkt.Packet.dst ~sport:pkt.Packet.sport
+          ~dport:pkt.Packet.dport payload
+      in
+      after_cpu t c (fun () -> Net.dispatch t.net reply);
+      None
+  | _, Ok _ -> Some pkt
+
+let patch_reply_attrs t (c : cost) (pd : pending) (pkt : Packet.t) =
+  match Codec.reply_attr_offset pkt.Packet.payload with
+  | None -> ()
+  | Some off -> (
+      charge t c `Decode (t.p.Params.decode_cost_per_item *. 13.0);
+      let returned = Codec.decode_attr_at pkt.Packet.payload off in
+      let now = Engine.now t.eng in
+      match pd.p_klass with
+      | KStorage | KSmallfile ->
+          (* Node-local attributes are not authoritative for striped /
+             split files: patch size and times from the µproxy's cache. *)
+          let fh = match pd.p_fh with Some fh -> fh | None -> Fh.root in
+          let ca = cached_attr t fh in
+          (match pd.p_proc with
+          | 7 ->
+              (* write: size grows to at least offset + count written *)
+              let hi =
+                Int64.add
+                  (Option.value ~default:0L pd.p_offset)
+                  (Int64.of_int (Option.value ~default:0 pd.p_count))
+              in
+              let size =
+                if Int64.compare hi ca.ca_attr.Nfs.size > 0 then hi else ca.ca_attr.Nfs.size
+              in
+              ca.ca_attr <- { ca.ca_attr with size; used = size; mtime = now; ctime = now };
+              ca.ca_dirty <- true
+          | 6 ->
+              (* read: maintain access time; learn the size if we had
+                 nothing cached yet (single-node files report truly). *)
+              if Int64.compare ca.ca_attr.Nfs.size returned.Nfs.size < 0 && not ca.ca_dirty
+              then ca.ca_attr <- { ca.ca_attr with size = returned.Nfs.size };
+              ca.ca_attr <- { ca.ca_attr with atime = now };
+              ca.ca_dirty <- true
+          | _ -> ());
+          let a = ca.ca_attr in
+          Cksum.patch_payload pkt ~off:(off + Codec.attr_size_field_off) (Codec.u64_be a.Nfs.size);
+          Cksum.patch_payload pkt ~off:(off + Codec.attr_atime_field_off) (Codec.time_be a.Nfs.atime);
+          Cksum.patch_payload pkt ~off:(off + Codec.attr_mtime_field_off) (Codec.time_be a.Nfs.mtime);
+          charge t c `Rewrite (3.0 *. t.p.Params.rewrite_cost);
+          t.n_attr_patch <- t.n_attr_patch + 1;
+          (* reads: fix the EOF flag, which the node judged against its
+             local fragment of the file *)
+          if pd.p_proc = 6 then begin
+            let payload = pkt.Packet.payload in
+            let tag_off = off + Codec.attr_wire_size in
+            if Bytes.length payload >= tag_off + 12 then begin
+              let count = Int32.to_int (Bytes.get_int32_be payload (tag_off + 4)) in
+              let fin = Int64.add (Option.value ~default:0L pd.p_offset) (Int64.of_int count) in
+              let eof = Int64.compare fin a.Nfs.size >= 0 in
+              let word = Bytes.create 4 in
+              Bytes.set_int32_be word 0 (if eof then 1l else 0l);
+              Cksum.patch_payload pkt ~off:(tag_off + 8) (Bytes.to_string word);
+              charge t c `Rewrite t.p.Params.rewrite_cost
+            end
+          end
+      | KName -> (
+          (* Directory servers are authoritative; refresh the cache. If
+             the µproxy holds dirtier I/O state, patch it in. *)
+          let fh_for_attr =
+            match Codec.reply_fh_after_attr pkt.Packet.payload with
+            | Some child -> Some child
+            | None -> pd.p_fh
+          in
+          match fh_for_attr with
+          | None -> ()
+          | Some fh ->
+              let keyed = returned.Nfs.fileid in
+              (match Lru.find t.attrs keyed with
+              | Some ca when ca.ca_dirty ->
+                  let size =
+                    if Int64.compare ca.ca_attr.Nfs.size returned.Nfs.size > 0 then
+                      ca.ca_attr.Nfs.size
+                    else returned.Nfs.size
+                  in
+                  ca.ca_attr <- { returned with size; mtime = ca.ca_attr.Nfs.mtime };
+                  Cksum.patch_payload pkt ~off:(off + Codec.attr_size_field_off)
+                    (Codec.u64_be size);
+                  Cksum.patch_payload pkt
+                    ~off:(off + Codec.attr_mtime_field_off)
+                    (Codec.time_be ca.ca_attr.Nfs.mtime);
+                  charge t c `Rewrite (2.0 *. t.p.Params.rewrite_cost);
+                  t.n_attr_patch <- t.n_attr_patch + 1
+              | Some ca -> ca.ca_attr <- returned
+              | None ->
+                  Lru.add t.attrs keyed { ca_fh = fh; ca_attr = returned; ca_dirty = false })))
+
+let handle_reply t (pkt : Packet.t) (pd : pending) =
+  let c = { c_total = 0.0 } in
+  charge t c `Intercept t.p.Params.intercept_cost;
+  charge t c `Softstate t.p.Params.softstate_cost;
+  t.n_replies <- t.n_replies + 1;
+  if pd.p_mirror_left > 1 then begin
+    (* first mirror ack: wait for the slower replica *)
+    pd.p_mirror_left <- pd.p_mirror_left - 1;
+    after_cpu t c (fun () -> ());
+    None
+  end
+  else begin
+    (* pending record already removed by the caller, keyed on xid *)
+    if reply_status pkt.Packet.payload = 20001 then begin
+      t.n_stale <- t.n_stale + 1;
+      refresh_tables t;
+      after_cpu t c (fun () -> retry_misdirected t pd pkt);
+      None
+    end
+    else if pd.p_proc = 16 && t.p.Params.name_policy = Params.Name_hashing then
+      translate_readdir t c pd pkt
+    else begin
+      patch_reply_attrs t c pd pkt;
+      charge t c `Rewrite t.p.Params.rewrite_cost;
+      Cksum.rewrite_src pkt t.tg.virtual_addr;
+      after_cpu t c (fun () -> Net.dispatch t.net pkt);
+      None
+    end
+  end
+
+(* ---- filters ---- *)
+
+let egress_filter t (pkt : Packet.t) =
+  if pkt.Packet.dst = t.tg.virtual_addr && pkt.Packet.dport = 2049 then begin
+    handle_request t pkt;
+    None
+  end
+  else Some pkt
+
+let ingress_filter t (pkt : Packet.t) =
+  if Bytes.length pkt.Packet.payload < 4 then Some pkt
+  else begin
+    let xid = Int32.to_int (Bytes.get_int32_be pkt.Packet.payload 0) land 0xFFFFFFFF in
+    match Hashtbl.find_opt t.pending xid with
+    | None -> Some pkt
+    | Some pd ->
+        if pd.p_mirror_left <= 1 then Hashtbl.remove t.pending xid;
+        handle_reply t pkt pd
+  end
+
+let rec writeback_tick t =
+  if t.p.Params.attr_writeback_interval > 0.0 then
+    Engine.schedule t.eng t.p.Params.attr_writeback_interval (fun () ->
+        writeback_dirty_attrs t;
+        writeback_tick t)
+
+let install host ?(params = Params.default) ?(seed = 7) targets =
+  let net = host.Host.net in
+  let dir_map, dir_version = Table.snapshot targets.dir_table in
+  let sf_map, sf_version =
+    match targets.smallfile_table with Some tbl -> Table.snapshot tbl | None -> ([||], 0)
+  in
+  (* Evicted dirty attributes must be pushed back to their directory
+     server; the eviction hook needs the proxy record, which needs the
+     cache — tie the knot through a forward reference. *)
+  let self = ref None in
+  let attrs =
+    Lru.create ~capacity:params.Params.attr_cache_capacity
+      ~on_evict:(fun _ c ->
+        match !self with
+        | Some t when c.ca_dirty ->
+            Slice_sim.Engine.spawn host.Host.eng (fun () -> writeback_one t c)
+        | _ -> ())
+      ()
+  in
+  let t =
+    {
+      host;
+      net;
+      eng = host.Host.eng;
+      p = params;
+      tg = targets;
+      prng = Prng.create (seed + (host.Host.addr * 7919));
+      rpc = Rpc.create net host.Host.addr ~port:params.Params.rpc_port;
+      pending = Hashtbl.create 256;
+      attrs;
+      map_cache = Hashtbl.create 64;
+      intents_open = Hashtbl.create 16;
+      dir_map;
+      dir_version;
+      sf_map;
+      sf_version;
+      t_intercept = 0.0;
+      t_decode = 0.0;
+      t_rewrite = 0.0;
+      t_softstate = 0.0;
+      n_intercepted = 0;
+      n_replies = 0;
+      n_storage = 0;
+      n_smallfile = 0;
+      n_dir = 0;
+      dir_hist = Array.make (Table.nsites targets.dir_table) 0;
+      n_mkdir_redirect = 0;
+      n_mirror_dup = 0;
+      n_attr_patch = 0;
+      n_writeback = 0;
+      n_commits = 0;
+      n_intents = 0;
+      n_stale = 0;
+      n_map_fetch = 0;
+    }
+  in
+  self := Some t;
+  Net.add_egress_filter net host.Host.addr (egress_filter t);
+  Net.add_ingress_filter net host.Host.addr (ingress_filter t);
+  writeback_tick t;
+  t
+
+let params t = t.p
+
+let discard_soft_state t =
+  Hashtbl.reset t.pending;
+  Lru.clear t.attrs;
+  Hashtbl.reset t.map_cache
+
+let cpu_breakdown t =
+  {
+    interception = t.t_intercept;
+    decode = t.t_decode;
+    rewrite = t.t_rewrite;
+    soft_state = t.t_softstate;
+  }
+
+let packets_intercepted t = t.n_intercepted
+let replies_processed t = t.n_replies
+let routed_to_storage t = t.n_storage
+let routed_to_smallfile t = t.n_smallfile
+let routed_to_dir t = t.n_dir
+let dir_site_histogram t = Array.copy t.dir_hist
+let mkdir_redirects t = t.n_mkdir_redirect
+let mirror_duplicates t = t.n_mirror_dup
+let attr_patches t = t.n_attr_patch
+let attr_writebacks t = t.n_writeback
+let commits_orchestrated t = t.n_commits
+let intents_opened t = t.n_intents
+let stale_bounces t = t.n_stale
+let map_fetches t = t.n_map_fetch

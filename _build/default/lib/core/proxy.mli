@@ -1,0 +1,90 @@
+(** The Slice µproxy: an interposed request-routing packet filter.
+
+    Installed on a client's network path (here: the client host's egress
+    and ingress filter chain, the paper's "configured below the IP stack
+    on each client node"), it virtualizes a single NFS server address:
+
+    - requests to the virtual server are intercepted, partially decoded
+      (request type + up to four argument fields), classified, and
+      redirected by rewriting the destination address — with incremental
+      checksum repair — to a storage node, small-file server, or directory
+      server chosen by the configured routing policies;
+    - bulk I/O on striped files additionally has its offset field
+      rewritten to the node-local stripe offset; mirrored files have
+      writes duplicated to both replicas and reads alternated between
+      them;
+    - replies are matched to soft-state pending records by XID, their
+      source rewritten back to the virtual address, and their post-op
+      attribute blocks patched from the µproxy's attribute cache (which
+      it keeps current with I/O traffic and writes back to the directory
+      servers via setattr on commit, eviction, or a periodic timer);
+    - NFS commit on a multi-site file is absorbed and orchestrated through
+      the block-service coordinator (write commitment, intention
+      completion), with the reply synthesized to the client;
+    - readdir over a name-hashed volume is iterated across all directory
+      sites by cookie translation;
+    - a server bouncing a request with [SLICE_MISDIRECTED] triggers a lazy
+      refresh of the µproxy's private routing-table snapshots.
+
+    The µproxy keeps no state shared across clients; losing its soft
+    state only costs client RPC retransmissions. Per-phase CPU is both
+    charged to the client host and accumulated for the Table 3
+    breakdown. *)
+
+type t
+
+type targets = {
+  virtual_addr : Slice_net.Packet.addr;
+  dir_table : Table.t;
+  smallfile_table : Table.t option;
+  storage : Slice_net.Packet.addr array;
+  coordinator : (Slice_net.Packet.addr * int) option;
+}
+
+val install :
+  Slice_storage.Host.t -> ?params:Params.t -> ?seed:int -> targets -> t
+(** Interpose on all traffic of this host. [seed] drives the
+    mkdir-switching coin. *)
+
+val params : t -> Params.t
+val refresh_tables : t -> unit
+(** Reload routing-table snapshots from the authoritative tables (done
+    automatically on a misdirected-request bounce). *)
+
+val discard_soft_state : t -> unit
+(** Failure injection: drop pending records, cached attributes and block
+    maps — clients must recover by retransmission. *)
+
+val writeback_dirty_attrs : t -> unit
+(** Push all dirty cached attributes to the directory servers now
+    (runs asynchronously in fibers). *)
+
+(** {2 Statistics} *)
+
+type phase_cpu = {
+  interception : float;
+  decode : float;
+  rewrite : float;
+  soft_state : float;
+}
+
+val cpu_breakdown : t -> phase_cpu
+(** Accumulated CPU seconds per µproxy phase (Table 3). *)
+
+val packets_intercepted : t -> int
+val replies_processed : t -> int
+val routed_to_storage : t -> int
+val routed_to_smallfile : t -> int
+val routed_to_dir : t -> int
+val dir_site_histogram : t -> int array
+(** Requests per logical directory site — the load-balance measure behind
+    Figures 3 and 4. *)
+
+val mkdir_redirects : t -> int
+val mirror_duplicates : t -> int
+val attr_patches : t -> int
+val attr_writebacks : t -> int
+val commits_orchestrated : t -> int
+val intents_opened : t -> int
+val stale_bounces : t -> int
+val map_fetches : t -> int

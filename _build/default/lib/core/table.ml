@@ -1,0 +1,21 @@
+type t = { mutable map : Slice_net.Packet.addr array; mutable version : int }
+
+let create map =
+  if Array.length map = 0 then invalid_arg "Table.create: empty";
+  { map = Array.copy map; version = 1 }
+
+let nsites t = Array.length t.map
+
+let lookup t i =
+  if i < 0 || i >= Array.length t.map then invalid_arg "Table.lookup: bad site";
+  t.map.(i)
+
+let version t = t.version
+
+let update t map =
+  if Array.length map <> Array.length t.map then
+    invalid_arg "Table.update: logical site count is fixed";
+  t.map <- Array.copy map;
+  t.version <- t.version + 1
+
+let snapshot t = (Array.copy t.map, t.version)

@@ -1,0 +1,29 @@
+(** Compact routing tables mapping logical server sites to physical
+    servers (Section 3.3.1). "Multiple logical sites may map to the same
+    physical server, leaving flexibility for reconfiguration. The routing
+    tables constitute soft state; the mapping is determined externally, so
+    the µproxy never modifies the tables."
+
+    This is the authoritative, externally-managed table; each µproxy holds
+    a private {!snapshot} (a hint) that may go stale and is refreshed
+    lazily when a server bounces a misdirected request. *)
+
+type t
+
+val create : Slice_net.Packet.addr array -> t
+(** [create map] with [map.(logical) = physical]. *)
+
+val nsites : t -> int
+(** Number of logical sites (fixed at creation: the rebalancing
+    granularity). *)
+
+val lookup : t -> int -> Slice_net.Packet.addr
+val version : t -> int
+
+val update : t -> Slice_net.Packet.addr array -> unit
+(** Reconfiguration: rebind logical sites to physical servers. Must keep
+    the same number of logical sites.
+    @raise Invalid_argument otherwise. *)
+
+val snapshot : t -> Slice_net.Packet.addr array * int
+(** Copy of the mapping plus its version, for a µproxy's private hint. *)

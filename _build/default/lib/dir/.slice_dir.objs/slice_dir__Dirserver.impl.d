@@ -1,0 +1,1 @@
+lib/dir/dirserver.ml: Bytes Hashtbl Int64 List Option Peer Slice_net Slice_nfs Slice_sim Slice_storage Slice_wal Slice_xdr

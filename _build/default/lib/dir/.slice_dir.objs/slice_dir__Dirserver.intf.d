@@ -1,0 +1,1 @@
+lib/dir/dirserver.mli: Slice_net Slice_nfs Slice_storage

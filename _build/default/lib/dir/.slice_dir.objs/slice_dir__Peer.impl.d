@@ -1,0 +1,1 @@
+lib/dir/peer.ml: Float Slice_nfs Slice_xdr

@@ -1,0 +1,1 @@
+lib/dir/peer.mli: Slice_nfs Slice_xdr

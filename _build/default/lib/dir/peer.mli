@@ -1,0 +1,42 @@
+(** Peer-peer protocol between directory servers (Section 4.3): update
+    link counts for create/link/remove and mkdir/rmdir crossing sites,
+    follow cross-site links for lookup/getattr/setattr, and maintain
+    parent-directory entry counts and modify times.
+
+    Every state-changing message carries an operation id; receivers keep a
+    logged dedup set, making re-delivery after crash recovery idempotent —
+    the foundation of the light two-phase commit used for the infrequent
+    cross-site ("orphaned directory") operations of mkdir switching. *)
+
+type msg =
+  | Getattr of Slice_nfs.Fh.t
+  | Setattr of { op_id : int64; fh : Slice_nfs.Fh.t; sattr : Slice_nfs.Nfs.sattr }
+  | Nlink of { op_id : int64; fh : Slice_nfs.Fh.t; delta : int }
+  | Entry_count of { op_id : int64; dir : Slice_nfs.Fh.t; delta : int; mtime : float }
+  | Add_entry of {
+      op_id : int64;
+      dir : Slice_nfs.Fh.t;
+      name : string;
+      child : Slice_nfs.Fh.t;
+    }
+  | Remove_entry of { op_id : int64; dir : Slice_nfs.Fh.t; name : string }
+  | Get_entry of { dir : Slice_nfs.Fh.t; name : string }
+
+type reply =
+  | Ack
+  | Rattr of Slice_nfs.Nfs.fattr
+  | Rentry of Slice_nfs.Fh.t
+  | Rerr of Slice_nfs.Nfs.status
+
+val encode_msg : xid:int -> msg -> bytes
+val decode_msg : bytes -> int * msg
+val encode_reply : xid:int -> reply -> bytes
+val decode_reply : bytes -> int * reply
+
+val enc_attr : Slice_xdr.Xdr.Enc.t -> Slice_nfs.Nfs.fattr -> unit
+(** Shared attribute encoding, reused by the directory server's log
+    records. *)
+
+val dec_attr : Slice_xdr.Xdr.Dec.t -> Slice_nfs.Nfs.fattr
+
+exception Malformed

@@ -1,0 +1,1 @@
+lib/disk/bcache.ml: Disk Hashtbl List Slice_sim Slice_util

@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Float Slice_sim

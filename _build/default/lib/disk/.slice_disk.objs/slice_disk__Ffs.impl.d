@@ -1,0 +1,1 @@
+lib/disk/ffs.ml: Int64 List

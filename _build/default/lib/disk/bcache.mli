@@ -1,0 +1,63 @@
+(** Server buffer cache over 8 KB blocks keyed by (object, block number),
+    with the two FFS behaviours the paper's storage nodes lean on:
+
+    - {b sequential prefetch}: a miss on a (near-)sequential stream waits
+      only for the demand block and streams up to 256 KB beyond it
+      asynchronously. Strides up to 2 count as sequential, so a client
+      alternating between mirrors still triggers contiguous prefetch —
+      which is exactly how mirrored reads come to waste prefetched data on
+      the storage nodes (Table 2).
+    - {b write clustering / write-behind}: dirty blocks are written back
+      lazily; contiguous runs flush as single transfers. [commit] waits
+      for the object's dirty data to be stable (NFS V3 commit semantics).
+
+    The cache is parameterized by a {!backend}, because Slice file
+    managers are {e dataless}: a storage node's cache sits on its local
+    disk array, while a small-file server's cache sits on zones striped
+    over the {e network} storage array. Byte counts are model weights;
+    block payloads live with the owning service. *)
+
+val block_size : int
+(** 8192. *)
+
+type backend = {
+  demand_read : obj:int64 -> block:int -> count:int -> sequential:bool -> unit;
+      (** Fiber: fetch blocks, parking the caller until they arrive. *)
+  readahead : obj:int64 -> block:int -> count:int -> unit;
+      (** Issue an asynchronous prefetch; must not park. *)
+  write_back : obj:int64 -> block:int -> count:int -> done_:(unit -> unit) -> unit;
+      (** Issue an asynchronous write; call [done_] when stable. Must not
+          park the caller. *)
+  sync : unit -> unit;
+      (** Fiber: device-level stabilization barrier (commit tail). *)
+}
+
+val disk_backend : Slice_sim.Engine.t -> Disk.t -> backend
+(** Local disk-array backend (storage nodes). *)
+
+type t
+
+val create : Slice_sim.Engine.t -> backend:backend -> capacity:int -> name:string -> t
+(** [capacity] in bytes. *)
+
+val read : t -> obj:int64 -> block:int -> unit
+(** Fiber: ensure the block is resident. *)
+
+val write : t -> obj:int64 -> block:int -> unit
+(** Fiber-context: dirty the block (write-behind; no storage wait). *)
+
+val commit : t -> obj:int64 -> unit
+(** Fiber: flush the object's dirty blocks with clustering and wait until
+    all outstanding write-backs (of any object) are stable. *)
+
+val commit_all : t -> unit
+val invalidate_object : t -> int64 -> unit
+
+val drop_clean : t -> unit
+(** Invalidate everything without write-back — a cold mount. Call only
+    when nothing is dirty (after [commit_all]). *)
+
+val hits : t -> int
+val misses : t -> int
+val prefetched_blocks : t -> int
+val resident_bytes : t -> int

@@ -1,0 +1,81 @@
+module Engine = Slice_sim.Engine
+module Resource = Slice_sim.Resource
+
+type params = {
+  avg_seek : float;
+  rotational_half : float;
+  media_rate : float;
+  controller_overhead : float;
+  channel_read_rate : float;
+  channel_write_rate : float;
+}
+
+let cheetah =
+  {
+    avg_seek = 5.2e-3;
+    rotational_half = 3.0e-3;
+    media_rate = 33e6;
+    controller_overhead = 1.2e-3;
+    channel_read_rate = 55e6;
+    channel_write_rate = 60e6;
+  }
+
+type t = {
+  eng : Engine.t;
+  p : params;
+  arms : Resource.t;
+  channel : Resource.t;
+  n_arms : int;
+  mutable ops : int;
+  mutable bytes : int;
+}
+
+let create eng ?(params = cheetah) ~arms ~name () =
+  {
+    eng;
+    p = params;
+    arms = Resource.create eng ~capacity:arms ~name:(name ^ ".arms") ();
+    channel = Resource.create eng ~name:(name ^ ".chan") ();
+    n_arms = arms;
+    ops = 0;
+    bytes = 0;
+  }
+
+let arm_service t ~sequential ~bytes =
+  let positioning =
+    if sequential then 0.0 else t.p.avg_seek +. t.p.rotational_half +. t.p.controller_overhead
+  in
+  positioning +. (float_of_int bytes /. t.p.media_rate)
+
+let channel_service t ~is_read ~bytes =
+  float_of_int bytes /. (if is_read then t.p.channel_read_rate else t.p.channel_write_rate)
+
+let account t bytes =
+  t.ops <- t.ops + 1;
+  t.bytes <- t.bytes + bytes
+
+let book t ~is_read ~sequential ~bytes =
+  account t bytes;
+  let arm_done = Resource.reserve t.arms (arm_service t ~sequential ~bytes) in
+  (* Channel transfer starts once the arm has the data (read) or feeds the
+     arm (write); we serialize arm-then-channel for reads and
+     channel-then-arm for writes, which is equivalent for busy-time. *)
+  let chan = channel_service t ~is_read ~bytes in
+  let chan_done = Resource.reserve t.channel chan in
+  Float.max arm_done chan_done
+
+let read t ~sequential ~bytes =
+  let finish = book t ~is_read:true ~sequential ~bytes in
+  Engine.sleep_until t.eng finish
+
+let write t ~sequential ~bytes =
+  let finish = book t ~is_read:false ~sequential ~bytes in
+  Engine.sleep_until t.eng finish
+
+let read_async t ~sequential ~bytes = book t ~is_read:true ~sequential ~bytes
+let write_async t ~sequential ~bytes = book t ~is_read:false ~sequential ~bytes
+let ops t = t.ops
+let bytes_transferred t = t.bytes
+let arm_busy_time t = Resource.busy_time t.arms
+let channel_busy_time t = Resource.busy_time t.channel
+let arms t = t.n_arms

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array List Printf Report Scanf Slice Slice_baseline Slice_net Slice_sim Slice_storage Slice_workload String

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Float List Printf Report Slice Slice_sim Slice_workload String

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Float List Printf Report Slice Slice_baseline Slice_net Slice_sim Slice_storage Slice_workload String

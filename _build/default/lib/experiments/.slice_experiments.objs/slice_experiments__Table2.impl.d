@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Int64 List Printf Report Slice Slice_nfs Slice_sim Slice_storage Slice_workload

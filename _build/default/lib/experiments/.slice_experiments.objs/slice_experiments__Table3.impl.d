@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: List Printf Report Slice Slice_sim Slice_workload

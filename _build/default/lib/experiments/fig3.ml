@@ -1,0 +1,145 @@
+module Engine = Slice_sim.Engine
+module Client = Slice_workload.Client
+module Untar = Slice_workload.Untar
+module Nfs_server = Slice_baseline.Nfs_server
+module Host = Slice_storage.Host
+
+type series = { name : string; points : (int * float) list }
+
+type t = {
+  series : series list;
+  ops_per_proc : int;
+  agg_ops_rate : (string * float) list;
+}
+
+let n_client_hosts = 5
+
+(* Run [procs] untar processes against the virtual server backed by
+   whatever [setup] wired in; returns the average per-process latency. *)
+let run_procs ~eng ~make_client ~root ~procs ~spec =
+  let latencies = Array.make procs 0.0 in
+  Engine.spawn eng (fun () ->
+      Slice_sim.Fiber.join_all eng
+        (List.init procs (fun p () ->
+             let cl = make_client p in
+             latencies.(p) <-
+               Untar.run cl ~root ~name:(Printf.sprintf "proc%02d" p) spec)));
+  Engine.run eng;
+  Array.fold_left ( +. ) 0.0 latencies /. float_of_int procs
+
+let slice_point ~policy ~ndir ~procs ~spec =
+  let name_policy, mkdir_p =
+    match policy with
+    | `Switching -> (Slice.Params.Mkdir_switching, 1.0 /. float_of_int ndir)
+    | `Hashing -> (Slice.Params.Name_hashing, 0.0)
+  in
+  let ens =
+    Slice.Ensemble.create
+      {
+        Slice.Ensemble.default_config with
+        storage_nodes = 0;
+        smallfile_servers = 0;
+        dir_servers = ndir;
+        proxy_params = { Slice.Params.default with threshold = 0; name_policy; mkdir_p };
+      }
+  in
+  let eng = Slice.Ensemble.engine ens in
+  let hosts =
+    Array.init n_client_hosts (fun i ->
+        fst (Slice.Ensemble.add_client ens ~name:(Printf.sprintf "client%d" i)))
+  in
+  let make_client p =
+    Client.create hosts.(p mod n_client_hosts)
+      ~server:(Slice.Ensemble.virtual_addr ens)
+      ~port:(1000 + p) ()
+  in
+  run_procs ~eng ~make_client ~root:Slice.Ensemble.root ~procs ~spec
+
+let mfs_point ~procs ~spec =
+  let eng = Engine.create () in
+  let net = Slice_net.Net.create eng () in
+  let server_host = Host.create net ~name:"mfs-server" () in
+  let server = Nfs_server.attach server_host ~mem_only:true () in
+  let hosts =
+    Array.init n_client_hosts (fun i -> Host.create net ~name:(Printf.sprintf "client%d" i) ())
+  in
+  let make_client p =
+    Client.create hosts.(p mod n_client_hosts) ~server:(Nfs_server.addr server)
+      ~port:(1000 + p) ()
+  in
+  run_procs ~eng ~make_client ~root:(Nfs_server.root server) ~procs ~spec
+
+let run ?(scale = 0.02) ?(procs = [ 1; 2; 4; 8; 16 ]) ?(dir_counts = [ 1; 2; 4 ]) () =
+  let spec = Untar.scaled_spec scale in
+  let ops = Untar.ops_estimate spec in
+  let mfs = { name = "N-MFS"; points = List.map (fun p -> (p, mfs_point ~procs:p ~spec)) procs } in
+  let slice_series =
+    List.map
+      (fun ndir ->
+        {
+          name = Printf.sprintf "Slice-%d (mkdir switching)" ndir;
+          points = List.map (fun p -> (p, slice_point ~policy:`Switching ~ndir ~procs:p ~spec)) procs;
+        })
+      dir_counts
+  in
+  let hashing =
+    let ndir = List.fold_left max 1 dir_counts in
+    {
+      name = Printf.sprintf "Slice-%d (name hashing)" ndir;
+      points = List.map (fun p -> (p, slice_point ~policy:`Hashing ~ndir ~procs:p ~spec)) procs;
+    }
+  in
+  let series = (mfs :: slice_series) @ [ hashing ] in
+  let max_procs = List.fold_left max 1 procs in
+  let agg_ops_rate =
+    List.map
+      (fun s ->
+        let lat = List.assoc max_procs s.points in
+        (s.name, float_of_int (ops * max_procs) /. lat))
+      series
+  in
+  { series; ops_per_proc = ops; agg_ops_rate }
+
+let report ?scale ?procs ?dir_counts () =
+  let t = run ?scale ?procs ?dir_counts () in
+  let matrix =
+    List.map
+      (fun s ->
+        Printf.sprintf "  %-28s %s" s.name
+          (String.concat "  "
+             (List.map (fun (p, l) -> Printf.sprintf "%2d:%6.2fs" p l) s.points)))
+      t.series
+  in
+  let rows =
+    List.map
+      (fun (name, rate) ->
+        let paper =
+          if String.length name >= 5 && String.sub name 0 5 = "N-MFS" then 8300.0
+          else
+            (* Slice-N saturates near N x 6000 ops/s *)
+            let n =
+              try
+                Scanf.sscanf name "Slice-%d" (fun n -> n)
+              with _ -> 1
+            in
+            float_of_int (6000 * n)
+        in
+        Report.rowf
+          ~label:(Printf.sprintf "aggregate ops/s, %s" name)
+          ~paper ~measured:rate
+          ~note:"paper = saturation bound (6000 ops/s per dir server)" ())
+      t.agg_ops_rate
+  in
+  {
+    Report.title = "Figure 3: Directory service scaling (untar latency)";
+    preamble =
+      ([
+         Printf.sprintf
+           "avg untar latency per process (s) vs #processes; %d NFS ops per process"
+           t.ops_per_proc;
+         "shape checks: MFS saturates (steep growth); Slice-N flattens with more";
+         "servers; mkdir switching ~= name hashing on this workload.";
+       ]
+      @ matrix);
+    rows;
+  }

@@ -1,0 +1,26 @@
+(** Figure 3: directory service scaling.
+
+    Untar processes (36 000 files/dirs, ~250 000 NFS ops each at full
+    scale) run against N directory servers under mkdir switching
+    (p = 1/N) and name hashing, and against the N-MFS baseline (one
+    memory-filesystem NFS server). The paper's findings: MFS is initially
+    faster (no Slice logging) but its single CPU saturates; Slice scales
+    with more directory servers, each saturating near 6000 ops/s; the two
+    routing policies perform identically on this many-directory
+    workload. *)
+
+type series = { name : string; points : (int * float) list }
+(** (client processes, average untar latency in seconds per process) *)
+
+type t = {
+  series : series list;
+  ops_per_proc : int;
+  agg_ops_rate : (string * float) list;
+      (** aggregate ops/s at the largest process count, per series *)
+}
+
+val run : ?scale:float -> ?procs:int list -> ?dir_counts:int list -> unit -> t
+(** Defaults: scale 0.02 (≈720 files/proc), procs [1;2;4;8;16],
+    dir_counts [1;2;4]. *)
+
+val report : ?scale:float -> ?procs:int list -> ?dir_counts:int list -> unit -> Report.t

@@ -1,0 +1,22 @@
+(** Figure 4: impact of directory affinity (1 - p) for mkdir switching.
+
+    Four directory servers; client processes run the untar workload while
+    the µproxy's redirection probability p sweeps from 1 (affinity 0,
+    every mkdir redirected) to 0 (affinity 1, subtrees never leave the
+    parent's site). The paper's findings: light loads are insensitive;
+    heavy loads improve slightly as affinity rises (fewer cross-server
+    operations), then degrade sharply near affinity 1 as load concentrates
+    on one server; even distributions are achievable while redirecting
+    fewer than 20 % of directory creates. *)
+
+type point = { affinity : float; latency : float; redirect_fraction : float }
+
+type series = { procs : int; points : point list }
+
+type t = { series : series list }
+
+val run : ?scale:float -> ?affinities:float list -> ?proc_counts:int list -> unit -> t
+(** Defaults: scale 0.03, affinities [0;0.25;0.5;0.75;0.9;1.0],
+    proc_counts [1;4;8;16]. *)
+
+val report : ?scale:float -> ?affinities:float list -> ?proc_counts:int list -> unit -> Report.t

@@ -1,0 +1,25 @@
+(** Figures 5 and 6: SPECsfs97 throughput and latency.
+
+    Slice configurations with one directory server, two small-file
+    servers, and 1/2/4/8 storage nodes (8 disks each) against the
+    baseline single FreeBSD NFS server exporting its array as one volume
+    (850 IOPS at saturation). Paper findings: delivered IOPS scale with
+    storage nodes up to ~6600 IOPS for Slice-8 (64 disks, arm-bound);
+    latency stays acceptable up to saturation with a jump when the
+    small-file servers overflow their 1 GB caches.
+
+    The [scale] knob shrinks the SPECsfs file-set rule (10 MB/IOPS) and
+    all server caches by the same factor, preserving where the knee falls
+    relative to load. *)
+
+type point = { offered : float; delivered : float; latency_ms : float }
+
+type curve = { name : string; paper_sat : float; points : point list }
+
+type t = { curves : curve list; scale : float }
+
+val compute : ?scale:float -> ?points_per_curve:int -> unit -> t
+(** Default scale 0.02, 4 load points per configuration. *)
+
+val report_fig5 : t -> Report.t
+val report_fig6 : t -> Report.t

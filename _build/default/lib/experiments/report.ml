@@ -1,0 +1,38 @@
+type row = { label : string; paper : string; measured : string; note : string }
+
+type t = { title : string; preamble : string list; rows : row list }
+
+let row ?(note = "") ~label ~paper ~measured () = { label; paper; measured; note }
+
+let rowf ?note ~label ~paper ~measured () =
+  let note =
+    match note with
+    | Some n -> n
+    | None ->
+        if paper = 0.0 then ""
+        else Printf.sprintf "x%.2f of paper" (measured /. paper)
+  in
+  {
+    label;
+    paper = Printf.sprintf "%.1f" paper;
+    measured = Printf.sprintf "%.1f" measured;
+    note;
+  }
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "\n== %s ==\n" t.title);
+  List.iter (fun line -> Buffer.add_string b (line ^ "\n")) t.preamble;
+  let w_label =
+    List.fold_left (fun acc r -> max acc (String.length r.label)) 24 t.rows
+  in
+  Buffer.add_string b
+    (Printf.sprintf "%-*s  %12s  %12s  %s\n" w_label "" "paper" "measured" "");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-*s  %12s  %12s  %s\n" w_label r.label r.paper r.measured r.note))
+    t.rows;
+  Buffer.contents b
+
+let print t = print_string (to_string t)

@@ -1,0 +1,17 @@
+(** Table 2: bulk I/O bandwidth.
+
+    dd-style sequential read/write of a large file through the µproxy
+    onto an 8-node storage array (64 Cheetah-class disks), unmirrored and
+    2-way mirrored; one client (client-stack-bound) and eight clients
+    (storage-node-channel-bound). *)
+
+type datum = {
+  config : string;
+  paper_mbs : float;
+  measured_mbs : float;
+}
+
+val run : ?scale:float -> unit -> datum list
+(** [scale] shrinks the 1.25 GB per-client file (default 0.1). *)
+
+val report : ?scale:float -> unit -> Report.t

@@ -1,0 +1,22 @@
+(** Table 3: µproxy CPU cost under the name-intensive untar workload.
+
+    The paper profiled a client-based µproxy at 6250 request/response
+    packets per second: interception 0.7 %, packet decode 4.1 %,
+    redirection/rewriting 0.5 %, soft-state logic 0.8 % (6.1 % total).
+    We run the same workload through our µproxy and report the same
+    breakdown from its per-phase accounting. *)
+
+type datum = {
+  phase : string;
+  paper_pct : float;
+  measured_pct : float;
+}
+
+type t = {
+  rows : datum list;
+  packets_per_sec : float;
+  total_pct : float;
+}
+
+val run : ?scale:float -> unit -> t
+val report : ?scale:float -> unit -> Report.t

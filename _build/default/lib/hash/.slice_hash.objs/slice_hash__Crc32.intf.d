@@ -1,0 +1,1 @@
+lib/hash/crc32.mli:

@@ -1,0 +1,1 @@
+lib/hash/md5.ml: Array Buffer Bytes Char Float Int32 Int64 Printf String

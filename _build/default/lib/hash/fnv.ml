@@ -1,0 +1,15 @@
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let hash s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let bucket s n =
+  if n <= 0 then invalid_arg "Fnv.bucket: n must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (hash s) 1) (Int64.of_int n))

@@ -1,0 +1,7 @@
+(** FNV-1a 64-bit hash. Kept as the "competing hash function" the paper
+    compared MD5 against for request routing; the bench suite reproduces
+    that ablation (distribution balance vs. cost). *)
+
+val hash : string -> int64
+val bucket : string -> int -> int
+(** [bucket s n] maps [s] onto [\[0, n)]. *)

@@ -1,0 +1,93 @@
+(* RFC 1321. The sine-derived constants are computed at module init:
+   T[i] = floor(2^32 * abs(sin(i+1))), which avoids transcribing 64 magic
+   numbers and is bit-exact because sin is correctly rounded well within
+   the 32 bits we keep. *)
+
+let t_const =
+  Array.init 64 (fun i ->
+      let v = Float.abs (sin (float_of_int (i + 1))) *. 4294967296.0 in
+      Int64.to_int32 (Int64.of_float v))
+
+let shifts =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+    5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+    4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+    6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+let rotl32 x s = Int32.logor (Int32.shift_left x s) (Int32.shift_right_logical x (32 - s))
+
+type state = { mutable a : int32; mutable b : int32; mutable c : int32; mutable d : int32 }
+
+let process_block st block off =
+  let m = Array.make 16 0l in
+  for j = 0 to 15 do
+    m.(j) <- Bytes.get_int32_le block (off + (4 * j))
+  done;
+  let a = ref st.a and b = ref st.b and c = ref st.c and d = ref st.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then
+        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), i)
+      else if i < 32 then
+        (Int32.logor (Int32.logand !d !b) (Int32.logand (Int32.lognot !d) !c), ((5 * i) + 1) mod 16)
+      else if i < 48 then (Int32.logxor !b (Int32.logxor !c !d), ((3 * i) + 5) mod 16)
+      else (Int32.logxor !c (Int32.logor !b (Int32.lognot !d)), 7 * i mod 16)
+    in
+    let sum = Int32.add (Int32.add (Int32.add f !a) t_const.(i)) m.(g) in
+    let na = !d in
+    let nd = !c in
+    let nc = !b in
+    let nb = Int32.add !b (rotl32 sum shifts.(i)) in
+    a := na;
+    b := nb;
+    c := nc;
+    d := nd
+  done;
+  st.a <- Int32.add st.a !a;
+  st.b <- Int32.add st.b !b;
+  st.c <- Int32.add st.c !c;
+  st.d <- Int32.add st.d !d
+
+let digest_bytes buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then invalid_arg "Md5.digest_bytes";
+  let st = { a = 0x67452301l; b = 0xefcdab89l; c = 0x98badcfel; d = 0x10325476l } in
+  let full_blocks = len / 64 in
+  for i = 0 to full_blocks - 1 do
+    process_block st buf (pos + (64 * i))
+  done;
+  (* Tail: remaining bytes + 0x80 + zero pad + 64-bit little-endian bit length. *)
+  let rem = len - (64 * full_blocks) in
+  let tail_len = if rem + 9 <= 64 then 64 else 128 in
+  let tail = Bytes.make tail_len '\000' in
+  Bytes.blit buf (pos + (64 * full_blocks)) tail 0 rem;
+  Bytes.set tail rem '\x80';
+  Bytes.set_int64_le tail (tail_len - 8) (Int64.mul (Int64.of_int len) 8L);
+  process_block st tail 0;
+  if tail_len = 128 then process_block st tail 64;
+  let out = Bytes.create 16 in
+  Bytes.set_int32_le out 0 st.a;
+  Bytes.set_int32_le out 4 st.b;
+  Bytes.set_int32_le out 8 st.c;
+  Bytes.set_int32_le out 12 st.d;
+  Bytes.unsafe_to_string out
+
+let digest msg = digest_bytes (Bytes.unsafe_of_string msg) ~pos:0 ~len:(String.length msg)
+
+let to_hex raw =
+  let b = Buffer.create 32 in
+  String.iter (fun ch -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code ch))) raw;
+  Buffer.contents b
+
+let hex msg = to_hex (digest msg)
+
+let fold64 msg =
+  let raw = digest msg in
+  let b = Bytes.unsafe_of_string raw in
+  Bytes.get_int64_le b 0
+
+let bucket msg n =
+  if n <= 0 then invalid_arg "Md5.bucket: n must be positive";
+  let v = Int64.shift_right_logical (fold64 msg) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int n))

@@ -1,0 +1,1 @@
+lib/net/cksum.ml: Bytes Char Packet String

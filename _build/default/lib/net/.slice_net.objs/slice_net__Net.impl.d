@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Hashtbl Packet Slice_sim Slice_util

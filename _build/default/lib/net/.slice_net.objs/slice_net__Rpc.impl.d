@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Bytes Hashtbl Int32 Net Packet Slice_sim

@@ -1,0 +1,32 @@
+(** 16-bit ones-complement transport checksum, with the incremental-update
+    arithmetic (RFC 1624) the µproxy uses when it rewrites address/port
+    fields or patches attribute words: cost proportional to the bytes
+    modified, independent of packet size — the property the paper's
+    differential checksum code (derived from FreeBSD NAT) relies on. *)
+
+val compute : Packet.t -> int
+(** Full checksum over pseudo-header (src, dst, ports, length) and
+    payload. *)
+
+val seal : Packet.t -> unit
+(** Store the computed checksum into the packet. *)
+
+val verify : Packet.t -> bool
+(** Endpoints verify on receipt; a µproxy bug that forgets to adjust the
+    checksum surfaces here. *)
+
+val adjust : int -> old_word:int -> new_word:int -> int
+(** [adjust cksum ~old_word ~new_word] is RFC 1624 eqn. 3:
+    HC' = ~(~HC + ~m + m'), for one 16-bit word change. *)
+
+val rewrite_src : Packet.t -> Packet.addr -> unit
+(** Replace the source address, adjusting the checksum incrementally. *)
+
+val rewrite_dst : Packet.t -> Packet.addr -> unit
+val rewrite_sport : Packet.t -> int -> unit
+val rewrite_dport : Packet.t -> int -> unit
+
+val patch_payload : Packet.t -> off:int -> string -> unit
+(** [patch_payload p ~off s] overwrites payload bytes at [off] (which must
+    be even, as all XDR field offsets are) with [s], adjusting the checksum
+    word-by-word. Raises [Invalid_argument] if out of range or misaligned. *)

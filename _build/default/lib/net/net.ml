@@ -1,0 +1,124 @@
+module Engine = Slice_sim.Engine
+module Resource = Slice_sim.Resource
+
+type params = {
+  bandwidth : float;
+  wire_latency : float;
+  switch_latency : float;
+  drop_prob : float;
+}
+
+let default_params =
+  { bandwidth = 125_000_000.0; wire_latency = 10e-6; switch_latency = 8e-6; drop_prob = 0.0 }
+
+type filter = Packet.t -> Packet.t option
+
+type node = {
+  name : string;
+  tx : Resource.t;
+  rx : Resource.t;
+  mutable egress : filter list; (* in application order *)
+  mutable ingress : filter list;
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+}
+
+type t = {
+  eng : Engine.t;
+  p : params;
+  prng : Slice_util.Prng.t;
+  mutable nodes : node array;
+  mutable n : int;
+  mutable sent : int;
+  mutable bytes : int;
+  mutable dropped : int;
+}
+
+let create eng ?(params = default_params) ?(seed = 1) () =
+  { eng; p = params; prng = Slice_util.Prng.create seed; nodes = [||]; n = 0; sent = 0; bytes = 0; dropped = 0 }
+
+let engine t = t.eng
+let params t = t.p
+
+let add_node t ~name =
+  let node =
+    {
+      name;
+      tx = Resource.create t.eng ~name:(name ^ ".tx") ();
+      rx = Resource.create t.eng ~name:(name ^ ".rx") ();
+      egress = [];
+      ingress = [];
+      handlers = Hashtbl.create 4;
+    }
+  in
+  if t.n = Array.length t.nodes then begin
+    let cap = if t.n = 0 then 8 else t.n * 2 in
+    let nodes = Array.make cap node in
+    Array.blit t.nodes 0 nodes 0 t.n;
+    t.nodes <- nodes
+  end;
+  t.nodes.(t.n) <- node;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let get t a =
+  if a < 0 || a >= t.n then invalid_arg "Net: unknown address";
+  t.nodes.(a)
+
+let node_name t a = (get t a).name
+let node_count t = t.n
+let listen t a ~port handler = Hashtbl.replace (get t a).handlers port handler
+let unlisten t a ~port = Hashtbl.remove (get t a).handlers port
+let add_egress_filter t a f = (get t a).egress <- (get t a).egress @ [ f ]
+let add_ingress_filter t a f = (get t a).ingress <- (get t a).ingress @ [ f ]
+
+let rec apply_filters filters pkt =
+  match filters with
+  | [] -> Some pkt
+  | f :: rest -> ( match f pkt with None -> None | Some pkt -> apply_filters rest pkt)
+
+let deliver t (pkt : Packet.t) =
+  let dst = get t pkt.dst in
+  match apply_filters dst.ingress pkt with
+  | None -> ()
+  | Some pkt -> (
+      match Hashtbl.find_opt dst.handlers pkt.dport with
+      | Some h -> h pkt
+      | None -> t.dropped <- t.dropped + 1)
+
+let transmit t (pkt : Packet.t) =
+  if pkt.dst < 0 || pkt.dst >= t.n then t.dropped <- t.dropped + 1
+  else begin
+    t.sent <- t.sent + 1;
+    let size = Packet.wire_size pkt in
+    t.bytes <- t.bytes + size;
+    let src = get t pkt.src in
+    let ser = float_of_int size /. t.p.bandwidth in
+    let tx_done = Resource.reserve src.tx ser in
+    if t.p.drop_prob > 0.0 && Slice_util.Prng.float t.prng 1.0 < t.p.drop_prob then
+      t.dropped <- t.dropped + 1
+    else begin
+      let arrival = tx_done +. t.p.wire_latency +. t.p.switch_latency in
+      Engine.schedule_at t.eng arrival (fun () ->
+          let dst = get t pkt.dst in
+          let rx_done = Resource.reserve dst.rx ser in
+          Engine.schedule_at t.eng rx_done (fun () -> deliver t pkt))
+    end
+  end
+
+let send t (pkt : Packet.t) =
+  let src = get t pkt.src in
+  match apply_filters src.egress pkt with
+  | None -> ()
+  | Some pkt -> transmit t pkt
+
+let inject t pkt = transmit t pkt
+
+let dispatch t (pkt : Packet.t) =
+  let dst = get t pkt.dst in
+  match Hashtbl.find_opt dst.handlers pkt.dport with
+  | Some h -> h pkt
+  | None -> t.dropped <- t.dropped + 1
+let packets_sent t = t.sent
+let bytes_sent t = t.bytes
+let packets_dropped t = t.dropped
+let nic_busy_time t a = Resource.busy_time (get t a).tx

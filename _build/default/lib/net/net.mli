@@ -1,0 +1,72 @@
+(** Switched-LAN model: nodes with full-duplex NICs attached to a single
+    switch, per-endpoint transmit/receive serialization (bandwidth), fixed
+    wire + switch latency, optional random loss, and per-node egress /
+    ingress packet filters — the interposition points where the Slice
+    µproxy lives ("configurable to run as an intermediary at any point in
+    the network between a client and the server ensemble").
+
+    Filters run synchronously in event context and must not park; they may
+    rewrite the packet in place, absorb it (return [None]), and initiate
+    new packets via {!send} or {!inject}. *)
+
+type t
+
+type params = {
+  bandwidth : float;  (** per-NIC bytes/second (full duplex, each way) *)
+  wire_latency : float;  (** propagation delay per hop, seconds *)
+  switch_latency : float;  (** forwarding latency of the switch, seconds *)
+  drop_prob : float;  (** iid loss probability per packet *)
+}
+
+val default_params : params
+(** Gigabit Ethernet with jumbo frames, per the paper's testbed:
+    125 MB/s NICs, ~10 µs wire + ~8 µs switch latency, no loss. *)
+
+val create : Slice_sim.Engine.t -> ?params:params -> ?seed:int -> unit -> t
+val engine : t -> Slice_sim.Engine.t
+val params : t -> params
+
+val add_node : t -> name:string -> Packet.addr
+(** Attach a host; allocates its NIC resources. Addresses are dense
+    small ints. *)
+
+val node_name : t -> Packet.addr -> string
+val node_count : t -> int
+
+val listen : t -> Packet.addr -> port:int -> (Packet.t -> unit) -> unit
+(** Register the datagram handler for [addr:port]. Packets to an
+    unregistered port are counted as drops. *)
+
+val unlisten : t -> Packet.addr -> port:int -> unit
+
+type filter = Packet.t -> Packet.t option
+
+val add_egress_filter : t -> Packet.addr -> filter -> unit
+(** Filters apply in registration order to every packet leaving [addr]. *)
+
+val add_ingress_filter : t -> Packet.addr -> filter -> unit
+(** Filters apply to every packet arriving at [addr], before dispatch. *)
+
+val send : t -> Packet.t -> unit
+(** Transmit from [pkt.src]: egress filters, NIC serialization, latency,
+    loss, receive serialization, ingress filters, dispatch. *)
+
+val inject : t -> Packet.t -> unit
+(** Like {!send} but skipping the source's egress filters: used by a
+    filter that emits packets of its own (a filter re-sending through
+    itself would loop). *)
+
+val dispatch : t -> Packet.t -> unit
+(** Deliver straight to the destination's port handler, bypassing
+    filters, NICs and latency: how an interposed filter hands an
+    already-arrived packet onward after processing it. *)
+
+(** {2 Accounting} *)
+
+val packets_sent : t -> int
+val bytes_sent : t -> int
+val packets_dropped : t -> int
+(** Loss-injected plus no-handler drops. *)
+
+val nic_busy_time : t -> Packet.addr -> float
+(** Transmit-side NIC busy seconds for a node. *)

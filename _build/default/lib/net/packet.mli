@@ -1,0 +1,41 @@
+(** Network packets as seen by the µproxy: addressing fields it may
+    rewrite, an encoded RPC payload it may patch, and a transport checksum
+    it must keep consistent.
+
+    [extra_size] models bulk data that is logically carried but not
+    materialized in [payload] (multi-gigabyte sequential I/O would not fit
+    in memory); it counts toward wire size and transfer time but not
+    toward checksum coverage. *)
+
+type addr = int
+
+type t = {
+  mutable src : addr;
+  mutable dst : addr;
+  mutable sport : int;
+  mutable dport : int;
+  payload : bytes;
+  mutable extra_size : int;
+  mutable cksum : int; (* 16-bit ones-complement checksum *)
+}
+
+val make :
+  src:addr -> dst:addr -> sport:int -> dport:int -> ?extra_size:int -> bytes -> t
+(** Builds a packet and seals its checksum. *)
+
+val header_bytes : int
+(** Modeled per-packet header overhead (Ethernet+IP+UDP), included in
+    {!wire_size}. *)
+
+val wire_size : t -> int
+(** Total modeled bytes on the wire: headers + payload + extra. *)
+
+val copy : t -> t
+(** Deep copy (fresh payload buffer); used for retransmission and for
+    mirrored-write duplication so rewrites don't alias. *)
+
+(**/**)
+
+val compute_cksum :
+  src:addr -> dst:addr -> sport:int -> dport:int -> bytes -> int
+(** Internal: full checksum computation, re-exported through {!Cksum}. *)

@@ -1,0 +1,83 @@
+module Engine = Slice_sim.Engine
+
+exception Timeout
+
+type outcome = Reply of bytes | Timed_out
+
+(* XIDs are drawn from a single process-wide counter so no two endpoints
+   in a simulation ever collide, which lets an interposed filter key its
+   soft state on the XID alone. *)
+let xid_counter = ref 0
+
+type t = {
+  net : Net.t;
+  eng : Engine.t;
+  addr : Packet.addr;
+  port : int;
+  pending : (int, outcome -> unit) Hashtbl.t;
+  mutable retransmits : int;
+  mutable completed : int;
+}
+
+let on_packet t (pkt : Packet.t) =
+  if Bytes.length pkt.payload >= 4 then begin
+    let xid = Int32.to_int (Bytes.get_int32_be pkt.payload 0) land 0xFFFFFFFF in
+    match Hashtbl.find_opt t.pending xid with
+    | None -> () (* duplicate reply after a retransmission: drop *)
+    | Some wake ->
+        Hashtbl.remove t.pending xid;
+        t.completed <- t.completed + 1;
+        wake (Reply pkt.payload)
+  end
+
+let create net addr ~port =
+  let t =
+    {
+      net;
+      eng = Net.engine net;
+      addr;
+      port;
+      pending = Hashtbl.create 64;
+      retransmits = 0;
+      completed = 0;
+    }
+  in
+  Net.listen net addr ~port (on_packet t);
+  t
+
+let addr t = t.addr
+
+let fresh_xid _t =
+  incr xid_counter;
+  !xid_counter land 0xFFFFFFFF
+
+let call t ?(timeout = 0.1) ?(retries = 8) ~dst ~dport ?(extra_size = 0) payload =
+  let xid = Int32.to_int (Bytes.get_int32_be payload 0) land 0xFFFFFFFF in
+  let outcome =
+    Engine.suspend (fun wake ->
+        Hashtbl.replace t.pending xid wake;
+        let rec attempt n =
+          if Hashtbl.mem t.pending xid then begin
+            if n > 0 then t.retransmits <- t.retransmits + 1;
+            (* Fresh packet per attempt: an interposed filter may have
+               rewritten the previous copy in place. *)
+            let pkt =
+              Packet.make ~src:t.addr ~dst ~sport:t.port ~dport ~extra_size
+                (Bytes.copy payload)
+            in
+            Net.send t.net pkt;
+            Engine.schedule t.eng timeout (fun () ->
+                if Hashtbl.mem t.pending xid then
+                  if n < retries then attempt (n + 1)
+                  else begin
+                    Hashtbl.remove t.pending xid;
+                    wake Timed_out
+                  end)
+          end
+        in
+        attempt 0)
+  in
+  match outcome with Reply b -> b | Timed_out -> raise Timeout
+
+let retransmissions t = t.retransmits
+let calls_completed t = t.completed

@@ -1,0 +1,40 @@
+(** Datagram RPC endpoint with end-to-end retransmission.
+
+    This is the client side of the NFS/RPC/UDP stack the paper relies on
+    for correctness: the µproxy "is free to discard its state and/or
+    pending packets without compromising correctness — end-to-end
+    protocols retransmit packets as necessary to recover from drops in the
+    µproxy". Replies are matched to calls by XID (first big-endian word of
+    the payload). *)
+
+exception Timeout
+(** Raised when all retransmissions are exhausted. *)
+
+type t
+
+val create : Net.t -> Packet.addr -> port:int -> t
+(** [create net addr ~port] claims [addr:port] for reply dispatch. *)
+
+val addr : t -> Packet.addr
+
+val fresh_xid : t -> int
+(** Allocate the next XID (callers that build their own payloads must
+    place it in the first word). *)
+
+val call :
+  t ->
+  ?timeout:float ->
+  ?retries:int ->
+  dst:Packet.addr ->
+  dport:int ->
+  ?extra_size:int ->
+  bytes ->
+  bytes
+(** [call t ~dst ~dport payload] sends the payload (whose first word must
+    be a fresh XID from {!fresh_xid}) and parks the calling fiber until a
+    matching reply arrives; retransmits every [timeout] seconds (default
+    0.1), at most [retries] times (default 8), then raises {!Timeout}.
+    Returns the reply payload. *)
+
+val retransmissions : t -> int
+val calls_completed : t -> int

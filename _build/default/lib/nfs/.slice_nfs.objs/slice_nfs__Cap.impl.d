@@ -1,0 +1,1 @@
+lib/nfs/cap.ml: Bytes Fh Int32 Int64 Slice_hash

@@ -1,0 +1,1 @@
+lib/nfs/cap.mli: Fh

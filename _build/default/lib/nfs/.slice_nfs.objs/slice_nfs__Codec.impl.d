@@ -1,0 +1,1 @@
+lib/nfs/codec.ml: Bytes Fh Float Int32 List Nfs Printf Slice_xdr

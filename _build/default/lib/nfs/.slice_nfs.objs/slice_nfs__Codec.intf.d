@@ -1,0 +1,1 @@
+lib/nfs/codec.mli: Fh Nfs

@@ -1,0 +1,1 @@
+lib/nfs/fh.ml: Bytes Char Format Int Int32 Int64 String

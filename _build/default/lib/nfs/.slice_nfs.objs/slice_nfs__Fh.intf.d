@@ -1,0 +1,1 @@
+lib/nfs/fh.mli: Format

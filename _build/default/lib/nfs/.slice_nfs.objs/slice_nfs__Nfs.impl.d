@@ -1,0 +1,1 @@
+lib/nfs/nfs.ml: Fh String

@@ -1,0 +1,1 @@
+lib/nfs/routekey.ml: Fh Int64 Slice_hash

@@ -1,0 +1,1 @@
+lib/nfs/routekey.mli: Fh

@@ -1,0 +1,17 @@
+(* HMAC-style envelope over the handle's identity fields. The tag itself
+   is excluded from the MAC input (a handle is its own carrier). *)
+
+let identity_bytes (fh : Fh.t) =
+  let b = Bytes.create 14 in
+  Bytes.set_int64_be b 0 fh.Fh.file_id;
+  Bytes.set_int32_be b 8 (Int32.of_int fh.Fh.gen);
+  Bytes.set b 12 (match fh.Fh.ftype with Fh.Reg -> 'r' | Fh.Dir -> 'd' | Fh.Lnk -> 'l');
+  Bytes.set b 13 (if fh.Fh.mirrored then 'm' else '-');
+  Bytes.unsafe_to_string b
+
+let mint ~secret fh =
+  let inner = Slice_hash.Md5.digest (secret ^ "\x36" ^ identity_bytes fh) in
+  Slice_hash.Md5.fold64 (secret ^ "\x5c" ^ inner)
+
+let seal ~secret fh = { fh with Fh.cap = mint ~secret fh }
+let verify ~secret (fh : Fh.t) = Int64.equal fh.Fh.cap (mint ~secret fh)

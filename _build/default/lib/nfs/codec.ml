@@ -1,0 +1,587 @@
+module Enc = Slice_xdr.Xdr.Enc
+module Dec = Slice_xdr.Xdr.Dec
+
+exception Malformed of string
+
+let nfs_program = 100003
+let nfs_version = 3
+
+(* ---- primitive helpers ---- *)
+
+let enc_fh e fh = Enc.opaque e (Fh.encode fh)
+
+let dec_fh d =
+  match Fh.decode (Dec.opaque d) with
+  | Some fh -> fh
+  | None -> raise (Malformed "bad file handle")
+
+let enc_time e (t : Nfs.time) =
+  let secs = int_of_float (Float.floor t) in
+  let nsecs = int_of_float ((t -. Float.floor t) *. 1e9) in
+  Enc.u32 e secs;
+  Enc.u32 e (min nsecs 999_999_999)
+
+let dec_time d =
+  let secs = Dec.u32 d in
+  let nsecs = Dec.u32 d in
+  float_of_int secs +. (float_of_int nsecs /. 1e9)
+
+let enc_opt e enc = function
+  | None -> Enc.bool e false
+  | Some v ->
+      Enc.bool e true;
+      enc e v
+
+let dec_opt d dec = if Dec.bool d then Some (dec d) else None
+
+let enc_sattr e (s : Nfs.sattr) =
+  enc_opt e (fun e v -> Enc.u32 e v) s.set_mode;
+  enc_opt e (fun e v -> Enc.u32 e v) s.set_uid;
+  enc_opt e (fun e v -> Enc.u32 e v) s.set_gid;
+  enc_opt e (fun e v -> Enc.u64 e v) s.set_size;
+  enc_opt e enc_time s.set_atime;
+  enc_opt e enc_time s.set_mtime
+
+let dec_sattr d : Nfs.sattr =
+  let set_mode = dec_opt d Dec.u32 in
+  let set_uid = dec_opt d Dec.u32 in
+  let set_gid = dec_opt d Dec.u32 in
+  let set_size = dec_opt d Dec.u64 in
+  let set_atime = dec_opt d dec_time in
+  let set_mtime = dec_opt d dec_time in
+  { set_mode; set_uid; set_gid; set_size; set_atime; set_mtime }
+
+let enc_wdata e = function
+  | Nfs.Data s ->
+      Enc.bool e false;
+      Enc.opaque e s
+  | Nfs.Synthetic n ->
+      Enc.bool e true;
+      Enc.u32 e n
+
+let dec_wdata d =
+  if Dec.bool d then Nfs.Synthetic (Dec.u32 d) else Nfs.Data (Dec.opaque d)
+
+let int_of_stable = function Nfs.Unstable -> 0 | Nfs.Data_sync -> 1 | Nfs.File_sync -> 2
+
+let stable_of_int = function
+  | 0 -> Nfs.Unstable
+  | 1 -> Nfs.Data_sync
+  | 2 -> Nfs.File_sync
+  | n -> raise (Malformed (Printf.sprintf "bad stable_how %d" n))
+
+let int_of_ftype = function Fh.Reg -> 1 | Fh.Dir -> 2 | Fh.Lnk -> 5
+
+let ftype_of_int = function
+  | 1 -> Fh.Reg
+  | 2 -> Fh.Dir
+  | 5 -> Fh.Lnk
+  | n -> raise (Malformed (Printf.sprintf "bad ftype %d" n))
+
+(* fattr block: fixed 84-byte layout (offsets documented in the mli). *)
+let attr_wire_size = 84
+let attr_size_field_off = 20
+let attr_atime_field_off = 60
+let attr_mtime_field_off = 68
+
+let enc_fattr e (a : Nfs.fattr) =
+  Enc.u32 e (int_of_ftype a.ftype);
+  Enc.u32 e a.mode;
+  Enc.u32 e a.nlink;
+  Enc.u32 e a.uid;
+  Enc.u32 e a.gid;
+  Enc.u64 e a.size;
+  Enc.u64 e a.used;
+  Enc.u64 e 0L (* rdev *);
+  Enc.u64 e 0L (* fsid *);
+  Enc.u64 e a.fileid;
+  enc_time e a.atime;
+  enc_time e a.mtime;
+  enc_time e a.ctime
+
+let dec_fattr d : Nfs.fattr =
+  let ftype = ftype_of_int (Dec.u32 d) in
+  let mode = Dec.u32 d in
+  let nlink = Dec.u32 d in
+  let uid = Dec.u32 d in
+  let gid = Dec.u32 d in
+  let size = Dec.u64 d in
+  let used = Dec.u64 d in
+  let _rdev = Dec.u64 d in
+  let _fsid = Dec.u64 d in
+  let fileid = Dec.u64 d in
+  let atime = dec_time d in
+  let mtime = dec_time d in
+  let ctime = dec_time d in
+  { ftype; mode; nlink; uid; gid; size; used; fileid; atime; mtime; ctime }
+
+(* ---- RPC call header ---- *)
+
+(* AUTH_UNIX credential: stamp, machine name, uid, gid, gid list. The
+   variable-length machine name and gid list are what make call headers
+   variable-length (the paper's decode-cost culprit). *)
+let machine_name = "slice-client"
+let aux_gids = [ 0; 10; 100 ]
+
+let enc_call_header e ~xid ~proc =
+  Enc.u32 e xid;
+  Enc.u32 e 0 (* CALL *);
+  Enc.u32 e 2 (* RPC version *);
+  Enc.u32 e nfs_program;
+  Enc.u32 e nfs_version;
+  Enc.u32 e proc;
+  (* cred *)
+  Enc.u32 e 1 (* AUTH_UNIX *);
+  let body = Enc.create ~size:64 () in
+  Enc.u32 body 0 (* stamp *);
+  Enc.str body machine_name;
+  Enc.u32 body 0 (* uid *);
+  Enc.u32 body 0 (* gid *);
+  Enc.u32 body (List.length aux_gids);
+  List.iter (Enc.u32 body) aux_gids;
+  Enc.opaque e (Bytes.to_string (Enc.to_bytes body));
+  (* verf *)
+  Enc.u32 e 0;
+  Enc.u32 e 0
+
+(* Returns (xid, proc) with the decoder positioned at the args. *)
+let dec_call_header d =
+  let xid = Dec.u32 d in
+  let mtype = Dec.u32 d in
+  if mtype <> 0 then raise (Malformed "not a call");
+  let rpcvers = Dec.u32 d in
+  if rpcvers <> 2 then raise (Malformed "bad RPC version");
+  let prog = Dec.u32 d in
+  let vers = Dec.u32 d in
+  if prog <> nfs_program || vers <> nfs_version then raise (Malformed "not NFSv3");
+  let proc = Dec.u32 d in
+  let _cred_flavor = Dec.u32 d in
+  let _cred_body = Dec.opaque d in
+  let _verf_flavor = Dec.u32 d in
+  let _verf_body = Dec.opaque d in
+  (xid, proc)
+
+(* ---- calls ---- *)
+
+let encode_call ~xid (c : Nfs.call) =
+  let e = Enc.create ~size:256 () in
+  enc_call_header e ~xid ~proc:(Nfs.proc_of_call c);
+  (match c with
+  | Null -> ()
+  | Getattr fh | Readlink fh | Fsstat fh -> enc_fh e fh
+  | Setattr (fh, s) ->
+      enc_fh e fh;
+      enc_sattr e s
+  | Lookup (fh, n) | Create (fh, n) | Mkdir (fh, n) | Remove (fh, n) | Rmdir (fh, n) ->
+      enc_fh e fh;
+      Enc.str e n
+  | Access (fh, m) ->
+      enc_fh e fh;
+      Enc.u32 e m
+  | Read (fh, off, count) ->
+      enc_fh e fh;
+      Enc.u64 e off;
+      Enc.u32 e count
+  | Write (fh, off, stable, data) ->
+      enc_fh e fh;
+      Enc.u64 e off;
+      Enc.u32 e (Nfs.wdata_length data);
+      Enc.u32 e (int_of_stable stable);
+      enc_wdata e data
+  | Symlink (fh, n, target) ->
+      enc_fh e fh;
+      Enc.str e n;
+      Enc.str e target
+  | Rename (fh1, n1, fh2, n2) ->
+      enc_fh e fh1;
+      Enc.str e n1;
+      enc_fh e fh2;
+      Enc.str e n2
+  | Link (file, dir, n) ->
+      enc_fh e file;
+      enc_fh e dir;
+      Enc.str e n
+  | Readdir (fh, cookie, count) ->
+      enc_fh e fh;
+      Enc.u64 e cookie;
+      Enc.u32 e count
+  | Commit (fh, off, count) ->
+      enc_fh e fh;
+      Enc.u64 e off;
+      Enc.u32 e count);
+  Enc.to_bytes e
+
+let decode_call buf =
+  let d = Dec.of_bytes buf in
+  try
+    let xid, proc = dec_call_header d in
+    let call : Nfs.call =
+      match proc with
+      | 0 -> Null
+      | 1 -> Getattr (dec_fh d)
+      | 2 ->
+          let fh = dec_fh d in
+          Setattr (fh, dec_sattr d)
+      | 3 ->
+          let fh = dec_fh d in
+          Lookup (fh, Dec.str d)
+      | 4 ->
+          let fh = dec_fh d in
+          Access (fh, Dec.u32 d)
+      | 5 -> Readlink (dec_fh d)
+      | 6 ->
+          let fh = dec_fh d in
+          let off = Dec.u64 d in
+          Read (fh, off, Dec.u32 d)
+      | 7 ->
+          let fh = dec_fh d in
+          let off = Dec.u64 d in
+          let _count = Dec.u32 d in
+          let stable = stable_of_int (Dec.u32 d) in
+          Write (fh, off, stable, dec_wdata d)
+      | 8 ->
+          let fh = dec_fh d in
+          Create (fh, Dec.str d)
+      | 9 ->
+          let fh = dec_fh d in
+          Mkdir (fh, Dec.str d)
+      | 10 ->
+          let fh = dec_fh d in
+          let n = Dec.str d in
+          Symlink (fh, n, Dec.str d)
+      | 12 ->
+          let fh = dec_fh d in
+          Remove (fh, Dec.str d)
+      | 13 ->
+          let fh = dec_fh d in
+          Rmdir (fh, Dec.str d)
+      | 14 ->
+          let fh1 = dec_fh d in
+          let n1 = Dec.str d in
+          let fh2 = dec_fh d in
+          Rename (fh1, n1, fh2, Dec.str d)
+      | 15 ->
+          let file = dec_fh d in
+          let dir = dec_fh d in
+          Link (file, dir, Dec.str d)
+      | 16 ->
+          let fh = dec_fh d in
+          let cookie = Dec.u64 d in
+          Readdir (fh, cookie, Dec.u32 d)
+      | 18 -> Fsstat (dec_fh d)
+      | 21 ->
+          let fh = dec_fh d in
+          let off = Dec.u64 d in
+          Commit (fh, off, Dec.u32 d)
+      | n -> raise (Malformed (Printf.sprintf "unsupported proc %d" n))
+    in
+    (xid, call)
+  with Slice_xdr.Xdr.Truncated -> raise (Malformed "truncated call")
+
+let extra_size_of_call = function
+  | Nfs.Write (_, _, _, Nfs.Synthetic n) -> n
+  | _ -> 0
+
+(* ---- replies ---- *)
+
+(* Header: xid(4) mtype(4) reply_stat(4) verf(8) accept_stat(4) = 24 bytes,
+   then status(4); an OK reply carrying attributes has attr_present(4) at
+   28 and the fattr block at 32. *)
+let reply_status_off = 24
+let reply_attr_present_off = 28
+let reply_attr_block_off = 32
+
+let int_of_status : Nfs.status -> int = function
+  | OK -> 0
+  | ERR_PERM -> 1
+  | ERR_NOENT -> 2
+  | ERR_IO -> 5
+  | ERR_EXIST -> 17
+  | ERR_NOTDIR -> 20
+  | ERR_ISDIR -> 21
+  | ERR_NOSPC -> 28
+  | ERR_NOTEMPTY -> 66
+  | ERR_STALE -> 70
+  | ERR_BADHANDLE -> 10001
+  | ERR_JUKEBOX -> 10008
+  | ERR_MISDIRECTED -> 20001
+
+let status_of_int : int -> Nfs.status = function
+  | 0 -> OK
+  | 1 -> ERR_PERM
+  | 2 -> ERR_NOENT
+  | 5 -> ERR_IO
+  | 17 -> ERR_EXIST
+  | 20 -> ERR_NOTDIR
+  | 21 -> ERR_ISDIR
+  | 28 -> ERR_NOSPC
+  | 66 -> ERR_NOTEMPTY
+  | 70 -> ERR_STALE
+  | 10001 -> ERR_BADHANDLE
+  | 10008 -> ERR_JUKEBOX
+  | 20001 -> ERR_MISDIRECTED
+  | n -> raise (Malformed (Printf.sprintf "bad status %d" n))
+
+let enc_reply_header e ~xid =
+  Enc.u32 e xid;
+  Enc.u32 e 1 (* REPLY *);
+  Enc.u32 e 0 (* MSG_ACCEPTED *);
+  Enc.u32 e 0 (* verf flavor *);
+  Enc.u32 e 0 (* verf length *);
+  Enc.u32 e 0 (* SUCCESS *)
+
+let reply_tag : Nfs.reply -> int = function
+  | RNull -> 0
+  | RGetattr _ -> 1
+  | RSetattr _ -> 2
+  | RLookup _ -> 3
+  | RAccess _ -> 4
+  | RReadlink _ -> 5
+  | RRead _ -> 6
+  | RWrite _ -> 7
+  | RCreate _ -> 8
+  | RMkdir _ -> 9
+  | RSymlink _ -> 10
+  | RRemove -> 12
+  | RRmdir -> 13
+  | RRename -> 14
+  | RLink _ -> 15
+  | RReaddir _ -> 16
+  | RFsstat _ -> 18
+  | RCommit _ -> 21
+
+let encode_reply ~xid (r : Nfs.response) =
+  let e = Enc.create ~size:256 () in
+  enc_reply_header e ~xid;
+  (match r with
+  | Error st -> Enc.u32 e (int_of_status st)
+  | Ok reply -> (
+      Enc.u32 e 0 (* NFS3_OK, at reply_status_off *);
+      (* attr_present + fattr at fixed offsets, enabling in-flight patch *)
+      (match Nfs.reply_attr reply with
+      | Some a ->
+          Enc.u32 e 1;
+          enc_fattr e a
+      | None -> Enc.u32 e 0);
+      Enc.u32 e (reply_tag reply);
+      match reply with
+      | RNull | RRemove | RRmdir | RRename -> ()
+      | RGetattr _ | RSetattr _ | RLink _ | RCommit _ -> ()
+      | RLookup (fh, _) | RCreate (fh, _) | RMkdir (fh, _) | RSymlink (fh, _) -> enc_fh e fh
+      | RAccess (m, _) -> Enc.u32 e m
+      | RReadlink (target, _) -> Enc.str e target
+      | RRead (data, eof, _) ->
+          Enc.u32 e (Nfs.wdata_length data);
+          Enc.bool e eof;
+          enc_wdata e data
+      | RWrite (count, stable, _) ->
+          Enc.u32 e count;
+          Enc.u32 e (int_of_stable stable)
+      | RReaddir (entries, cookie, eof) ->
+          Enc.u32 e (List.length entries);
+          List.iter
+            (fun (en : Nfs.entry) ->
+              Enc.u64 e en.entry_id;
+              Enc.str e en.entry_name;
+              Enc.u64 e en.entry_cookie)
+            entries;
+          Enc.u64 e cookie;
+          Enc.bool e eof
+      | RFsstat fs ->
+          Enc.u64 e fs.total_bytes;
+          Enc.u64 e fs.free_bytes;
+          Enc.u64 e fs.total_files;
+          Enc.u64 e fs.free_files));
+  Enc.to_bytes e
+
+let decode_reply buf =
+  let d = Dec.of_bytes buf in
+  try
+    let xid = Dec.u32 d in
+    let mtype = Dec.u32 d in
+    if mtype <> 1 then raise (Malformed "not a reply");
+    let _reply_stat = Dec.u32 d in
+    let _verf_flavor = Dec.u32 d in
+    let _verf_len = Dec.u32 d in
+    let _accept_stat = Dec.u32 d in
+    let status = status_of_int (Dec.u32 d) in
+    match status with
+    | OK ->
+        let attr = if Dec.bool d then Some (dec_fattr d) else None in
+        let need_attr label =
+          match attr with
+          | Some a -> a
+          | None -> raise (Malformed (label ^ ": missing attributes"))
+        in
+        let tag = Dec.u32 d in
+        let reply : Nfs.reply =
+          match tag with
+          | 0 -> RNull
+          | 1 -> RGetattr (need_attr "getattr")
+          | 2 -> RSetattr (need_attr "setattr")
+          | 3 -> RLookup (dec_fh d, need_attr "lookup")
+          | 4 -> RAccess (Dec.u32 d, need_attr "access")
+          | 5 -> RReadlink (Dec.str d, need_attr "readlink")
+          | 6 ->
+              let _count = Dec.u32 d in
+              let eof = Dec.bool d in
+              RRead (dec_wdata d, eof, need_attr "read")
+          | 7 ->
+              let count = Dec.u32 d in
+              RWrite (count, stable_of_int (Dec.u32 d), need_attr "write")
+          | 8 -> RCreate (dec_fh d, need_attr "create")
+          | 9 -> RMkdir (dec_fh d, need_attr "mkdir")
+          | 10 -> RSymlink (dec_fh d, need_attr "symlink")
+          | 12 -> RRemove
+          | 13 -> RRmdir
+          | 14 -> RRename
+          | 15 -> RLink (need_attr "link")
+          | 16 ->
+              let n = Dec.u32 d in
+              let entries =
+                List.init n (fun _ ->
+                    let entry_id = Dec.u64 d in
+                    let entry_name = Dec.str d in
+                    let entry_cookie = Dec.u64 d in
+                    ({ entry_id; entry_name; entry_cookie } : Nfs.entry))
+              in
+              let cookie = Dec.u64 d in
+              RReaddir (entries, cookie, Dec.bool d)
+          | 18 ->
+              let total_bytes = Dec.u64 d in
+              let free_bytes = Dec.u64 d in
+              let total_files = Dec.u64 d in
+              RFsstat { total_bytes; free_bytes; total_files; free_files = Dec.u64 d }
+          | 21 -> RCommit (need_attr "commit")
+          | n -> raise (Malformed (Printf.sprintf "bad reply tag %d" n))
+        in
+        (xid, Ok reply)
+    | st -> (xid, Error st)
+  with Slice_xdr.Xdr.Truncated -> raise (Malformed "truncated reply")
+
+let extra_size_of_response = function
+  | Ok (Nfs.RRead (Nfs.Synthetic n, _, _)) -> n
+  | _ -> 0
+
+(* ---- µproxy partial decode ---- *)
+
+type peek = {
+  xid : int;
+  proc : int;
+  fh : Fh.t option;
+  fh2 : Fh.t option;
+  name : string option;
+  offset : int64 option;
+  offset_field_off : int option;
+  count : int option;
+  write_stable : Nfs.stable_how option;
+  items : int;
+}
+
+let peek_call buf =
+  let d = Dec.of_bytes buf in
+  try
+    let xid, proc = dec_call_header d in
+    let base =
+      { xid; proc; fh = None; fh2 = None; name = None; offset = None;
+        offset_field_off = None; count = None; write_stable = None; items = 0 }
+    in
+    let p =
+      match proc with
+      | 0 -> base
+      | 1 | 5 | 18 -> { base with fh = Some (dec_fh d) }
+      | 2 -> { base with fh = Some (dec_fh d) }
+      | 3 | 8 | 9 | 12 | 13 ->
+          let fh = dec_fh d in
+          { base with fh = Some fh; name = Some (Dec.str d) }
+      | 4 -> { base with fh = Some (dec_fh d) }
+      | 6 ->
+          let fh = dec_fh d in
+          let fpos = Dec.pos d in
+          let off = Dec.u64 d in
+          { base with fh = Some fh; offset = Some off; offset_field_off = Some fpos;
+            count = Some (Dec.u32 d) }
+      | 7 ->
+          let fh = dec_fh d in
+          let fpos = Dec.pos d in
+          let off = Dec.u64 d in
+          let count = Dec.u32 d in
+          let stable = stable_of_int (Dec.u32 d) in
+          { base with fh = Some fh; offset = Some off; offset_field_off = Some fpos;
+            count = Some count; write_stable = Some stable }
+      | 10 ->
+          let fh = dec_fh d in
+          { base with fh = Some fh; name = Some (Dec.str d) }
+      | 14 ->
+          let fh1 = dec_fh d in
+          let n1 = Dec.str d in
+          let fh2 = dec_fh d in
+          { base with fh = Some fh1; name = Some n1; fh2 = Some fh2 }
+      | 15 ->
+          let file = dec_fh d in
+          let dir = dec_fh d in
+          { base with fh = Some file; fh2 = Some dir; name = Some (Dec.str d) }
+      | 16 ->
+          let fh = dec_fh d in
+          let fpos = Dec.pos d in
+          let cookie = Dec.u64 d in
+          { base with fh = Some fh; offset = Some cookie; offset_field_off = Some fpos;
+            count = Some (Dec.u32 d) }
+      | 21 ->
+          let fh = dec_fh d in
+          let fpos = Dec.pos d in
+          let off = Dec.u64 d in
+          { base with fh = Some fh; offset = Some off; offset_field_off = Some fpos;
+            count = Some (Dec.u32 d) }
+      | _ -> raise (Malformed "unknown proc")
+    in
+    Some { p with items = Dec.items_read d }
+  with Slice_xdr.Xdr.Truncated | Malformed _ -> None
+
+let is_call buf =
+  Bytes.length buf >= 8 && Int32.to_int (Bytes.get_int32_be buf 4) = 0
+
+let xid_of buf =
+  if Bytes.length buf < 4 then raise (Malformed "short packet");
+  Int32.to_int (Bytes.get_int32_be buf 0) land 0xFFFFFFFF
+
+(* ---- reply attribute patching ---- *)
+
+let reply_attr_offset buf =
+  if Bytes.length buf < reply_attr_block_off then None
+  else if Int32.to_int (Bytes.get_int32_be buf 4) <> 1 then None
+  else if Bytes.get_int32_be buf reply_status_off <> 0l then None
+  else if Bytes.get_int32_be buf reply_attr_present_off <> 1l then None
+  else Some reply_attr_block_off
+
+let decode_attr_at buf off =
+  let d = Dec.of_bytes ~pos:off buf in
+  try dec_fattr d with Slice_xdr.Xdr.Truncated -> raise (Malformed "truncated attr")
+
+(* For replies whose body leads with a file handle (lookup/create/mkdir/
+   symlink): fetch it without a full decode. *)
+let reply_fh_after_attr buf =
+  match reply_attr_offset buf with
+  | None -> None
+  | Some off -> (
+      let tag_off = off + attr_wire_size in
+      if Bytes.length buf < tag_off + 4 then None
+      else
+        match Int32.to_int (Bytes.get_int32_be buf tag_off) with
+        | 3 | 8 | 9 | 10 -> (
+            let d = Dec.of_bytes ~pos:(tag_off + 4) buf in
+            try Fh.decode (Dec.opaque d) with Slice_xdr.Xdr.Truncated -> None)
+        | _ -> None)
+
+let u64_be v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  Bytes.unsafe_to_string b
+
+let time_be t =
+  let b = Bytes.create 8 in
+  let secs = int_of_float (Float.floor t) in
+  let nsecs = int_of_float ((t -. Float.floor t) *. 1e9) in
+  Bytes.set_int32_be b 0 (Int32.of_int secs);
+  Bytes.set_int32_be b 4 (Int32.of_int (min nsecs 999_999_999));
+  Bytes.unsafe_to_string b

@@ -1,0 +1,78 @@
+(** Byte-level codec for NFS V3 over ONC RPC.
+
+    Calls carry a realistic variable-length AUTH_UNIX credential — the
+    paper attributes nearly half the µproxy's decode cost to locating the
+    request type and arguments past variable-length RPC/NFS header fields,
+    and this codec reproduces that structure.
+
+    Replies place the post-op attribute block at a fixed offset
+    ({!reply_attr_offset}) so the µproxy can patch cached attributes into
+    forwarded responses with incremental checksum repair. *)
+
+exception Malformed of string
+
+val encode_call : xid:int -> Nfs.call -> bytes
+val decode_call : bytes -> int * Nfs.call
+(** @raise Malformed on garbage. *)
+
+val encode_reply : xid:int -> Nfs.response -> bytes
+val decode_reply : bytes -> int * Nfs.response
+
+val extra_size_of_call : Nfs.call -> int
+(** Unmaterialized (synthetic) payload bytes, for [Packet.extra_size]. *)
+
+val extra_size_of_response : Nfs.response -> int
+
+(** {2 µproxy partial decode} *)
+
+type peek = {
+  xid : int;
+  proc : int;
+  fh : Fh.t option;  (** first file-handle argument *)
+  fh2 : Fh.t option;  (** second handle ([rename]/[link] destination dir) *)
+  name : string option;  (** first name-component argument *)
+  offset : int64 option;  (** [read]/[write]/[commit] offset *)
+  offset_field_off : int option;
+      (** byte offset of the 8-byte offset/cookie field within the
+          payload, so the µproxy can rewrite it in place (stripe-local
+          offsets, readdir cookie translation) with incremental checksum
+          repair *)
+  count : int option;
+  write_stable : Nfs.stable_how option;
+  items : int;  (** XDR items consumed — drives the decode cost model *)
+}
+
+val peek_call : bytes -> peek option
+(** Decode exactly the fields the µproxy routes on ("the µproxy examines
+    up to four fields of each request"); [None] if the payload is not an
+    NFS V3 call. *)
+
+val is_call : bytes -> bool
+val xid_of : bytes -> int
+(** XID of either a call or a reply (first word). *)
+
+(** {2 Reply attribute patching} *)
+
+val reply_attr_offset : bytes -> int option
+(** Byte offset of the 84-byte post-op fattr block in an OK reply carrying
+    one, else [None]. Constant-time header inspection. *)
+
+val attr_wire_size : int
+(** 84. *)
+
+val attr_size_field_off : int
+(** Offset of the 8-byte [size] within a fattr block (20). *)
+
+val attr_atime_field_off : int
+val attr_mtime_field_off : int
+
+val decode_attr_at : bytes -> int -> Nfs.fattr
+
+(** For OK replies whose body leads with a handle (lookup / create /
+    mkdir / symlink): the handle, without a full decode. *)
+val reply_fh_after_attr : bytes -> Fh.t option
+val u64_be : int64 -> string
+(** 8-byte big-endian rendering, for [Cksum.patch_payload]. *)
+
+val time_be : Nfs.time -> string
+(** 8-byte (seconds, nanoseconds) rendering of a timestamp. *)

@@ -1,0 +1,61 @@
+type ftype = Reg | Dir | Lnk
+
+type t = {
+  file_id : int64;
+  gen : int;
+  ftype : ftype;
+  mirrored : bool;
+  attr_site : int;
+  cap : int64;
+}
+
+let root = { file_id = 1L; gen = 1; ftype = Dir; mirrored = false; attr_site = 0; cap = 0L }
+let wire_length = 32
+let magic = 0x534C4943 (* "SLIC" *)
+
+let int_of_ftype = function Reg -> 1 | Dir -> 2 | Lnk -> 5
+let ftype_of_int = function 1 -> Some Reg | 2 -> Some Dir | 5 -> Some Lnk | _ -> None
+
+let encode t =
+  let b = Bytes.make wire_length '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int magic);
+  Bytes.set_int64_be b 4 t.file_id;
+  Bytes.set_int32_be b 12 (Int32.of_int t.gen);
+  Bytes.set b 16 (Char.chr (int_of_ftype t.ftype));
+  Bytes.set b 17 (if t.mirrored then '\001' else '\000');
+  Bytes.set_int32_be b 18 (Int32.of_int t.attr_site);
+  Bytes.set_int64_be b 22 t.cap;
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s <> wire_length then None
+  else
+    let b = Bytes.unsafe_of_string s in
+    if Int32.to_int (Bytes.get_int32_be b 0) <> magic then None
+    else
+      match ftype_of_int (Char.code (Bytes.get b 16)) with
+      | None -> None
+      | Some ftype ->
+          Some
+            {
+              file_id = Bytes.get_int64_be b 4;
+              gen = Int32.to_int (Bytes.get_int32_be b 12);
+              ftype;
+              mirrored = Bytes.get b 17 = '\001';
+              attr_site = Int32.to_int (Bytes.get_int32_be b 18);
+              cap = Bytes.get_int64_be b 22;
+            }
+
+let key t = encode t
+let equal a b = a.file_id = b.file_id && a.gen = b.gen
+let compare a b =
+  let c = Int64.compare a.file_id b.file_id in
+  if c <> 0 then c else Int.compare a.gen b.gen
+
+let hash t = Int64.to_int t.file_id lxor (t.gen * 0x9E3779B1)
+
+let pp fmt t =
+  Format.fprintf fmt "fh(%Ld g%d %s%s@site%d)" t.file_id t.gen
+    (match t.ftype with Reg -> "reg" | Dir -> "dir" | Lnk -> "lnk")
+    (if t.mirrored then " mirrored" else "")
+    t.attr_site

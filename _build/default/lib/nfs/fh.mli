@@ -1,0 +1,40 @@
+(** NFS file handles.
+
+    Slice directory servers "place keys in each newly minted file handle,
+    allowing them to locate any resident cell if presented with an fhandle"
+    — so besides the fileID and generation number, our handles embed the
+    logical directory-server site holding the file's attribute cell and
+    per-file policy bits (mirroring) that the µproxy's I/O routing policies
+    consult. Handles are opaque 32-byte strings on the wire. *)
+
+type ftype = Reg | Dir | Lnk
+
+type t = {
+  file_id : int64;  (** volume-unique file identifier *)
+  gen : int;  (** generation number guarding against reuse *)
+  ftype : ftype;
+  mirrored : bool;  (** per-file mirrored-striping policy flag *)
+  attr_site : int;  (** logical directory-server site of the attribute cell *)
+  cap : int64;
+      (** capability tag sealed in by the minting directory server when
+          secure objects are enabled (see {!Cap}); 0 when unused. Ignored
+          by {!equal}/{!compare}. *)
+}
+
+val root : t
+(** The volume root directory (fileID 1, minted at logical site 0). *)
+
+val wire_length : int
+(** 32 bytes. *)
+
+val encode : t -> string
+val decode : string -> t option
+(** [None] when the magic or length is wrong (a stale/garbage handle). *)
+
+val key : t -> string
+(** Canonical byte string for hashing a handle (routing fingerprints). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+let name_site ~nsites parent name =
+  Slice_hash.Md5.bucket (Fh.key parent ^ "\x00" ^ name) nsites
+
+let file_site ~nsites fh = Slice_hash.Md5.bucket (Fh.key fh) nsites
+
+let chunk_of_offset ~stripe_unit off =
+  Int64.to_int (Int64.div off (Int64.of_int stripe_unit))
+
+let stripe_site ~nsites ~stripe_unit fh off =
+  let primary = file_site ~nsites fh in
+  (primary + chunk_of_offset ~stripe_unit off) mod nsites
+
+let local_offset ~nsites ~stripe_unit off =
+  let su = Int64.of_int stripe_unit in
+  let chunk = Int64.div off su in
+  let within = Int64.rem off su in
+  Int64.add (Int64.mul (Int64.div chunk (Int64.of_int nsites)) su) within
+
+let mirror_sites ~nsites fh =
+  let r0 = file_site ~nsites fh in
+  if nsites < 2 then (r0, r0)
+  else (r0, (r0 + 1 + ((nsites - 1) / 2)) mod nsites)

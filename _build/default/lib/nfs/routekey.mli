@@ -1,0 +1,29 @@
+(** Routing fingerprints shared by the µproxy and the servers.
+
+    Both sides must agree bit-for-bit on how requests map to logical
+    sites — the µproxy to route, the servers to detect misdirected
+    requests — so the functions live here, beside the protocol. All are
+    MD5-based (the hash the paper selected for balance and cost). *)
+
+val name_site : nsites:int -> Fh.t -> string -> int
+(** Logical site of the name entry (parent handle, name) under the
+    name-hashing policy, and the redirection target of mkdir switching. *)
+
+val file_site : nsites:int -> Fh.t -> int
+(** Logical site keyed by the file handle: small-file server selection
+    and the primary stripe site of bulk I/O. *)
+
+val chunk_of_offset : stripe_unit:int -> int64 -> int
+(** Stripe chunk index containing a byte offset. *)
+
+val stripe_site : nsites:int -> stripe_unit:int -> Fh.t -> int64 -> int
+(** Storage site of a chunk under static striping: the file's primary
+    site rotated by the chunk index. *)
+
+val local_offset : nsites:int -> stripe_unit:int -> int64 -> int64
+(** Node-local byte offset for a striped chunk: each node stores its
+    every-Nth chunks densely, so its prefetcher sees a sequential
+    stream. *)
+
+val mirror_sites : nsites:int -> Fh.t -> int * int
+(** Two replica sites for a mirrored file (distinct when [nsites > 1]). *)

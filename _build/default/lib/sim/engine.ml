@@ -1,0 +1,78 @@
+type event = { time : float; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  queue : event Slice_util.Heap.t;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { clock = 0.0; seq = 0; queue = Slice_util.Heap.create ~cmp:compare_event }
+let now t = t.clock
+
+let schedule_at t time fn =
+  let time = if time < t.clock then t.clock else time in
+  t.seq <- t.seq + 1;
+  Slice_util.Heap.push t.queue { time; seq = t.seq; fn }
+
+let schedule t delay fn = schedule_at t (t.clock +. if delay < 0.0 then 0.0 else delay) fn
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let handler =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let fired = ref false in
+                let waker v =
+                  if not !fired then begin
+                    fired := true;
+                    continue k v
+                  end
+                in
+                register waker)
+        | _ -> None);
+  }
+
+let spawn t fn = schedule t 0.0 (fun () -> Effect.Deep.match_with fn () handler)
+
+let sleep t d =
+  if d > 0.0 then suspend (fun waker -> schedule t d (fun () -> waker ()))
+
+let sleep_until t time =
+  if time > t.clock then suspend (fun waker -> schedule_at t time (fun () -> waker ()))
+
+let step t =
+  match Slice_util.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      ev.fn ();
+      true
+
+let run ?until t =
+  let continue_run () =
+    match Slice_util.Heap.peek t.queue with
+    | None -> false
+    | Some ev -> ( match until with None -> true | Some limit -> ev.time <= limit)
+  in
+  while continue_run () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when limit > t.clock && Slice_util.Heap.length t.queue > 0 -> t.clock <- limit
+  | _ -> ()
+
+let pending t = Slice_util.Heap.length t.queue

@@ -1,0 +1,45 @@
+type t = {
+  eng : Engine.t;
+  name : string;
+  free_at : float array; (* completion time of the work booked on each server *)
+  mutable busy : float;
+  mutable waited : float;
+  mutable served : int;
+}
+
+let create eng ?(capacity = 1) ~name () =
+  if capacity <= 0 then invalid_arg "Resource.create: capacity must be positive";
+  { eng; name; free_at = Array.make capacity 0.0; busy = 0.0; waited = 0.0; served = 0 }
+
+(* Pick the server that frees earliest; FCFS because bookings happen in
+   event order and each booking extends exactly one server's schedule. *)
+let book t service =
+  let best = ref 0 in
+  for i = 1 to Array.length t.free_at - 1 do
+    if t.free_at.(i) < t.free_at.(!best) then best := i
+  done;
+  let now = Engine.now t.eng in
+  let start = if t.free_at.(!best) > now then t.free_at.(!best) else now in
+  let finish = start +. service in
+  t.free_at.(!best) <- finish;
+  t.busy <- t.busy +. service;
+  t.waited <- t.waited +. (start -. now);
+  t.served <- t.served + 1;
+  finish
+
+let reserve t service = if service <= 0.0 then Engine.now t.eng else book t service
+
+let use t service =
+  if service > 0.0 then begin
+    let finish = book t service in
+    Engine.sleep_until t.eng finish
+  end
+
+let busy_time t = t.busy
+
+let utilization t ~elapsed =
+  if elapsed <= 0.0 then 0.0 else t.busy /. (elapsed *. float_of_int (Array.length t.free_at))
+
+let queue_delay_total t = t.waited
+let served t = t.served
+let name t = t.name

@@ -1,0 +1,1 @@
+lib/smallfile/smallfile.ml: Array Bytes Hashtbl Int64 Slice_disk Slice_nfs Slice_storage String

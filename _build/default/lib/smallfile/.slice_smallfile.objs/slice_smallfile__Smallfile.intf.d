@@ -1,0 +1,1 @@
+lib/smallfile/smallfile.mli: Slice_disk Slice_net Slice_storage

@@ -1,0 +1,283 @@
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Bcache = Slice_disk.Bcache
+module Ffs = Slice_disk.Ffs
+module Host = Slice_storage.Host
+module Nfs_endpoint = Slice_storage.Nfs_endpoint
+
+let block_size = Bcache.block_size
+
+(* Backing-cache object ids: one for the map descriptor array, one for the
+   data zone. *)
+let map_obj = 1L
+let data_obj = 2L
+
+(* Map records are 96 bytes in the descriptor array: 85 fit per 8 KB
+   block, so files created together share map blocks (the locality the
+   paper's fileID assignment is designed for). *)
+let map_recs_per_block = 85
+
+type extent = { phys_off : int64; phys_len : int }
+
+type filerec = {
+  mutable size : int;
+  mutable blocks : extent option array; (* per 8 KB logical block *)
+  mutable data : bytes option; (* materialized contents, when real *)
+}
+
+type t = {
+  host : Host.t;
+  cache : Bcache.t;
+  alloc : Ffs.t;
+  files : (int64, filerec) Hashtbl.t;
+  threshold : int;
+  mutable logical : int64;
+  mutable physical : int64;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let physical_size_of n =
+  if n <= 0 then 0
+  else begin
+    let size = ref 128 in
+    while !size < n do
+      size := !size * 2
+    done;
+    min !size block_size
+  end
+
+let filerec_of t fid =
+  match Hashtbl.find_opt t.files fid with
+  | Some fr -> fr
+  | None ->
+      let fr = { size = 0; blocks = [||]; data = None } in
+      Hashtbl.replace t.files fid fr;
+      fr
+
+let ensure_blocks fr n =
+  if Array.length fr.blocks < n then begin
+    let nb = Array.make n None in
+    Array.blit fr.blocks 0 nb 0 (Array.length fr.blocks);
+    fr.blocks <- nb
+  end
+
+(* Touch the map descriptor block for this fileID in the cache. *)
+let touch_map t fid ~write =
+  let blk = Int64.to_int (Int64.rem fid 1_000_000L) / map_recs_per_block in
+  if write then Bcache.write t.cache ~obj:map_obj ~block:blk
+  else Bcache.read t.cache ~obj:map_obj ~block:blk
+
+let touch_extent t (ext : extent) ~write =
+  (* Physical fragments shorter than a block still cost the enclosing
+     cache block. *)
+  let first = Int64.to_int (Int64.div ext.phys_off (Int64.of_int block_size)) in
+  let last =
+    Int64.to_int
+      (Int64.div (Int64.add ext.phys_off (Int64.of_int (max 0 (ext.phys_len - 1))))
+         (Int64.of_int block_size))
+  in
+  for b = first to last do
+    if write then Bcache.write t.cache ~obj:data_obj ~block:b
+    else Bcache.read t.cache ~obj:data_obj ~block:b
+  done
+
+(* Grow/replace the physical extent for logical block [blk] to fit
+   [needed] bytes of that block. Best-fit from fragments, else appended at
+   the end (Ffs first large extent). *)
+let place_block t fr blk ~needed =
+  let want = physical_size_of needed in
+  let current = fr.blocks.(blk) in
+  match current with
+  | Some ext when ext.phys_len >= want -> ext
+  | _ ->
+      (match current with
+      | Some ext ->
+          Ffs.free t.alloc ~off:ext.phys_off ~len:ext.phys_len;
+          t.physical <- Int64.sub t.physical (Int64.of_int ext.phys_len)
+      | None -> ());
+      let off =
+        match Ffs.alloc t.alloc ~strategy:`Best_fit want with
+        | Some off -> off
+        | None -> failwith "smallfile: backing object full"
+      in
+      let ext = { phys_off = off; phys_len = want } in
+      fr.blocks.(blk) <- Some ext;
+      t.physical <- Int64.add t.physical (Int64.of_int want);
+      ext
+
+let free_file t fr =
+  Array.iter
+    (function
+      | Some ext ->
+          Ffs.free t.alloc ~off:ext.phys_off ~len:ext.phys_len;
+          t.physical <- Int64.sub t.physical (Int64.of_int ext.phys_len)
+      | None -> ())
+    fr.blocks;
+  t.logical <- Int64.sub t.logical (Int64.of_int fr.size);
+  fr.blocks <- [||];
+  fr.size <- 0;
+  fr.data <- None
+
+let attr_of fh (fr : filerec) =
+  {
+    (Nfs.default_attr ~ftype:fh.Fh.ftype ~fileid:fh.Fh.file_id ~now:0.0) with
+    size = Int64.of_int fr.size;
+    used = Int64.of_int fr.size;
+  }
+
+let store_real fr ~off data =
+  let len = String.length data in
+  let needed = off + len in
+  let buf =
+    match fr.data with
+    | Some b when Bytes.length b >= needed -> b
+    | Some b ->
+        let nb = Bytes.make needed '\000' in
+        Bytes.blit b 0 nb 0 (Bytes.length b);
+        fr.data <- Some nb;
+        nb
+    | None ->
+        let nb = Bytes.make needed '\000' in
+        fr.data <- Some nb;
+        nb
+  in
+  Bytes.blit_string data 0 buf off len
+
+let handle t (call : Nfs.call) : Nfs.response =
+  match call with
+  | Nfs.Null -> Ok Nfs.RNull
+  | Nfs.Getattr fh ->
+      let fr = filerec_of t fh.Fh.file_id in
+      Ok (Nfs.RGetattr (attr_of fh fr))
+  | Nfs.Read (fh, off64, count) ->
+      let fr = filerec_of t fh.Fh.file_id in
+      let off = Int64.to_int off64 in
+      let count = max 0 (min count (fr.size - off)) in
+      touch_map t fh.Fh.file_id ~write:false;
+      t.reads <- t.reads + 1;
+      let first = off / block_size in
+      let last = if count = 0 then first - 1 else (off + count - 1) / block_size in
+      for b = first to last do
+        if b < Array.length fr.blocks then
+          match fr.blocks.(b) with Some ext -> touch_extent t ext ~write:false | None -> ()
+      done;
+      let eof = off + count >= fr.size in
+      let data =
+        if count = 0 then Nfs.Data ""
+        else
+          match fr.data with
+          | Some buf when Bytes.length buf >= off + count ->
+              Nfs.Data (Bytes.sub_string buf off count)
+          | _ -> Nfs.Synthetic count
+      in
+      Ok (Nfs.RRead (data, eof, attr_of fh fr))
+  | Nfs.Write (fh, off64, stable, wdata) ->
+      let fr = filerec_of t fh.Fh.file_id in
+      let off = Int64.to_int off64 in
+      let len = Nfs.wdata_length wdata in
+      let fin = off + len in
+      let first = off / block_size in
+      let last = if len = 0 then first - 1 else (fin - 1) / block_size in
+      ensure_blocks fr (last + 1);
+      touch_map t fh.Fh.file_id ~write:true;
+      for b = first to last do
+        (* Bytes of this logical block that will exist after the write. *)
+        let blk_end = min (max fin fr.size) ((b + 1) * block_size) in
+        let needed = blk_end - (b * block_size) in
+        let ext = place_block t fr b ~needed in
+        touch_extent t ext ~write:true
+      done;
+      (match wdata with
+      | Nfs.Data s -> store_real fr ~off s
+      | Nfs.Synthetic _ -> fr.data <- None);
+      if fin > fr.size then begin
+        t.logical <- Int64.add t.logical (Int64.of_int (fin - fr.size));
+        fr.size <- fin
+      end;
+      t.writes <- t.writes + 1;
+      if stable <> Nfs.Unstable then begin
+        Bcache.commit t.cache ~obj:data_obj;
+        Bcache.commit t.cache ~obj:map_obj
+      end;
+      Ok (Nfs.RWrite (len, stable, attr_of fh fr))
+  | Nfs.Commit (fh, _, _) ->
+      let fr = filerec_of t fh.Fh.file_id in
+      Bcache.commit t.cache ~obj:data_obj;
+      Bcache.commit t.cache ~obj:map_obj;
+      Ok (Nfs.RCommit (attr_of fh fr))
+  | Nfs.Remove (fh, _) ->
+      (match Hashtbl.find_opt t.files fh.Fh.file_id with
+      | Some fr ->
+          free_file t fr;
+          Hashtbl.remove t.files fh.Fh.file_id
+      | None -> ());
+      Ok Nfs.RRemove
+  | Nfs.Setattr (fh, s) -> (
+      let fr = filerec_of t fh.Fh.file_id in
+      match s.Nfs.set_size with
+      | Some nsz64 ->
+          let nsz = min (Int64.to_int nsz64) t.threshold in
+          if nsz = 0 then free_file t fr
+          else if nsz < fr.size then begin
+            (* Trim blocks past the new end and shrink the final block's
+               fragment on the next write (leave it in place for now). *)
+            let keep = ((nsz - 1) / block_size) + 1 in
+            Array.iteri
+              (fun b ext ->
+                if b >= keep then
+                  match ext with
+                  | Some e ->
+                      Ffs.free t.alloc ~off:e.phys_off ~len:e.phys_len;
+                      t.physical <- Int64.sub t.physical (Int64.of_int e.phys_len);
+                      fr.blocks.(b) <- None
+                  | None -> ())
+              fr.blocks;
+            t.logical <- Int64.sub t.logical (Int64.of_int (fr.size - nsz));
+            fr.size <- nsz;
+            match fr.data with
+            | Some b when Bytes.length b > nsz -> fr.data <- Some (Bytes.sub b 0 nsz)
+            | _ -> ()
+          end;
+          Ok (Nfs.RSetattr (attr_of fh fr))
+      | None -> Ok (Nfs.RSetattr (attr_of fh fr)))
+  | Nfs.Lookup _ | Nfs.Access _ | Nfs.Readlink _ | Nfs.Create _ | Nfs.Mkdir _
+  | Nfs.Symlink _ | Nfs.Rmdir _ | Nfs.Rename _ | Nfs.Link _ | Nfs.Readdir _
+  | Nfs.Fsstat _ ->
+      Error Nfs.ERR_BADHANDLE
+
+let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
+    ?(backing_bytes = 68_719_476_736L) ?(threshold = 65536) ?backend () =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Bcache.disk_backend host.Host.eng (Host.disk_exn host)
+  in
+  let t =
+    {
+      host;
+      cache = Bcache.create host.Host.eng ~backend ~capacity:cache_bytes ~name:(Host.name host);
+      alloc = Ffs.create ~size:backing_bytes;
+      files = Hashtbl.create 4096;
+      threshold;
+      logical = 0L;
+      physical = 0L;
+      reads = 0;
+      writes = 0;
+    }
+  in
+  Nfs_endpoint.serve host ~port
+    ~cost:{ per_op = 70e-6; per_byte = 4e-9 }
+    ~handler:(handle t);
+  t
+
+let addr t = t.host.Host.addr
+let threshold t = t.threshold
+let file_count t = Hashtbl.length t.files
+let bytes_stored t = t.physical
+let logical_bytes t = t.logical
+let fragmentation t = Ffs.fragment_count t.alloc
+let cache_hits t = Bcache.hits t.cache
+let cache_misses t = Bcache.misses t.cache
+let reads t = t.reads
+let writes t = t.writes

@@ -1,0 +1,1 @@
+lib/storage/coordinator.ml: Array Bytes Ctrl Hashtbl Host Int64 List Nfs_endpoint Slice_net Slice_nfs Slice_sim Slice_wal

@@ -1,0 +1,1 @@
+lib/storage/coordinator.mli: Host Slice_net

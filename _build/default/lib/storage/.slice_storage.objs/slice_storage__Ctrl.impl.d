@@ -1,0 +1,1 @@
+lib/storage/ctrl.ml: Array List Slice_nfs Slice_xdr

@@ -1,0 +1,1 @@
+lib/storage/ctrl.mli: Slice_nfs

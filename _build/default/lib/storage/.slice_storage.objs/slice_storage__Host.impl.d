@@ -1,0 +1,1 @@
+lib/storage/host.ml: Slice_disk Slice_net Slice_sim

@@ -1,0 +1,1 @@
+lib/storage/host.mli: Slice_disk Slice_net Slice_sim

@@ -1,0 +1,1 @@
+lib/storage/nfs_endpoint.ml: Bytes Hashtbl Host Slice_net Slice_nfs Slice_sim Slice_util

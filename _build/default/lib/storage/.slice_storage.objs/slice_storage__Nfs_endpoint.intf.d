@@ -1,0 +1,1 @@
+lib/storage/nfs_endpoint.mli: Host Slice_net Slice_nfs

@@ -1,0 +1,1 @@
+lib/storage/obsd.ml: Bytes Hashtbl Host Int64 Nfs_endpoint Option Slice_disk Slice_hash Slice_nfs String

@@ -1,0 +1,1 @@
+lib/storage/obsd.mli: Host Slice_disk Slice_net Slice_nfs

@@ -1,0 +1,54 @@
+(** Block service coordinator (Sections 2.2, 3.1, 3.3.2).
+
+    "The Slice block service includes a coordinator module for files that
+    span multiple storage nodes. The coordinator manages optional block
+    maps and preserves atomicity of multisite operations."
+
+    Atomicity uses the paper's intention-logging protocol: a requester
+    sends an {e intention} before a multi-site operation; the coordinator
+    logs it to stable storage (its write-ahead log); the requester sends a
+    {e completion} when done, asynchronously clearing the intention. If no
+    completion arrives within the probe timeout — or the coordinator
+    recovers from a crash with intentions outstanding — the coordinator
+    drives the operation to a consistent state by idempotent redo
+    (re-issuing remove/commit to the participants).
+
+    The coordinator also orchestrates whole-file multi-site remove and
+    commit on behalf of directory servers and µproxies, and serves
+    per-file block-map fragments for dynamic I/O routing policies. *)
+
+type t
+
+val attach :
+  Host.t ->
+  ?port:int ->
+  ?rpc_port:int ->
+  ?probe_timeout:float ->
+  ?map_sites:int array ->
+  unit ->
+  t
+(** [map_sites] are the storage-node addresses used when minting block-map
+    entries (default: empty — Get_map then returns Nack). Default control
+    port 2050, probe timeout 0.5 s. *)
+
+val addr : t -> Slice_net.Packet.addr
+val port : t -> int
+
+(** {2 Introspection and failure injection} *)
+
+val pending_intents : t -> int
+val intents_logged : t -> int
+val completions : t -> int
+val redos : t -> int
+(** Operations the coordinator had to finish itself (timeout probe or
+    crash recovery). *)
+
+val map_entries : t -> int
+
+val crash : t -> unit
+(** Stop service and discard all volatile state; only the synced log
+    image survives (unsynced log records are torn away). *)
+
+val recover : t -> unit
+(** Replay the surviving log, redo incomplete intentions, resume
+    service. *)

@@ -1,0 +1,123 @@
+module Enc = Slice_xdr.Xdr.Enc
+module Dec = Slice_xdr.Xdr.Dec
+module Fh = Slice_nfs.Fh
+
+exception Malformed
+
+type kind = K_remove | K_commit | K_mirror_write | K_truncate
+
+let kind_to_int = function K_remove -> 1 | K_commit -> 2 | K_mirror_write -> 3 | K_truncate -> 4
+
+let kind_of_int = function
+  | 1 -> Some K_remove
+  | 2 -> Some K_commit
+  | 3 -> Some K_mirror_write
+  | 4 -> Some K_truncate
+  | _ -> None
+
+type msg =
+  | Intent of { op_id : int64; kind : kind; fh : Fh.t; participants : int list }
+  | Complete of { op_id : int64 }
+  | Remove_file of { fh : Fh.t; sites : int list }
+  | Commit_file of { fh : Fh.t; sites : int list }
+  | Get_map of { fh : Fh.t; first_block : int; count : int }
+
+type reply = Ack | Nack | Map of { first_block : int; sites : int array }
+
+let enc_fh e fh = Enc.opaque e (Fh.encode fh)
+
+let dec_fh d =
+  match Fh.decode (Dec.opaque d) with Some fh -> fh | None -> raise Malformed
+
+let enc_sites e sites =
+  Enc.u32 e (List.length sites);
+  List.iter (Enc.u32 e) sites
+
+let dec_sites d =
+  let n = Dec.u32 d in
+  List.init n (fun _ -> Dec.u32 d)
+
+let encode_msg ~xid msg =
+  let e = Enc.create () in
+  Enc.u32 e xid;
+  (match msg with
+  | Intent { op_id; kind; fh; participants } ->
+      Enc.u32 e 1;
+      Enc.u64 e op_id;
+      Enc.u32 e (kind_to_int kind);
+      enc_fh e fh;
+      enc_sites e participants
+  | Complete { op_id } ->
+      Enc.u32 e 2;
+      Enc.u64 e op_id
+  | Remove_file { fh; sites } ->
+      Enc.u32 e 3;
+      enc_fh e fh;
+      enc_sites e sites
+  | Commit_file { fh; sites } ->
+      Enc.u32 e 4;
+      enc_fh e fh;
+      enc_sites e sites
+  | Get_map { fh; first_block; count } ->
+      Enc.u32 e 5;
+      enc_fh e fh;
+      Enc.u32 e first_block;
+      Enc.u32 e count);
+  Enc.to_bytes e
+
+let decode_msg buf =
+  let d = Dec.of_bytes buf in
+  try
+    let xid = Dec.u32 d in
+    let msg =
+      match Dec.u32 d with
+      | 1 ->
+          let op_id = Dec.u64 d in
+          let kind = match kind_of_int (Dec.u32 d) with Some k -> k | None -> raise Malformed in
+          let fh = dec_fh d in
+          Intent { op_id; kind; fh; participants = dec_sites d }
+      | 2 -> Complete { op_id = Dec.u64 d }
+      | 3 ->
+          let fh = dec_fh d in
+          Remove_file { fh; sites = dec_sites d }
+      | 4 ->
+          let fh = dec_fh d in
+          Commit_file { fh; sites = dec_sites d }
+      | 5 ->
+          let fh = dec_fh d in
+          let first_block = Dec.u32 d in
+          Get_map { fh; first_block; count = Dec.u32 d }
+      | _ -> raise Malformed
+    in
+    (xid, msg)
+  with Slice_xdr.Xdr.Truncated -> raise Malformed
+
+let encode_reply ~xid reply =
+  let e = Enc.create () in
+  Enc.u32 e xid;
+  (match reply with
+  | Ack -> Enc.u32 e 1
+  | Nack -> Enc.u32 e 2
+  | Map { first_block; sites } ->
+      Enc.u32 e 3;
+      Enc.u32 e first_block;
+      Enc.u32 e (Array.length sites);
+      Array.iter (Enc.u32 e) sites);
+  Enc.to_bytes e
+
+let decode_reply buf =
+  let d = Dec.of_bytes buf in
+  try
+    let xid = Dec.u32 d in
+    let reply =
+      match Dec.u32 d with
+      | 1 -> Ack
+      | 2 -> Nack
+      | 3 ->
+          let first_block = Dec.u32 d in
+          let n = Dec.u32 d in
+          Map { first_block; sites = Array.init n (fun _ -> Dec.u32 d) }
+      | _ -> raise Malformed
+    in
+    (xid, reply)
+  with Slice_xdr.Xdr.Truncated -> raise Malformed

@@ -1,0 +1,57 @@
+module Engine = Slice_sim.Engine
+module Packet = Slice_net.Packet
+module Net = Slice_net.Net
+module Nfs = Slice_nfs.Nfs
+module Codec = Slice_nfs.Codec
+
+type cost = { per_op : float; per_byte : float }
+
+let reply_to (host : Host.t) (pkt : Packet.t) ?(extra_size = 0) payload =
+  let reply =
+    Packet.make ~src:host.addr ~dst:pkt.src ~sport:pkt.dport ~dport:pkt.sport ~extra_size
+      payload
+  in
+  Net.send host.net reply
+
+let request_data_bytes (call : Nfs.call) =
+  match call with Nfs.Write (_, _, _, d) -> Nfs.wdata_length d | _ -> 0
+
+let response_data_bytes (resp : Nfs.response) =
+  match resp with Ok (Nfs.RRead (d, _, _)) -> Nfs.wdata_length d | _ -> 0
+
+let serve (host : Host.t) ~port ~cost ~handler =
+  (* Duplicate request cache: a retransmitted non-idempotent call (create,
+     remove, rename, ...) whose reply was lost must get the cached reply,
+     not a re-execution. Keyed by XID (globally unique here). *)
+  let drc : (int, bytes * int) Slice_util.Lru.t = Slice_util.Lru.create ~capacity:512 () in
+  let in_flight : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  Net.listen host.net host.addr ~port (fun pkt ->
+      Engine.spawn host.eng (fun () ->
+          if Slice_net.Cksum.verify pkt then
+            match (try Some (Codec.decode_call pkt.payload) with Codec.Malformed _ -> None) with
+            | None -> () (* garbage: drop; client retransmits *)
+            | Some (xid, call) -> (
+                match Slice_util.Lru.find drc xid with
+                | Some (payload, extra_size) ->
+                    (* retransmission of a completed request *)
+                    Host.cpu host cost.per_op;
+                    reply_to host pkt ~extra_size (Bytes.copy payload)
+                | None ->
+                    if not (Hashtbl.mem in_flight xid) then begin
+                      (* a retransmission racing the original execution is
+                         dropped; the eventual reply satisfies both *)
+                      Hashtbl.replace in_flight xid ();
+                      let in_bytes = request_data_bytes call in
+                      Host.cpu host (cost.per_op +. (cost.per_byte *. float_of_int in_bytes));
+                      let resp = handler call in
+                      let out_bytes = response_data_bytes resp in
+                      if out_bytes > 0 then
+                        Host.cpu host (cost.per_byte *. float_of_int out_bytes);
+                      let payload = Codec.encode_reply ~xid resp in
+                      let extra_size = Codec.extra_size_of_response resp in
+                      Hashtbl.remove in_flight xid;
+                      Slice_util.Lru.add drc xid (payload, extra_size);
+                      reply_to host pkt ~extra_size (Bytes.copy payload)
+                    end)))
+
+let serve_raw (host : Host.t) ~port ~handler = Net.listen host.net host.addr ~port handler

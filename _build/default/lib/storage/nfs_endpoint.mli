@@ -1,0 +1,29 @@
+(** Server-side NFS endpoint: listens on a host port, decodes calls,
+    charges per-request CPU, runs the handler in a fiber, and sends the
+    encoded reply back to the requester. All Slice server classes and the
+    baseline servers are built on this. *)
+
+type cost = { per_op : float; per_byte : float }
+(** CPU consumed per request: fixed cost plus cost proportional to the
+    data payload moved (copies/checksums through the server stack). *)
+
+val serve :
+  Host.t ->
+  port:int ->
+  cost:cost ->
+  handler:(Slice_nfs.Nfs.call -> Slice_nfs.Nfs.response) ->
+  unit
+(** The handler runs in a fiber and may use storage/cache/RPC operations
+    that park. Malformed packets are dropped (the client retransmits). *)
+
+val serve_raw :
+  Host.t ->
+  port:int ->
+  handler:(Slice_net.Packet.t -> unit) ->
+  unit
+(** Escape hatch for non-NFS protocols (coordinator/peer messages):
+    dispatch without decode; the handler spawns its own fibers. *)
+
+val reply_to :
+  Host.t -> Slice_net.Packet.t -> ?extra_size:int -> bytes -> unit
+(** Send [payload] back to the source of [pkt], from this host. *)

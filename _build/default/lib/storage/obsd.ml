@@ -1,0 +1,218 @@
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Bcache = Slice_disk.Bcache
+
+let block_size = Bcache.block_size
+
+type obj = {
+  mutable size : int64;
+  data : (int, bytes) Hashtbl.t; (* materialized 8 KB blocks only *)
+}
+
+type t = {
+  host : Host.t;
+  cap_secret : string option;
+  cache : Bcache.t;
+  objects : (int64, obj) Hashtbl.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let object_id_of_fh fh = Slice_hash.Md5.fold64 (Fh.key fh)
+
+let get_obj t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some o -> o
+  | None ->
+      let o = { size = 0L; data = Hashtbl.create 8 } in
+      Hashtbl.replace t.objects oid o;
+      o
+
+let attr_of t fh (o : obj) =
+  ignore t;
+  {
+    (Nfs.default_attr ~ftype:fh.Fh.ftype ~fileid:fh.Fh.file_id ~now:0.0) with
+    size = o.size;
+    used = o.size;
+  }
+
+let block_range ~off ~count =
+  let first = Int64.to_int (Int64.div off (Int64.of_int block_size)) in
+  let last =
+    Int64.to_int (Int64.div (Int64.add off (Int64.of_int (max 0 (count - 1)))) (Int64.of_int block_size))
+  in
+  (first, if count = 0 then first - 1 else last)
+
+(* Store real bytes into the object's materialized blocks. *)
+let store_data (o : obj) ~off data =
+  let len = String.length data in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = Int64.add off (Int64.of_int pos) in
+      let blk = Int64.to_int (Int64.div abs (Int64.of_int block_size)) in
+      let in_blk = Int64.to_int (Int64.rem abs (Int64.of_int block_size)) in
+      let n = min (block_size - in_blk) (len - pos) in
+      let buf =
+        match Hashtbl.find_opt o.data blk with
+        | Some b -> b
+        | None ->
+            let b = Bytes.make block_size '\000' in
+            Hashtbl.replace o.data blk b;
+            b
+      in
+      Bytes.blit_string data pos buf in_blk n;
+      loop (pos + n)
+    end
+  in
+  loop 0
+
+(* Extract real bytes if every touched block is materialized. *)
+let load_data (o : obj) ~off ~count =
+  let first, last = block_range ~off ~count in
+  let all_real = ref (count > 0) in
+  for b = first to last do
+    if not (Hashtbl.mem o.data b) then all_real := false
+  done;
+  if not !all_real then None
+  else begin
+    let out = Bytes.create count in
+    let rec loop pos =
+      if pos < count then begin
+        let abs = Int64.add off (Int64.of_int pos) in
+        let blk = Int64.to_int (Int64.div abs (Int64.of_int block_size)) in
+        let in_blk = Int64.to_int (Int64.rem abs (Int64.of_int block_size)) in
+        let n = min (block_size - in_blk) (count - pos) in
+        Bytes.blit (Hashtbl.find o.data blk) in_blk out pos n;
+        loop (pos + n)
+      end
+    in
+    loop 0;
+    Some (Bytes.unsafe_to_string out)
+  end
+
+let authorized t (call : Nfs.call) =
+  match t.cap_secret with
+  | None -> true
+  | Some secret -> (
+      match call with
+      | Nfs.Null -> true
+      | Nfs.Getattr fh | Nfs.Read (fh, _, _) | Nfs.Write (fh, _, _, _)
+      | Nfs.Commit (fh, _, _) | Nfs.Remove (fh, _) | Nfs.Setattr (fh, _) ->
+          Slice_nfs.Cap.verify ~secret fh
+      | _ -> true (* misdirected classes are rejected below anyway *))
+
+let handle t (call : Nfs.call) : Nfs.response =
+  if not (authorized t call) then Error Nfs.ERR_PERM
+  else
+  match call with
+  | Nfs.Null -> Ok Nfs.RNull
+  | Nfs.Getattr fh ->
+      let o = get_obj t (object_id_of_fh fh) in
+      Ok (Nfs.RGetattr (attr_of t fh o))
+  | Nfs.Read (fh, off, count) ->
+      let oid = object_id_of_fh fh in
+      let o = get_obj t oid in
+      let avail = Int64.sub o.size off in
+      let count =
+        if Int64.compare avail 0L <= 0 then 0 else min count (Int64.to_int (min avail (Int64.of_int count)))
+      in
+      let first, last = block_range ~off ~count in
+      for b = first to last do
+        Bcache.read t.cache ~obj:oid ~block:b
+      done;
+      t.reads <- t.reads + 1;
+      t.bytes_read <- t.bytes_read + count;
+      let eof = Int64.compare (Int64.add off (Int64.of_int count)) o.size >= 0 in
+      let data =
+        if count = 0 then Nfs.Data ""
+        else
+          match load_data o ~off ~count with
+          | Some s -> Nfs.Data s
+          | None -> Nfs.Synthetic count
+      in
+      Ok (Nfs.RRead (data, eof, attr_of t fh o))
+  | Nfs.Write (fh, off, stable, data) ->
+      let oid = object_id_of_fh fh in
+      let o = get_obj t oid in
+      let len = Nfs.wdata_length data in
+      let first, last = block_range ~off ~count:len in
+      for b = first to last do
+        Bcache.write t.cache ~obj:oid ~block:b
+      done;
+      (match data with Nfs.Data s -> store_data o ~off s | Nfs.Synthetic _ -> ());
+      let fin = Int64.add off (Int64.of_int len) in
+      if Int64.compare fin o.size > 0 then o.size <- fin;
+      t.writes <- t.writes + 1;
+      t.bytes_written <- t.bytes_written + len;
+      if stable <> Nfs.Unstable then Bcache.commit t.cache ~obj:oid;
+      Ok (Nfs.RWrite (len, stable, attr_of t fh o))
+  | Nfs.Commit (fh, _off, _count) ->
+      let oid = object_id_of_fh fh in
+      let o = get_obj t oid in
+      Bcache.commit t.cache ~obj:oid;
+      Ok (Nfs.RCommit (attr_of t fh o))
+  | Nfs.Remove (fh, _name) ->
+      (* Object remove: the coordinator names the object by handle; the
+         name argument is unused at this layer. *)
+      let oid = object_id_of_fh fh in
+      Hashtbl.remove t.objects oid;
+      Bcache.invalidate_object t.cache oid;
+      Ok Nfs.RRemove
+  | Nfs.Setattr (fh, s) -> (
+      let oid = object_id_of_fh fh in
+      let o = get_obj t oid in
+      match s.Nfs.set_size with
+      | Some sz ->
+          o.size <- sz;
+          let keep_last, _ = block_range ~off:sz ~count:1 in
+          Hashtbl.iter
+            (fun b _ -> if b > keep_last then Hashtbl.remove o.data b)
+            (Hashtbl.copy o.data);
+          Ok (Nfs.RSetattr (attr_of t fh o))
+      | None -> Ok (Nfs.RSetattr (attr_of t fh o)))
+  | Nfs.Lookup _ | Nfs.Access _ | Nfs.Readlink _ | Nfs.Create _ | Nfs.Mkdir _
+  | Nfs.Symlink _ | Nfs.Rmdir _ | Nfs.Rename _ | Nfs.Link _ | Nfs.Readdir _
+  | Nfs.Fsstat _ ->
+      Error Nfs.ERR_NOTDIR
+
+let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret () =
+  let disk = Host.disk_exn host in
+  let t =
+    {
+      host;
+      cap_secret;
+      cache =
+        Bcache.create host.Host.eng
+          ~backend:(Bcache.disk_backend host.Host.eng disk)
+          ~capacity:cache_bytes ~name:(Host.name host);
+      objects = Hashtbl.create 256;
+      reads = 0;
+      writes = 0;
+      bytes_read = 0;
+      bytes_written = 0;
+    }
+  in
+  (* Per-op cost small and per-byte cost modeling the storage node's
+     network/buffer path; the SCSI channel, not the CPU, is the intended
+     per-node bandwidth cap. *)
+  Nfs_endpoint.serve host ~port
+    ~cost:{ per_op = 40e-6; per_byte = 2.5e-9 }
+    ~handler:(handle t);
+  t
+
+let addr t = t.host.Host.addr
+let object_count t = Hashtbl.length t.objects
+
+let object_size t fh =
+  Option.map (fun o -> o.size) (Hashtbl.find_opt t.objects (object_id_of_fh fh))
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let disk t = Host.disk_exn t.host
+let drop_caches t = Bcache.drop_clean t.cache
+let cache_hits t = Bcache.hits t.cache
+let cache_misses t = Bcache.misses t.cache

@@ -1,0 +1,41 @@
+(** Network storage node: object-based storage device (OBSD/NASD style,
+    Section 2.2 of the paper). Exports a flat space of storage objects
+    addressed by (object, logical offset); "the storage nodes accept NFS
+    file handles as object identifiers, using an external hash to map them
+    to storage objects". Serves the NFS subset read / write / commit /
+    remove / getattr directly off a buffer-cached disk array with
+    sequential prefetch and write clustering.
+
+    Offsets arriving here are {e object-local}: for striped files the
+    µproxy rewrites the request offset to the node-local sequence, so each
+    node sees a dense stream for its stripe and the prefetcher works, just
+    as a real stripe places its chunks contiguously per disk. *)
+
+type t
+
+val attach : Host.t -> ?port:int -> ?cache_bytes:int -> ?cap_secret:string -> unit -> t
+(** Attach the service to a host with a disk array. Default port 2049,
+    default cache 256 MB (the paper's storage nodes had 256 MB RAM).
+    With [cap_secret], every request's handle must carry a valid
+    {!Slice_nfs.Cap} tag minted with the same secret, else
+    [NFS3ERR_PERM] — secure network-attached storage objects per
+    Section 2.2: a compromised µproxy cannot forge access. *)
+
+val addr : t -> Slice_net.Packet.addr
+
+val object_id_of_fh : Slice_nfs.Fh.t -> int64
+(** The external hash from file handles to storage object identifiers. *)
+
+val object_count : t -> int
+val object_size : t -> Slice_nfs.Fh.t -> int64 option
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val disk : t -> Slice_disk.Disk.t
+val drop_caches : t -> unit
+(** Cold-cache the node (contents stay on "disk"); used to measure
+    disk-bound read paths. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int

@@ -1,0 +1,28 @@
+(** Imperative binary min-heap, ordered by a user-supplied comparison on
+    elements. Used as the event queue of the simulation engine, so it must
+    be fast and allocation-light. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap order, not sorted). *)

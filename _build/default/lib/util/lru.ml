@@ -1,0 +1,96 @@
+(* Doubly-linked list threaded through a hashtable: O(1) find/add/evict. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable weight : int;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable total : int;
+  capacity : int;
+  on_evict : 'k -> 'v -> unit;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~capacity () =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { tbl = Hashtbl.create 64; head = None; tail = None; total = 0; capacity; on_evict }
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let remove_node t node =
+  unlink t node;
+  Hashtbl.remove t.tbl node.key;
+  t.total <- t.total - node.weight
+
+let evict_until_fits t =
+  while t.total > t.capacity && t.tail <> None do
+    match t.tail with
+    | None -> ()
+    | Some victim ->
+        remove_node t victim;
+        t.on_evict victim.key victim.value
+  done
+
+let add t ?(weight = 1) k v =
+  (match Hashtbl.find_opt t.tbl k with Some old -> remove_node t old | None -> ());
+  let node = { key = k; value = v; weight; prev = None; next = None } in
+  Hashtbl.replace t.tbl k node;
+  t.total <- t.total + weight;
+  push_front t node;
+  evict_until_fits t
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some node -> remove_node t node
+
+let size t = t.total
+let entry_count t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+
+let iter t f =
+  let rec loop = function
+    | None -> ()
+    | Some node ->
+        f node.key node.value;
+        loop node.next
+  in
+  loop t.head
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.total <- 0
+
+let flush t =
+  let entries = ref [] in
+  iter t (fun k v -> entries := (k, v) :: !entries);
+  clear t;
+  List.iter (fun (k, v) -> t.on_evict k v) (List.rev !entries)

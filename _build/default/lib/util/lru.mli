@@ -1,0 +1,38 @@
+(** Capacity-bounded LRU cache with eviction callbacks.
+
+    Used for the µproxy attribute cache, server buffer caches, and the
+    block-map fragment cache. Capacity is measured in abstract units
+    (entries or bytes) supplied per item, so an 8 KB block can weigh 8192
+    while an attribute entry weighs 1. *)
+
+type ('k, 'v) t
+
+val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
+(** [create ~capacity ()] holds items whose weights sum to at most
+    [capacity]. [on_evict] fires for every item removed by pressure (not
+    for explicit [remove]). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** [find t k] returns the value and marks it most-recently-used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without promoting the entry. *)
+
+val add : ('k, 'v) t -> ?weight:int -> 'k -> 'v -> unit
+(** [add t k v] inserts or replaces, then evicts LRU items until within
+    capacity. Default [weight] is 1. An item heavier than the total
+    capacity is rejected silently after evicting everything else. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val size : ('k, 'v) t -> int
+(** Current total weight. *)
+
+val entry_count : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+val clear : ('k, 'v) t -> unit
+(** Remove everything without firing eviction callbacks. *)
+
+val flush : ('k, 'v) t -> unit
+(** Remove everything, firing the eviction callback for each entry
+    (used to model write-back of dirty cached state). *)

@@ -1,0 +1,100 @@
+type t = {
+  mutable n : int;
+  mutable total : float;
+  mutable sq_total : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable samples : float list; (* retained for percentile queries *)
+}
+
+let create () =
+  { n = 0; total = 0.0; sq_total = 0.0; mn = infinity; mx = neg_infinity; samples = [] }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  t.sq_total <- t.sq_total +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.samples <- x :: t.samples
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
+let min t = t.mn
+let max t = t.mx
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    let var = (t.sq_total /. float_of_int t.n) -. (m *. m) in
+    if var < 0.0 then 0.0 else sqrt var
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let arr = Array.of_list t.samples in
+    Array.sort compare arr;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+    arr.(idx)
+  end
+
+let merge a b =
+  {
+    n = a.n + b.n;
+    total = a.total +. b.total;
+    sq_total = a.sq_total +. b.sq_total;
+    mn = Stdlib.min a.mn b.mn;
+    mx = Stdlib.max a.mx b.mx;
+    samples = List.rev_append a.samples b.samples;
+  }
+
+module Counter = struct
+  type t = { mutable c : int }
+
+  let create () = { c = 0 }
+  let incr t = t.c <- t.c + 1
+  let add t n = t.c <- t.c + n
+  let get t = t.c
+  let rate t ~elapsed = if elapsed <= 0.0 then 0.0 else float_of_int t.c /. elapsed
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; width : float; counts : int array }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 || hi <= lo then invalid_arg "Histogram.create";
+    { lo; hi; width = (hi -. lo) /. float_of_int buckets; counts = Array.make (buckets + 1) 0 }
+
+  let add t x =
+    let nb = Array.length t.counts - 1 in
+    let i =
+      if x < t.lo then 0
+      else if x >= t.hi then nb
+      else int_of_float ((x -. t.lo) /. t.width)
+    in
+    let i = Stdlib.min i nb in
+    t.counts.(i) <- t.counts.(i) + 1
+
+  let bucket_count t i = t.counts.(i)
+  let total t = Array.fold_left ( + ) 0 t.counts
+
+  let render t =
+    let b = Buffer.create 256 in
+    let nb = Array.length t.counts - 1 in
+    for i = 0 to nb do
+      if t.counts.(i) > 0 then begin
+        let label =
+          if i = nb then Printf.sprintf "[%.3g,inf)" t.hi
+          else
+            Printf.sprintf "[%.3g,%.3g)"
+              (t.lo +. (float_of_int i *. t.width))
+              (t.lo +. (float_of_int (i + 1) *. t.width))
+        in
+        Buffer.add_string b (Printf.sprintf "%-18s %d\n" label t.counts.(i))
+      end
+    done;
+    Buffer.contents b
+end

@@ -1,0 +1,47 @@
+(** Online statistics for simulation measurements: latency samples,
+    throughput counters, and simple fixed-bucket histograms. *)
+
+type t
+(** A sample accumulator: count, mean, min/max, and retained samples for
+    percentile queries. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+val stddev : t -> float
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,100]; nearest-rank on retained samples.
+    0.0 when empty. *)
+
+val merge : t -> t -> t
+(** Pooled accumulator combining both sample sets. *)
+
+module Counter : sig
+  (** Monotonic event counter with rate-over-window support. *)
+  type nonrec t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val rate : t -> elapsed:float -> float
+  (** Events per unit time over [elapsed]; 0.0 if [elapsed <= 0]. *)
+end
+
+module Histogram : sig
+  (** Fixed-width bucket histogram over [\[lo, hi)] with overflow bucket. *)
+  type nonrec t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val bucket_count : t -> int -> int
+  val total : t -> int
+  val render : t -> string
+  (** Plain-text rendering, one line per non-empty bucket. *)
+end

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Buffer Bytes Int32 Int64 List Slice_disk Slice_hash Slice_sim String

@@ -1,0 +1,1 @@
+lib/workload/client.ml: Int64 List Slice_net Slice_nfs Slice_sim Slice_storage Slice_util

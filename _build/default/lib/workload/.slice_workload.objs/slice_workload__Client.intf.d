@@ -1,0 +1,1 @@
+lib/workload/client.mli: Slice_net Slice_nfs Slice_storage Slice_util

@@ -1,0 +1,1 @@
+lib/workload/specsfs.ml: Array Client Format Int64 List Option Printf Slice_nfs Slice_sim Slice_util

@@ -1,0 +1,1 @@
+lib/workload/specsfs.mli: Client Format Slice_nfs Slice_sim

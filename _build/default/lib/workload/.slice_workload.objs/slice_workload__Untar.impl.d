@@ -1,0 +1,1 @@
+lib/workload/untar.ml: Array Client Printf Slice_nfs

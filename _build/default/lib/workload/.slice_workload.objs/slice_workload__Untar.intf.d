@@ -1,0 +1,1 @@
+lib/workload/untar.mli: Client Slice_nfs

@@ -1,0 +1,45 @@
+(** SPECsfs97-style load generator (Figures 5 and 6).
+
+    Reproduces the benchmark's defining properties: a self-scaling file
+    set skewed heavily toward small files (94 % of files ≤ 64 KB, yet only
+    ~24 % of the bytes — the large files "pollute the disks"), the
+    published NFS V3 operation mix (lookup 27 %, read 18 %, write 9 %,
+    getattr 11 %, readdirplus/readdir 11 %, access 7 %, readlink 7 %,
+    commit 5 %, …), Poisson open-loop arrivals at a configured offered
+    load, and measurement of delivered throughput (IOPS) and mean latency.
+    Like SPECsfs, the generator speaks NFS directly from user space and
+    never exercises the client kernel stack.
+
+    The file set scales with offered load through [bytes_per_iops]
+    (SPECsfs97 uses 10 MB per op/s; scale it down for quick runs — the
+    cache-overflow knee of Figure 6 moves accordingly). *)
+
+type config = {
+  offered_iops : float;  (** aggregate target load *)
+  processes : int;  (** generator processes (spread over the clients) *)
+  duration : float;  (** measured window, seconds *)
+  warmup : float;
+  bytes_per_iops : float;  (** file-set scaling rule *)
+  max_outstanding : int;  (** per-process concurrency cap *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  offered : float;
+  delivered : float;  (** completed ops/s over the measured window *)
+  avg_latency_ms : float;
+  p95_latency_ms : float;
+  ops_measured : int;
+  errors : int;
+  fileset_files : int;
+  fileset_bytes : int64;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  Slice_sim.Engine.t -> clients:Client.t array -> root:Slice_nfs.Fh.t -> config -> result
+(** Builds the file set, runs warmup + measured window, drains, and
+    returns the result. Drives the engine to completion internally. *)

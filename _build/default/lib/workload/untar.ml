@@ -1,0 +1,86 @@
+module Nfs = Slice_nfs.Nfs
+
+type spec = { files : int; dir_every : int; fanout : int }
+
+let default_spec = { files = 33430; dir_every = 13; fanout = 8 }
+
+let scaled_spec s =
+  if s <= 0.0 || s > 1.0 then invalid_arg "Untar.scaled_spec";
+  { default_spec with files = max 20 (int_of_float (float_of_int default_spec.files *. s)) }
+
+(* 7 ops per file, 5 per directory (lookup, access, mkdir, getattr,
+   setattr), plus tree-walk lookups are already counted in the file
+   sequence. *)
+let ops_estimate spec = (spec.files * 7) + (spec.files / spec.dir_every * 5)
+
+let fail_st ctx st = failwith (Printf.sprintf "untar %s: %s" ctx (Nfs.status_name st))
+
+let create_one_file cl dir name =
+  (* The paper's seven-operation create sequence. *)
+  (match Client.lookup cl dir name with
+  | Error Nfs.ERR_NOENT -> ()
+  | Error st -> fail_st "lookup!" st
+  | Ok _ -> failwith "untar: file already exists");
+  (match Client.access cl dir with Ok _ -> () | Error st -> fail_st "access" st);
+  let fh =
+    match Client.create_file cl dir name with
+    | Ok (fh, _) -> fh
+    | Error st -> fail_st "create" st
+  in
+  (match Client.getattr cl fh with Ok _ -> () | Error st -> fail_st "getattr" st);
+  (match Client.lookup cl dir name with Ok _ -> () | Error st -> fail_st "lookup2" st);
+  (match Client.setattr cl fh (Nfs.sattr_times ~mtime:0.0 ()) with
+  | Ok _ -> ()
+  | Error st -> fail_st "setattr1" st);
+  match Client.setattr cl fh { Nfs.sattr_empty with set_mode = Some 0o644 } with
+  | Ok _ -> ()
+  | Error st -> fail_st "setattr2" st
+
+let create_one_dir cl dir name =
+  (match Client.lookup cl dir name with
+  | Error Nfs.ERR_NOENT -> ()
+  | Error st -> fail_st "dlookup" st
+  | Ok _ -> failwith "untar: dir already exists");
+  (match Client.access cl dir with Ok _ -> () | Error st -> fail_st "daccess" st);
+  let fh =
+    match Client.mkdir cl dir name with Ok (fh, _) -> fh | Error st -> fail_st "mkdir" st
+  in
+  (match Client.getattr cl fh with Ok _ -> () | Error st -> fail_st "dgetattr" st);
+  (match Client.setattr cl fh { Nfs.sattr_empty with set_mode = Some 0o755 } with
+  | Ok _ -> ()
+  | Error st -> fail_st "dsetattr" st);
+  fh
+
+let run (cl : Client.t) ~root ~name spec =
+  let t0 = Client.now cl in
+  let top = create_one_dir cl root name in
+  (* Source trees are deep: most new directories nest under the most
+     recently created one, with periodic returns toward the top — so a
+     directory's ancestry is long, which is what lets mkdir switching's
+     per-level redirection coin mix subtrees across the server sites.
+     Files are created under a sliding window of recent directories. *)
+  let dirs = ref [| top |] in
+  let dir_count = ref 1 in
+  let last_dir = ref top in
+  let created = ref 0 in
+  while !created < spec.files do
+    if !created mod spec.dir_every = spec.dir_every - 1 then begin
+      (* descend depth-first, popping up to a recent ancestor now and
+         then (never all the way to the top: in a source tree nearly all
+         directories are deep) *)
+      let parent =
+        if !dir_count mod 10 = 0 then !dirs.(!dir_count mod Array.length !dirs)
+        else !last_dir
+      in
+      let dname = Printf.sprintf "dir%05d" !dir_count in
+      let fh = create_one_dir cl parent dname in
+      last_dir := fh;
+      incr dir_count;
+      if Array.length !dirs < spec.fanout then dirs := Array.append !dirs [| fh |]
+      else !dirs.(!dir_count mod spec.fanout) <- fh
+    end;
+    let parent = !dirs.(!created mod Array.length !dirs) in
+    create_one_file cl parent (Printf.sprintf "file%06d" !created);
+    incr created
+  done;
+  Client.now cl -. t0

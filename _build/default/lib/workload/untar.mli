@@ -1,0 +1,30 @@
+(** The paper's name-intensive "untar" benchmark: repeatedly unpack a
+    directory tree of zero-length files mimicking the FreeBSD source
+    distribution. Each file create generates the seven NFS operations the
+    paper counts — lookup(miss), access, create, getattr, lookup(hit),
+    setattr, setattr — and directories are created with a similar
+    five-operation sequence, so ~36 000 files and directories come to
+    ~250 000 NFS operations per process. *)
+
+type spec = {
+  files : int;  (** regular files to create *)
+  dir_every : int;  (** create a new subdirectory every N files (14 mimics
+      FreeBSD src's file:dir ratio) *)
+  fanout : int;  (** directories per level of the tree *)
+}
+
+val default_spec : spec
+(** Paper-scale: 33 430 files + ~2 570 directories ≈ 36 000 objects. *)
+
+val scaled_spec : float -> spec
+(** [scaled_spec s] shrinks the tree by factor [s] (0 < s ≤ 1), keeping
+    the file:dir ratio — lets the experiments run at reduced scale with
+    the same shape. *)
+
+val ops_estimate : spec -> int
+(** Expected NFS operation count for one process. *)
+
+val run : Client.t -> root:Slice_nfs.Fh.t -> name:string -> spec -> float
+(** Fiber: perform one untar under a fresh subtree [name] of [root];
+    returns elapsed simulated seconds.
+    @raise Failure on unexpected NFS errors. *)

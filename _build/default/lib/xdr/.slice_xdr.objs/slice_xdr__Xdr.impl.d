@@ -1,0 +1,1 @@
+lib/xdr/xdr.ml: Buffer Bytes Int32 String

@@ -1,0 +1,87 @@
+exception Truncated
+
+let pad_len n = (4 - (n land 3)) land 3
+
+module Enc = struct
+  type t = { buf : Buffer.t }
+
+  let create ?(size = 256) () = { buf = Buffer.create size }
+  let length t = Buffer.length t.buf
+
+  let u32 t v =
+    Buffer.add_int32_be t.buf (Int32.of_int (v land 0xFFFFFFFF))
+
+  let i32 t v = Buffer.add_int32_be t.buf v
+  let u64 t v = Buffer.add_int64_be t.buf v
+  let bool t b = u32 t (if b then 1 else 0)
+  let enum t v = u32 t v
+
+  let opaque_fixed t s =
+    Buffer.add_string t.buf s;
+    for _ = 1 to pad_len (String.length s) do
+      Buffer.add_char t.buf '\000'
+    done
+
+  let opaque t s =
+    u32 t (String.length s);
+    opaque_fixed t s
+
+  let str = opaque
+  let to_bytes t = Buffer.to_bytes t.buf
+end
+
+module Dec = struct
+  type t = { buf : bytes; limit : int; mutable p : int; mutable items : int }
+
+  let of_bytes ?(pos = 0) ?len buf =
+    let limit = match len with Some l -> pos + l | None -> Bytes.length buf in
+    if pos < 0 || limit > Bytes.length buf then invalid_arg "Xdr.Dec.of_bytes";
+    { buf; limit; p = pos; items = 0 }
+
+  let pos t = t.p
+  let remaining t = t.limit - t.p
+
+  let need t n = if t.p + n > t.limit then raise Truncated
+
+  let skip t n =
+    need t n;
+    t.p <- t.p + n
+
+  let u32 t =
+    need t 4;
+    let v = Bytes.get_int32_be t.buf t.p in
+    t.p <- t.p + 4;
+    t.items <- t.items + 1;
+    Int32.to_int v land 0xFFFFFFFF
+
+  let i32 t =
+    need t 4;
+    let v = Bytes.get_int32_be t.buf t.p in
+    t.p <- t.p + 4;
+    t.items <- t.items + 1;
+    v
+
+  let u64 t =
+    need t 8;
+    let v = Bytes.get_int64_be t.buf t.p in
+    t.p <- t.p + 8;
+    t.items <- t.items + 1;
+    v
+
+  let bool t = u32 t <> 0
+  let enum t = u32 t
+
+  let opaque_fixed t n =
+    need t (n + pad_len n);
+    let s = Bytes.sub_string t.buf t.p n in
+    t.p <- t.p + n + pad_len n;
+    t.items <- t.items + 1;
+    s
+
+  let opaque t =
+    let n = u32 t in
+    opaque_fixed t n
+
+  let str = opaque
+  let items_read t = t.items
+end

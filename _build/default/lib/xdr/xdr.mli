@@ -1,0 +1,58 @@
+(** XDR-style (RFC 4506) wire encoding: big-endian 4-byte units, variable
+    opaques padded to 4-byte alignment. The NFS codec builds on this, and
+    the µproxy's packet-decode cost model charges per XDR item consumed. *)
+
+exception Truncated
+(** Raised by decoders reading past the end of the buffer. *)
+
+module Enc : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val length : t -> int
+
+  val u32 : t -> int -> unit
+  (** Unsigned 32-bit, value in [0, 2^32). Values are handled as OCaml
+      ints; out-of-range values are masked. *)
+
+  val i32 : t -> int32 -> unit
+  val u64 : t -> int64 -> unit
+  val bool : t -> bool -> unit
+  val enum : t -> int -> unit
+
+  val opaque_fixed : t -> string -> unit
+  (** Raw bytes, padded to 4-byte alignment, no length prefix. *)
+
+  val opaque : t -> string -> unit
+  (** Length-prefixed variable opaque, padded. *)
+
+  val str : t -> string -> unit
+  (** XDR string (same wire form as variable opaque). *)
+
+  val to_bytes : t -> bytes
+  (** A fresh copy of the encoded contents. *)
+end
+
+module Dec : sig
+  type t
+
+  val of_bytes : ?pos:int -> ?len:int -> bytes -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val skip : t -> int -> unit
+
+  val u32 : t -> int
+  val i32 : t -> int32
+  val u64 : t -> int64
+  val bool : t -> bool
+  val enum : t -> int
+
+  val opaque_fixed : t -> int -> string
+  val opaque : t -> string
+  val str : t -> string
+
+  val items_read : t -> int
+  (** Number of primitive XDR items consumed so far — the µproxy charges
+      decode CPU per item, reproducing the paper's observation that
+      variable-length RPC/NFS header fields dominate µproxy cost. *)
+end

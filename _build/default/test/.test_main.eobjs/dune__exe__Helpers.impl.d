@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format QCheck2 QCheck_alcotest Slice_nfs Slice_sim

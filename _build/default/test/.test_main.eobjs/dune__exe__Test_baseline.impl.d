@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Helpers List Slice_baseline Slice_net Slice_nfs Slice_sim Slice_storage Slice_workload String

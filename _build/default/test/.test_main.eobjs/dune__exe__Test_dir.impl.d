@@ -1,0 +1,1 @@
+test/test_dir.ml: Alcotest Array Helpers List Printf Slice_dir Slice_net Slice_nfs Slice_sim Slice_storage

@@ -1,0 +1,1 @@
+test/test_disk.ml: Float Helpers Int64 List Option QCheck2 Slice_disk Slice_sim

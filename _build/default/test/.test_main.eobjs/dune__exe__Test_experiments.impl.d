@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Char Helpers List Printf Slice Slice_experiments Slice_net Slice_nfs Slice_workload String

@@ -1,0 +1,1 @@
+test/test_hash.ml: Array Bytes Char Helpers List Printf QCheck2 Slice_hash String

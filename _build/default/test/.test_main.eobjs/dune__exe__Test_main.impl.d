@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baseline Test_dir Test_disk Test_experiments Test_hash Test_net Test_nfs Test_proxy Test_sim Test_smallfile Test_storage Test_util Test_wal Test_workload Test_xdr

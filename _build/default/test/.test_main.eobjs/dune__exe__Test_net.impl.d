@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Helpers Int32 QCheck2 Slice_net Slice_sim String

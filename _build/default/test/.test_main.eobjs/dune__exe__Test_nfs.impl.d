@@ -1,0 +1,1 @@
+test/test_nfs.ml: Bytes Float Helpers Int64 List Option QCheck2 Slice_nfs String

@@ -1,0 +1,1 @@
+test/test_proxy.ml: Alcotest Array Char Helpers Int64 List Printf QCheck2 Slice Slice_dir Slice_net Slice_nfs Slice_sim Slice_smallfile Slice_storage Slice_workload String

@@ -1,0 +1,1 @@
+test/test_smallfile.ml: Alcotest Char Helpers Int64 Slice_net Slice_nfs Slice_sim Slice_smallfile Slice_storage String

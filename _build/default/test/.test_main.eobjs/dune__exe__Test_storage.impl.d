@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Char Helpers Int64 List Printf Slice_disk Slice_net Slice_nfs Slice_sim Slice_storage String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Hashtbl Helpers List Option QCheck2 Slice_util String

@@ -1,0 +1,1 @@
+test/test_wal.ml: Bytes Helpers Int64 List QCheck2 Slice_disk Slice_sim Slice_wal String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Helpers Int64 List Printf Slice Slice_nfs Slice_sim Slice_util Slice_workload

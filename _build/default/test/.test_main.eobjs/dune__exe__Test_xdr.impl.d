@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Bytes Helpers Int64 List QCheck2 Slice_xdr

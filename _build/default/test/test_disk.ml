@@ -1,0 +1,280 @@
+open Helpers
+module Engine = Slice_sim.Engine
+module Disk = Slice_disk.Disk
+module Bcache = Slice_disk.Bcache
+module Ffs = Slice_disk.Ffs
+
+let mk_disk eng ?(arms = 8) () = Disk.create eng ~arms ~name:"d" ()
+
+(* ---- Disk model ---- *)
+
+let random_access_time () =
+  run_fiber (fun eng ->
+      let d = mk_disk eng () in
+      let t0 = Engine.now eng in
+      Disk.read d ~sequential:false ~bytes:8192;
+      let dt = Engine.now eng -. t0 in
+      (* seek + rotation + controller + media + channel: ~9.7ms; the
+         calibration that gives ~104 random IOPS per arm *)
+      check_bool "random 8K in 9..11 ms" true (dt > 9e-3 && dt < 11e-3))
+
+let sequential_access_cheap () =
+  run_fiber (fun eng ->
+      let d = mk_disk eng () in
+      let t0 = Engine.now eng in
+      Disk.read d ~sequential:true ~bytes:8192;
+      let dt = Engine.now eng -. t0 in
+      (* media + channel only: ~0.4 ms *)
+      check_bool "sequential 8K < 1ms" true (dt < 1e-3))
+
+let arms_in_parallel () =
+  let eng = Engine.create () in
+  let d = mk_disk eng ~arms:4 () in
+  let done_at = ref 0.0 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Disk.read d ~sequential:false ~bytes:8192;
+        done_at := Float.max !done_at (Engine.now eng))
+  done;
+  Engine.run eng;
+  (* 4 random reads on 4 arms overlap on positioning; the shared channel
+     transfer is small *)
+  check_bool "parallel arms" true (!done_at < 12e-3);
+  check_int "ops" 4 (Disk.ops d)
+
+let channel_caps_bandwidth () =
+  let eng = Engine.create () in
+  let d = mk_disk eng ~arms:8 () in
+  let done_at = ref 0.0 in
+  (* 16 MB of sequential reads: channel at 55 MB/s is the bottleneck *)
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 64 do
+        Disk.read d ~sequential:true ~bytes:(256 * 1024)
+      done;
+      done_at := Engine.now eng);
+  Engine.run eng;
+  let mbs = 16.0 /. !done_at in
+  (* a single synchronous stream is media-rate bound (~33 MB/s); the
+     channel (55 MB/s) caps aggregates *)
+  check_bool "within media/channel rates" true (mbs < 56.0 && mbs > 28.0)
+
+let async_booking () =
+  run_fiber (fun eng ->
+      let d = mk_disk eng () in
+      let t0 = Engine.now eng in
+      let fin = Disk.write_async d ~sequential:true ~bytes:65536 in
+      check_float "caller not parked" t0 (Engine.now eng);
+      check_bool "completion in future" true (fin > t0);
+      check_bool "busy accounted" true (Disk.channel_busy_time d > 0.0))
+
+(* ---- Bcache ---- *)
+
+let mk_cache eng ?(capacity = 1 lsl 20) () =
+  let d = mk_disk eng () in
+  (Bcache.create eng ~backend:(Bcache.disk_backend eng d) ~capacity ~name:"c", d)
+
+let cache_hit_no_disk () =
+  run_fiber (fun eng ->
+      let c, d = mk_cache eng () in
+      Bcache.read c ~obj:1L ~block:0;
+      let ops_before = Disk.ops d in
+      let t0 = Engine.now eng in
+      Bcache.read c ~obj:1L ~block:0;
+      check_float "hit is instant" t0 (Engine.now eng);
+      check_int "no disk op" ops_before (Disk.ops d);
+      check_int "one hit" 1 (Bcache.hits c))
+
+let sequential_prefetch () =
+  run_fiber (fun eng ->
+      let c, d = mk_cache eng () in
+      Bcache.read c ~obj:1L ~block:0;
+      (* blocks 1..31 prefetched asynchronously *)
+      check_bool "prefetched" true (Bcache.prefetched_blocks c >= 31);
+      let ops = Disk.ops d in
+      Bcache.read c ~obj:1L ~block:1;
+      Bcache.read c ~obj:1L ~block:2;
+      check_int "no more disk ops" ops (Disk.ops d))
+
+let random_no_prefetch () =
+  run_fiber (fun eng ->
+      let c, _ = mk_cache eng () in
+      Bcache.read c ~obj:1L ~block:100;
+      Bcache.read c ~obj:1L ~block:5000;
+      check_int "no prefetch on random" 0 (Bcache.prefetched_blocks c))
+
+let write_behind_and_commit () =
+  run_fiber (fun eng ->
+      let c, d = mk_cache eng () in
+      let t0 = Engine.now eng in
+      for b = 0 to 9 do
+        Bcache.write c ~obj:2L ~block:b
+      done;
+      check_float "writes don't wait" t0 (Engine.now eng);
+      check_int "nothing written yet" 0 (Disk.ops d);
+      Bcache.commit c ~obj:2L;
+      check_bool "commit waited" true (Engine.now eng > t0);
+      (* clustering: 10 contiguous dirty blocks in one transfer *)
+      check_int "one clustered write" 1 (Disk.ops d);
+      check_int "all bytes" (10 * 8192) (Disk.bytes_transferred d))
+
+let commit_only_target_object () =
+  run_fiber (fun eng ->
+      let c, d = mk_cache eng () in
+      Bcache.write c ~obj:1L ~block:0;
+      Bcache.write c ~obj:2L ~block:0;
+      Bcache.commit c ~obj:1L;
+      check_int "one object flushed" 1 (Disk.ops d);
+      Bcache.commit_all c;
+      check_int "rest flushed" 2 (Disk.ops d))
+
+let eviction_writes_back_dirty () =
+  run_fiber (fun eng ->
+      (* capacity of 4 blocks *)
+      let c, d = mk_cache eng ~capacity:(4 * 8192) () in
+      for b = 0 to 7 do
+        Bcache.write c ~obj:3L ~block:(b * 100) (* non-contiguous: no clustering *)
+      done;
+      Engine.sleep eng 1.0;
+      check_bool "evictions wrote back" true (Disk.ops d >= 4))
+
+let invalidate_discards () =
+  run_fiber (fun eng ->
+      let c, d = mk_cache eng () in
+      Bcache.write c ~obj:4L ~block:0;
+      Bcache.invalidate_object c 4L;
+      Bcache.commit c ~obj:4L;
+      check_int "nothing flushed" 0 (Disk.ops d);
+      check_int "not resident" 0 (Bcache.resident_bytes c))
+
+let drop_clean_cold () =
+  run_fiber (fun eng ->
+      let c, d = mk_cache eng () in
+      Bcache.read c ~obj:1L ~block:0;
+      Bcache.drop_clean c;
+      let ops = Disk.ops d in
+      Bcache.read c ~obj:1L ~block:0;
+      check_bool "cold again" true (Disk.ops d > ops))
+
+let mirrored_stride_counts_sequential () =
+  run_fiber (fun eng ->
+      let c, _ = mk_cache eng () in
+      (* stride-8 pattern (alternating 32 KB chunks of 4 blocks): still
+         prefetches contiguously, creating the paper's wasted prefetch *)
+      Bcache.read c ~obj:1L ~block:0;
+      let pf1 = Bcache.prefetched_blocks c in
+      Bcache.read c ~obj:1L ~block:40 (* beyond the window: new stream *);
+      ignore pf1;
+      Bcache.read c ~obj:1L ~block:48 (* stride 8: sequentialish *);
+      check_bool "stride-8 prefetches" true (Bcache.prefetched_blocks c > pf1))
+
+let throttle_bounds_dirty () =
+  run_fiber (fun eng ->
+      let c, _ = mk_cache eng ~capacity:(1 lsl 30) () in
+      let t0 = Engine.now eng in
+      (* 64 MB of writes: far beyond the 32 MB outstanding bound, so the
+         writer must have been stalled to the disk's pace *)
+      for b = 0 to 8191 do
+        Bcache.write c ~obj:9L ~block:b
+      done;
+      check_bool "writer throttled" true (Engine.now eng > t0))
+
+(* ---- Ffs ---- *)
+
+let ffs_alloc_free_basic () =
+  let f = Ffs.create ~size:1000L in
+  let a = Option.get (Ffs.alloc f 100) in
+  check_bool "first at 0" true (a = 0L);
+  let b = Option.get (Ffs.alloc f 200) in
+  check_bool "second sequential" true (b = 100L);
+  check_bool "used" true (Ffs.used_bytes f = 300L);
+  Ffs.free f ~off:a ~len:100;
+  check_bool "freed" true (Ffs.free_bytes f = 800L);
+  check_bool "invariants" true (Ffs.check_invariants f)
+
+let ffs_exhaustion () =
+  let f = Ffs.create ~size:100L in
+  check_bool "fits" true (Ffs.alloc f 100 <> None);
+  check_bool "full" true (Ffs.alloc f 1 = None)
+
+let ffs_coalescing () =
+  let f = Ffs.create ~size:300L in
+  let a = Option.get (Ffs.alloc f 100) in
+  let b = Option.get (Ffs.alloc f 100) in
+  let c = Option.get (Ffs.alloc f 100) in
+  Ffs.free f ~off:a ~len:100;
+  Ffs.free f ~off:c ~len:100;
+  check_int "two fragments" 2 (Ffs.fragment_count f);
+  Ffs.free f ~off:b ~len:100;
+  check_int "coalesced to one" 1 (Ffs.fragment_count f);
+  check_bool "largest" true (Ffs.largest_free f = 300L)
+
+let ffs_double_free_rejected () =
+  let f = Ffs.create ~size:100L in
+  let a = Option.get (Ffs.alloc f 50) in
+  Ffs.free f ~off:a ~len:50;
+  check_bool "double free raises" true
+    (try
+       Ffs.free f ~off:a ~len:50;
+       false
+     with Invalid_argument _ -> true)
+
+let ffs_best_fit_reuses_fragment () =
+  let f = Ffs.create ~size:1000L in
+  let a = Option.get (Ffs.alloc f 100) in
+  let _b = Option.get (Ffs.alloc f 50) in
+  Ffs.free f ~off:a ~len:100;
+  (* best fit should take the 100-byte hole, not the big tail *)
+  let c = Option.get (Ffs.alloc f ~strategy:`Best_fit 100) in
+  check_bool "hole reused" true (c = 0L)
+
+let ffs_model =
+  qtest ~count:100 "ffs invariants under random ops"
+    QCheck2.Gen.(list (int_range 1 64))
+    (fun sizes ->
+      let f = Ffs.create ~size:4096L in
+      let live = ref [] in
+      List.iteri
+        (fun i sz ->
+          if i mod 3 = 2 && !live <> [] then begin
+            let off, len = List.hd !live in
+            live := List.tl !live;
+            Ffs.free f ~off ~len
+          end
+          else
+            match Ffs.alloc f sz with
+            | Some off -> live := (off, sz) :: !live
+            | None -> ())
+        sizes;
+      (* no two live extents overlap *)
+      let sorted = List.sort compare !live in
+      let rec no_overlap = function
+        | (o1, l1) :: ((o2, _) :: _ as rest) ->
+            Int64.add o1 (Int64.of_int l1) <= o2 && no_overlap rest
+        | _ -> true
+      in
+      no_overlap sorted && Ffs.check_invariants f)
+
+let suite =
+  [
+    ("random access time", `Quick, random_access_time);
+    ("sequential access cheap", `Quick, sequential_access_cheap);
+    ("arms in parallel", `Quick, arms_in_parallel);
+    ("channel caps bandwidth", `Quick, channel_caps_bandwidth);
+    ("async booking", `Quick, async_booking);
+    ("cache hit avoids disk", `Quick, cache_hit_no_disk);
+    ("sequential prefetch", `Quick, sequential_prefetch);
+    ("random no prefetch", `Quick, random_no_prefetch);
+    ("write behind and commit clustering", `Quick, write_behind_and_commit);
+    ("commit only target object", `Quick, commit_only_target_object);
+    ("eviction writes back dirty", `Quick, eviction_writes_back_dirty);
+    ("invalidate discards", `Quick, invalidate_discards);
+    ("drop_clean makes cold", `Quick, drop_clean_cold);
+    ("mirrored stride prefetches", `Quick, mirrored_stride_counts_sequential);
+    ("throttle bounds dirty", `Quick, throttle_bounds_dirty);
+    ("ffs alloc/free basic", `Quick, ffs_alloc_free_basic);
+    ("ffs exhaustion", `Quick, ffs_exhaustion);
+    ("ffs coalescing", `Quick, ffs_coalescing);
+    ("ffs double free rejected", `Quick, ffs_double_free_rejected);
+    ("ffs best fit reuses fragment", `Quick, ffs_best_fit_reuses_fragment);
+    ffs_model;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "slice"
+    [
+      ("util", Test_util.suite);
+      ("hash", Test_hash.suite);
+      ("sim", Test_sim.suite);
+      ("xdr", Test_xdr.suite);
+      ("net", Test_net.suite);
+      ("nfs", Test_nfs.suite);
+      ("disk", Test_disk.suite);
+      ("wal", Test_wal.suite);
+      ("storage", Test_storage.suite);
+      ("dir", Test_dir.suite);
+      ("smallfile", Test_smallfile.suite);
+      ("proxy", Test_proxy.suite);
+      ("workload", Test_workload.suite);
+      ("baseline", Test_baseline.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,343 @@
+open Helpers
+module Fh = Slice_nfs.Fh
+module Nfs = Slice_nfs.Nfs
+module Codec = Slice_nfs.Codec
+module Routekey = Slice_nfs.Routekey
+
+let gen_ftype = QCheck2.Gen.oneofl [ Fh.Reg; Fh.Dir; Fh.Lnk ]
+
+let gen_fh =
+  QCheck2.Gen.(
+    map
+      (fun (fid, gen, ftype, (mirrored, site)) ->
+        {
+          Fh.file_id = Int64.of_int (abs fid);
+          gen = gen land 0xFFFF;
+          ftype;
+          mirrored;
+          attr_site = site;
+          cap = Int64.of_int (fid lxor gen);
+        })
+      (tup4 int int gen_ftype (pair bool (int_range 0 255))))
+
+let gen_name = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 30))
+
+(* ---- file handles ---- *)
+
+let fh_roundtrip =
+  qtest "fh encode/decode roundtrip" gen_fh (fun fh ->
+      match Fh.decode (Fh.encode fh) with Some fh' -> fh' = fh | None -> false)
+
+let fh_wire_length () =
+  check_int "wire length" Fh.wire_length (String.length (Fh.encode Fh.root))
+
+let fh_bad_magic () =
+  check_bool "garbage rejected" true (Fh.decode (String.make Fh.wire_length 'z') = None);
+  check_bool "short rejected" true (Fh.decode "abc" = None)
+
+let fh_root () =
+  check_bool "root is dir" true (Fh.root.Fh.ftype = Fh.Dir);
+  check_bool "root id 1" true (Fh.root.Fh.file_id = 1L)
+
+(* ---- calls ---- *)
+
+let sample_attr =
+  {
+    Nfs.ftype = Fh.Reg;
+    mode = 0o644;
+    nlink = 1;
+    uid = 10;
+    gid = 20;
+    size = 123456L;
+    used = 131072L;
+    fileid = 42L;
+    atime = 100.5;
+    mtime = 200.25;
+    ctime = 300.125;
+  }
+
+let gen_call =
+  let open QCheck2.Gen in
+  let fh = gen_fh in
+  oneof
+    [
+      return Nfs.Null;
+      map (fun f -> Nfs.Getattr f) fh;
+      map2 (fun f n -> Nfs.Lookup (f, n)) fh gen_name;
+      map2 (fun f n -> Nfs.Create (f, n)) fh gen_name;
+      map2 (fun f n -> Nfs.Mkdir (f, n)) fh gen_name;
+      map2 (fun f n -> Nfs.Remove (f, n)) fh gen_name;
+      map2 (fun f n -> Nfs.Rmdir (f, n)) fh gen_name;
+      map2 (fun f m -> Nfs.Access (f, m land 0x3F)) fh int;
+      map (fun f -> Nfs.Readlink f) fh;
+      map (fun f -> Nfs.Fsstat f) fh;
+      map3
+        (fun f off count -> Nfs.Read (f, Int64.of_int (abs off), count land 0xFFFFF))
+        fh int int;
+      map3
+        (fun f off data -> Nfs.Write (f, Int64.of_int (abs off), Nfs.Unstable, Nfs.Data data))
+        fh int (string_size (int_range 0 64));
+      map3
+        (fun f off n -> Nfs.Write (f, Int64.of_int (abs off), Nfs.File_sync, Nfs.Synthetic (n land 0xFFFFF)))
+        fh int int;
+      map3 (fun f n t -> Nfs.Symlink (f, n, t)) fh gen_name gen_name;
+      map3 (fun f1 n1 (f2, n2) -> Nfs.Rename (f1, n1, f2, n2)) fh gen_name (pair fh gen_name);
+      map3 (fun f d n -> Nfs.Link (f, d, n)) fh fh gen_name;
+      map3
+        (fun f c n -> Nfs.Readdir (f, Int64.of_int (abs c), n land 0xFF))
+        fh int int;
+      map3
+        (fun f off n -> Nfs.Commit (f, Int64.of_int (abs off), n land 0xFFFFF))
+        fh int int;
+      map2
+        (fun f sz -> Nfs.Setattr (f, Nfs.sattr_size (Int64.of_int (abs sz))))
+        fh int;
+    ]
+
+let call_roundtrip =
+  qtest ~count:500 "call encode/decode roundtrip" QCheck2.Gen.(pair small_int gen_call)
+    (fun (xid, call) ->
+      let xid = xid land 0xFFFF in
+      let xid', call' = Codec.decode_call (Codec.encode_call ~xid call) in
+      xid' = xid && call' = call)
+
+let peek_matches_decode =
+  qtest ~count:500 "peek agrees with full decode" gen_call (fun call ->
+      let buf = Codec.encode_call ~xid:77 call in
+      match Codec.peek_call buf with
+      | None -> false
+      | Some p ->
+          p.Codec.xid = 77
+          && p.Codec.proc = Nfs.proc_of_call call
+          && (match call with
+             | Nfs.Getattr fh | Nfs.Lookup (fh, _) | Nfs.Read (fh, _, _)
+             | Nfs.Write (fh, _, _, _) | Nfs.Create (fh, _) | Nfs.Mkdir (fh, _) ->
+                 p.Codec.fh = Some fh
+             | Nfs.Null -> p.Codec.fh = None
+             | _ -> true)
+          &&
+          match call with
+          | Nfs.Read (_, off, count) | Nfs.Commit (_, off, count) ->
+              p.Codec.offset = Some off && p.Codec.count = Some count
+          | Nfs.Write (_, off, stable, data) ->
+              p.Codec.offset = Some off
+              && p.Codec.count = Some (Nfs.wdata_length data)
+              && p.Codec.write_stable = Some stable
+          | Nfs.Rename (_, n1, fh2, _) -> p.Codec.name = Some n1 && p.Codec.fh2 = Some fh2
+          | Nfs.Lookup (_, n) -> p.Codec.name = Some n
+          | _ -> true)
+
+let peek_offset_field =
+  qtest "peek's offset field location is exact" QCheck2.Gen.(pair gen_fh int)
+    (fun (fh, off) ->
+      let off = Int64.of_int (abs off) in
+      let buf = Codec.encode_call ~xid:9 (Nfs.Read (fh, off, 4096)) in
+      match Codec.peek_call buf with
+      | Some { Codec.offset_field_off = Some pos; _ } -> Bytes.get_int64_be buf pos = off
+      | _ -> false)
+
+let peek_rejects_garbage () =
+  check_bool "garbage" true (Codec.peek_call (Bytes.make 40 'x') = None);
+  check_bool "empty" true (Codec.peek_call Bytes.empty = None);
+  let reply = Codec.encode_reply ~xid:3 (Ok Nfs.RNull) in
+  check_bool "reply is not a call" true (Codec.peek_call reply = None)
+
+(* ---- replies ---- *)
+
+let gen_reply =
+  let open QCheck2.Gen in
+  let a = return sample_attr in
+  oneof
+    [
+      return Nfs.RNull;
+      map (fun a -> Nfs.RGetattr a) a;
+      map (fun a -> Nfs.RSetattr a) a;
+      map2 (fun fh a -> Nfs.RLookup (fh, a)) gen_fh a;
+      map2 (fun fh a -> Nfs.RCreate (fh, a)) gen_fh a;
+      map2 (fun fh a -> Nfs.RMkdir (fh, a)) gen_fh a;
+      map2 (fun m a -> Nfs.RAccess (m land 0x3F, a)) int a;
+      map2 (fun t a -> Nfs.RReadlink (t, a)) gen_name a;
+      map3 (fun d eof a -> Nfs.RRead (Nfs.Data d, eof, a)) (string_size (int_range 0 64)) bool a;
+      map3 (fun n eof a -> Nfs.RRead (Nfs.Synthetic (n land 0xFFFFF), eof, a)) int bool a;
+      map2 (fun n a -> Nfs.RWrite (n land 0xFFFFF, Nfs.Unstable, a)) int a;
+      return Nfs.RRemove;
+      return Nfs.RRmdir;
+      return Nfs.RRename;
+      map (fun a -> Nfs.RLink a) a;
+      map (fun a -> Nfs.RCommit a) a;
+      map2
+        (fun names cookie ->
+          let entries =
+            List.mapi
+              (fun i n ->
+                { Nfs.entry_id = Int64.of_int i; entry_name = n; entry_cookie = Int64.of_int (i + 1) })
+              names
+          in
+          Nfs.RReaddir (entries, Int64.of_int (abs cookie), true))
+        (small_list gen_name) int;
+    ]
+
+let attr_close a b =
+  a.Nfs.ftype = b.Nfs.ftype && a.Nfs.mode = b.Nfs.mode && a.Nfs.nlink = b.Nfs.nlink
+  && a.Nfs.size = b.Nfs.size && a.Nfs.fileid = b.Nfs.fileid
+  && Float.abs (a.Nfs.mtime -. b.Nfs.mtime) < 1e-6
+
+let reply_equal r1 r2 =
+  match (r1, r2) with
+  | Ok a, Ok b -> (
+      match (a, b) with
+      | Nfs.RGetattr x, Nfs.RGetattr y | Nfs.RSetattr x, Nfs.RSetattr y -> attr_close x y
+      | Nfs.RLookup (f, x), Nfs.RLookup (g, y) | Nfs.RCreate (f, x), Nfs.RCreate (g, y) ->
+          f = g && attr_close x y
+      | Nfs.RRead (d1, e1, x), Nfs.RRead (d2, e2, y) -> d1 = d2 && e1 = e2 && attr_close x y
+      | x, y -> (
+          (* structural comparison is fine for attr-free replies *)
+          match (Nfs.reply_attr x, Nfs.reply_attr y) with
+          | None, None -> x = y
+          | Some ax, Some ay -> attr_close ax ay
+          | _ -> false))
+  | Error a, Error b -> a = b
+  | _ -> false
+
+let reply_roundtrip =
+  qtest ~count:500 "reply encode/decode roundtrip" gen_reply (fun r ->
+      let xid', r' = Codec.decode_reply (Codec.encode_reply ~xid:5 (Ok r)) in
+      xid' = 5 && reply_equal (Ok r) r')
+
+let error_roundtrip () =
+  List.iter
+    (fun st ->
+      let _, r = Codec.decode_reply (Codec.encode_reply ~xid:1 (Error st)) in
+      check_bool (Nfs.status_name st) true (r = Error st))
+    [
+      Nfs.ERR_PERM; Nfs.ERR_NOENT; Nfs.ERR_IO; Nfs.ERR_EXIST; Nfs.ERR_NOTDIR; Nfs.ERR_ISDIR;
+      Nfs.ERR_NOSPC; Nfs.ERR_NOTEMPTY; Nfs.ERR_STALE; Nfs.ERR_BADHANDLE; Nfs.ERR_JUKEBOX;
+      Nfs.ERR_MISDIRECTED;
+    ]
+
+let attr_offset_fixed =
+  qtest "attr block at fixed offset when present" gen_reply (fun r ->
+      let buf = Codec.encode_reply ~xid:1 (Ok r) in
+      match (Nfs.reply_attr r, Codec.reply_attr_offset buf) with
+      | Some a, Some off -> attr_close a (Codec.decode_attr_at buf off)
+      | None, None -> true
+      | _ -> false)
+
+let attr_patch_points () =
+  let buf = Codec.encode_reply ~xid:1 (Ok (Nfs.RGetattr sample_attr)) in
+  let off = Option.get (Codec.reply_attr_offset buf) in
+  (* overwrite the size field in place and re-read *)
+  Bytes.blit_string (Codec.u64_be 999L) 0 buf (off + Codec.attr_size_field_off) 8;
+  Bytes.blit_string (Codec.time_be 777.5) 0 buf (off + Codec.attr_mtime_field_off) 8;
+  let a = Codec.decode_attr_at buf off in
+  check_bool "size patched" true (a.Nfs.size = 999L);
+  check_bool "mtime patched" true (Float.abs (a.Nfs.mtime -. 777.5) < 1e-6)
+
+let reply_fh_after_attr () =
+  let fh = { Fh.root with Fh.file_id = 55L; ftype = Fh.Reg } in
+  let buf = Codec.encode_reply ~xid:1 (Ok (Nfs.RLookup (fh, sample_attr))) in
+  check_bool "lookup fh found" true (Codec.reply_fh_after_attr buf = Some fh);
+  let buf2 = Codec.encode_reply ~xid:1 (Ok (Nfs.RGetattr sample_attr)) in
+  check_bool "getattr has none" true (Codec.reply_fh_after_attr buf2 = None)
+
+let extra_size_synthetic () =
+  let fh = Fh.root in
+  check_int "write synthetic" 4096
+    (Codec.extra_size_of_call (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Synthetic 4096)));
+  check_int "write real" 0
+    (Codec.extra_size_of_call (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Data "abcd")));
+  check_int "read reply synthetic" 8192
+    (Codec.extra_size_of_response (Ok (Nfs.RRead (Nfs.Synthetic 8192, true, sample_attr))))
+
+let apply_sattr_semantics () =
+  let a = Nfs.default_attr ~ftype:Fh.Reg ~fileid:9L ~now:10.0 in
+  let a' = Nfs.apply_sattr a (Nfs.sattr_size 100L) ~now:20.0 in
+  check_bool "size set" true (a'.Nfs.size = 100L);
+  check_bool "mtime bumped by size change" true (a'.Nfs.mtime = 20.0);
+  check_bool "ctime bumped" true (a'.Nfs.ctime = 20.0);
+  let a'' = Nfs.apply_sattr a' { Nfs.sattr_empty with set_mode = Some 0o600 } ~now:30.0 in
+  check_int "mode set" 0o600 a''.Nfs.mode;
+  check_bool "size unchanged" true (a''.Nfs.size = 100L)
+
+(* ---- routing keys ---- *)
+
+let name_site_range =
+  qtest "name_site in range" QCheck2.Gen.(pair gen_fh gen_name) (fun (fh, n) ->
+      let s = Routekey.name_site ~nsites:7 fh n in
+      s >= 0 && s < 7)
+
+let stripe_local_offset () =
+  let su = 32768 in
+  (* chunk k maps to local chunk k/n *)
+  check_bool "chunk 0" true (Routekey.local_offset ~nsites:4 ~stripe_unit:su 0L = 0L);
+  check_bool "chunk 4 -> local chunk 1" true
+    (Routekey.local_offset ~nsites:4 ~stripe_unit:su (Int64.of_int (4 * su)) = Int64.of_int su);
+  check_bool "offset within chunk preserved" true
+    (Routekey.local_offset ~nsites:4 ~stripe_unit:su (Int64.of_int ((4 * su) + 123))
+    = Int64.of_int (su + 123))
+
+let stripe_rotation =
+  qtest "stripe sites rotate by chunk" QCheck2.Gen.(pair gen_fh (int_range 0 100))
+    (fun (fh, chunk) ->
+      let su = 32768 in
+      let s1 = Routekey.stripe_site ~nsites:8 ~stripe_unit:su fh (Int64.of_int (chunk * su)) in
+      let s2 =
+        Routekey.stripe_site ~nsites:8 ~stripe_unit:su fh (Int64.of_int ((chunk + 1) * su))
+      in
+      s2 = (s1 + 1) mod 8)
+
+let mirror_sites_distinct =
+  qtest "mirror replicas distinct" gen_fh (fun fh ->
+      let r0, r1 = Routekey.mirror_sites ~nsites:8 fh in
+      r0 <> r1 && r0 >= 0 && r0 < 8 && r1 >= 0 && r1 < 8)
+
+let suite =
+  [
+    fh_roundtrip;
+    ("fh wire length", `Quick, fh_wire_length);
+    ("fh bad magic", `Quick, fh_bad_magic);
+    ("fh root", `Quick, fh_root);
+    call_roundtrip;
+    peek_matches_decode;
+    peek_offset_field;
+    ("peek rejects garbage", `Quick, peek_rejects_garbage);
+    reply_roundtrip;
+    ("error statuses roundtrip", `Quick, error_roundtrip);
+    attr_offset_fixed;
+    ("attr patch points", `Quick, attr_patch_points);
+    ("reply fh after attr", `Quick, reply_fh_after_attr);
+    ("extra size synthetic", `Quick, extra_size_synthetic);
+    ("apply_sattr semantics", `Quick, apply_sattr_semantics);
+    name_site_range;
+    ("stripe local offset", `Quick, stripe_local_offset);
+    stripe_rotation;
+    mirror_sites_distinct;
+  ]
+
+(* ---- robustness: decoders never crash on arbitrary bytes ---- *)
+
+let decode_garbage_is_contained =
+  qtest ~count:500 "decode of fuzz never escapes Malformed"
+    QCheck2.Gen.(string_size (int_range 0 200))
+    (fun s ->
+      let buf = Bytes.of_string s in
+      let contained f = match f () with _ -> true | exception Codec.Malformed _ -> true in
+      contained (fun () -> ignore (Codec.peek_call buf))
+      && contained (fun () -> ignore (Codec.decode_call buf))
+      && contained (fun () -> ignore (Codec.decode_reply buf))
+      && contained (fun () -> ignore (Codec.reply_attr_offset buf))
+      && contained (fun () -> ignore (Codec.reply_fh_after_attr buf)))
+
+let truncated_real_call_is_contained =
+  qtest ~count:200 "truncated real calls are contained"
+    QCheck2.Gen.(int_range 0 60)
+    (fun keep ->
+      let full = Codec.encode_call ~xid:5 (Nfs.Lookup (Fh.root, "victim")) in
+      let cut = Bytes.sub full 0 (min keep (Bytes.length full)) in
+      (match Codec.decode_call cut with
+      | _ -> true
+      | exception Codec.Malformed _ -> true)
+      && match Codec.peek_call cut with Some _ | None -> true)
+
+let suite =
+  suite @ [ decode_garbage_is_contained; truncated_real_call_is_contained ]

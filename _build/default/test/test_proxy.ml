@@ -1,0 +1,394 @@
+open Helpers
+module Engine = Slice_sim.Engine
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Client = Slice_workload.Client
+module Obsd = Slice_storage.Obsd
+module Ensemble = Slice.Ensemble
+module Proxy = Slice.Proxy
+module Params = Slice.Params
+module Table = Slice.Table
+
+let mk ?(storage = 4) ?(dirs = 2) ?(smallfiles = 2) ?(mirror = false) ?(policy = Params.Mkdir_switching)
+    ?(io_policy = Params.Static_striping) () =
+  let ens =
+    Ensemble.create
+      {
+        Ensemble.default_config with
+        storage_nodes = storage;
+        dir_servers = dirs;
+        smallfile_servers = smallfiles;
+        mirror_new_files = mirror;
+        proxy_params =
+          {
+            Params.default with
+            name_policy = policy;
+            io_policy;
+            threshold = (if smallfiles = 0 then 0 else 65536);
+          };
+      }
+  in
+  let host, proxy = Ensemble.add_client ens ~name:"c0" in
+  let cl = Client.create host ~server:(Ensemble.virtual_addr ens) () in
+  (ens, proxy, cl)
+
+let pattern tag len = String.init len (fun i -> Char.chr ((tag + (i * 13)) mod 256))
+
+let routing_classes () =
+  let ens, proxy, cl = mk () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "f") in
+      (* small write: below threshold -> small-file server *)
+      ignore (ok_or_fail "small write" (Client.write_at cl fh ~off:0L ~data:(Nfs.Data "hi") ()));
+      check_int "smallfile routed" 1 (Proxy.routed_to_smallfile proxy);
+      (* bulk write: beyond threshold -> storage node *)
+      ignore
+        (ok_or_fail "bulk write"
+           (Client.write_at cl fh ~off:65536L ~data:(Nfs.Synthetic 32768) ()));
+      check_int "storage routed" 1 (Proxy.routed_to_storage proxy);
+      check_bool "name ops routed to dirs" true (Proxy.routed_to_dir proxy >= 1);
+      check_bool "all intercepted" true (Proxy.packets_intercepted proxy >= 3))
+
+let threshold_split_data_roundtrip () =
+  let ens, _proxy, cl = mk () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "split") in
+      (* 64 KB on the small-file server, 5 more 32 KB chunks striped over
+         the storage nodes, each with a distinct pattern *)
+      let small = pattern 1 65536 in
+      ignore (ok_or_fail "small" (Client.write_at cl fh ~off:0L ~data:(Nfs.Data small) ()));
+      for c = 0 to 4 do
+        let data = pattern (10 + c) 32768 in
+        ignore
+          (ok_or_fail "chunk"
+             (Client.write_at cl fh
+                ~off:(Int64.of_int (65536 + (c * 32768)))
+                ~data:(Nfs.Data data) ()))
+      done;
+      ignore (ok_or_fail "commit" (Client.commit cl fh));
+      (* read everything back through the µproxy *)
+      (match ok_or_fail "read small" (Client.read_at cl fh ~off:0L ~count:65536) with
+      | Nfs.Data d, _ -> check_bool "small part intact" true (d = small)
+      | _ -> Alcotest.fail "small part went synthetic");
+      for c = 0 to 4 do
+        match
+          ok_or_fail "read chunk"
+            (Client.read_at cl fh ~off:(Int64.of_int (65536 + (c * 32768))) ~count:32768)
+        with
+        | Nfs.Data d, _ -> check_bool "chunk intact" true (d = pattern (10 + c) 32768)
+        | _ -> Alcotest.fail "chunk went synthetic"
+      done)
+
+let striping_spreads_chunks () =
+  let ens, _proxy, cl = mk ~smallfiles:0 () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "wide") in
+      Client.sequential_write cl fh ~bytes:(Int64.of_int (32768 * 16));
+      (* every storage node holds part of the file *)
+      Array.iter
+        (fun node -> check_bool "node has data" true (Obsd.object_size node fh <> None))
+        (Ensemble.storage ens))
+
+let eof_patched_for_split_file () =
+  let ens, proxy, cl = mk () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "big") in
+      (* 128 KB file: small-file server holds the first 64 KB and would
+         claim EOF at its boundary *)
+      Client.sequential_write cl fh ~bytes:131072L;
+      (match ok_or_fail "read at 32K" (Client.read_at cl fh ~off:32768L ~count:32768) with
+      | _, eof -> check_bool "no EOF at small-file boundary" false eof);
+      (match ok_or_fail "read at end" (Client.read_at cl fh ~off:98304L ~count:32768) with
+      | _, eof -> check_bool "EOF at true end" true eof);
+      check_bool "attrs were patched in flight" true (Proxy.attr_patches proxy > 0))
+
+let attr_writeback_on_commit () =
+  let ens, proxy, cl = mk () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "wb") in
+      Client.sequential_write cl fh ~bytes:100_000L;
+      check_bool "commit orchestrated" true (Proxy.commits_orchestrated proxy >= 1);
+      check_bool "writeback happened" true (Proxy.attr_writebacks proxy >= 1);
+      (* after commit, the directory server's authoritative size is
+         current; a fresh getattr shows it *)
+      match ok_or_fail "getattr" (Client.getattr cl fh) with
+      | a -> check_bool "size pushed to dir server" true (a.Nfs.size = 100_000L))
+
+let mirrored_write_both_replicas () =
+  let ens, proxy, cl = mk ~mirror:true ~smallfiles:0 () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "m") in
+      check_bool "fh carries mirror flag" true fh.Fh.mirrored;
+      Client.sequential_write cl fh ~bytes:(Int64.of_int (32768 * 8));
+      check_bool "writes duplicated" true (Proxy.mirror_duplicates proxy >= 8);
+      check_bool "intent opened" true (Proxy.intents_opened proxy >= 1);
+      (* exactly two replicas hold the object *)
+      let holders =
+        Array.fold_left
+          (fun acc node -> if Obsd.object_size node fh <> None then acc + 1 else acc)
+          0 (Ensemble.storage ens)
+      in
+      check_int "two replicas" 2 holders;
+      (* both replicas complete: intent closed at the coordinator *)
+      match Ensemble.coordinator ens with
+      | Some coord ->
+          check_int "no pending intents" 0 (Slice_storage.Coordinator.pending_intents coord)
+      | None -> Alcotest.fail "coordinator expected")
+
+let mirrored_read_roundtrip () =
+  let ens, _proxy, cl = mk ~mirror:true ~smallfiles:0 () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "mr") in
+      for c = 0 to 7 do
+        ignore
+          (ok_or_fail "w"
+             (Client.write_at cl fh ~off:(Int64.of_int (c * 32768))
+                ~data:(Nfs.Data (pattern c 32768)) ()))
+      done;
+      ignore (ok_or_fail "commit" (Client.commit cl fh));
+      (* reads alternate between mirrors; all chunks must come back right *)
+      for c = 0 to 7 do
+        match ok_or_fail "r" (Client.read_at cl fh ~off:(Int64.of_int (c * 32768)) ~count:32768) with
+        | Nfs.Data d, _ -> check_bool "mirror read intact" true (d = pattern c 32768)
+        | _ -> Alcotest.fail "synthetic"
+      done)
+
+let readdir_spans_hash_sites () =
+  let ens, _proxy, cl = mk ~dirs:3 ~policy:Params.Name_hashing () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let d, _ = ok_or_fail "mkdir" (Client.mkdir cl Ensemble.root "spread") in
+      let names = List.init 30 (Printf.sprintf "entry%02d") in
+      List.iter (fun n -> ignore (ok_or_fail n (Client.create_file cl d n))) names;
+      (* entries hash over 3 directory servers; readdir must splice them *)
+      let entries = ok_or_fail "readdir" (Client.readdir_all cl d) in
+      let got = List.sort compare (List.map (fun (e : Nfs.entry) -> e.Nfs.entry_name) entries) in
+      check_bool "all entries listed across sites" true (got = names);
+      (* confirm they truly spanned sites *)
+      let with_entries =
+        Array.fold_left
+          (fun acc ds -> if Slice_dir.Dirserver.entry_count ds > 0 then acc + 1 else acc)
+          0 (Ensemble.dirs ens)
+      in
+      check_bool "entries on >1 site" true (with_entries > 1))
+
+let name_hashing_balances () =
+  let ens, proxy, cl = mk ~dirs:4 ~policy:Params.Name_hashing () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let d, _ = ok_or_fail "mkdir" (Client.mkdir cl Ensemble.root "bal") in
+      for i = 0 to 199 do
+        ignore (ok_or_fail "c" (Client.create_file cl d (Printf.sprintf "x%03d" i)))
+      done;
+      let hist = Proxy.dir_site_histogram proxy in
+      Array.iteri
+        (fun i c -> check_bool (Printf.sprintf "site %d used (%d)" i c) true (c > 0))
+        hist)
+
+let stale_table_lazy_refresh () =
+  (* Build the routing by hand: the proxy starts with a deliberately
+     stale snapshot pointing logical site 1 at the wrong server; the
+     server bounces, the proxy refreshes lazily and retries. *)
+  let eng = Engine.create () in
+  let net = Slice_net.Net.create eng () in
+  let hosts =
+    Array.init 2 (fun i -> Slice_storage.Host.create net ~name:(Printf.sprintf "d%d" i) ~disks:1 ())
+  in
+  let addrs = Array.map (fun (h : Slice_storage.Host.t) -> h.Slice_storage.Host.addr) hosts in
+  let _dirs =
+    Array.init 2 (fun i ->
+        Slice_dir.Dirserver.attach hosts.(i)
+          {
+            Slice_dir.Dirserver.logical_id = i;
+            nsites = 2;
+            policy = Slice_dir.Dirserver.Name_hashing;
+            resolve = (fun l -> addrs.(l mod 2));
+            peer_port = 2051;
+            data_sites = (fun _ -> []);
+            smallfile_site = (fun _ -> None);
+            coordinator = (fun _ -> None);
+            mirror_new_files = false;
+            cap_secret = None;
+            also_owns = [];
+          })
+  in
+  let vaddr = Slice_net.Net.add_node net ~name:"virt" in
+  (* wrong table: both logical sites at server 0 *)
+  let table = Table.create [| addrs.(0); addrs.(0) |] in
+  let chost = Slice_storage.Host.create net ~name:"client" () in
+  let proxy =
+    Proxy.install chost
+      ~params:{ Params.default with threshold = 0; name_policy = Params.Name_hashing }
+      {
+        Proxy.virtual_addr = vaddr;
+        dir_table = table;
+        smallfile_table = None;
+        storage = [||];
+        coordinator = None;
+      }
+  in
+  let cl = Client.create chost ~server:vaddr () in
+  run_on eng (fun () ->
+      (* fix the authoritative table AFTER the proxy snapshotted it *)
+      Table.update table [| addrs.(0); addrs.(1) |];
+      (* create names until one hashes to logical site 1 *)
+      for i = 0 to 9 do
+        ignore (ok_or_fail "create" (Client.create_file cl Fh.root (Printf.sprintf "n%d" i)))
+      done;
+      check_bool "stale bounces handled" true (Proxy.stale_bounces proxy > 0);
+      check_int "client saw no errors" 0 (Client.errors cl))
+
+let soft_state_discard_recovers () =
+  let ens, proxy, cl = mk () in
+  run_on (Ensemble.engine ens) (fun () ->
+      ignore (ok_or_fail "c1" (Client.create_file cl Ensemble.root "before"));
+      Proxy.discard_soft_state proxy;
+      (* correctness is preserved end-to-end: later ops just work *)
+      ignore (ok_or_fail "c2" (Client.create_file cl Ensemble.root "after"));
+      ignore (ok_or_fail "lookup" (Client.lookup cl Ensemble.root "before")))
+
+let block_map_policy_roundtrip () =
+  let ens, proxy, cl = mk ~smallfiles:0 ~io_policy:Params.Block_map () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "mapped") in
+      for c = 0 to 7 do
+        ignore
+          (ok_or_fail "w"
+             (Client.write_at cl fh ~off:(Int64.of_int (c * 32768))
+                ~data:(Nfs.Data (pattern (40 + c) 32768)) ()))
+      done;
+      check_bool "map fetched from coordinator" true (Proxy.map_fetches proxy >= 1);
+      for c = 0 to 7 do
+        match ok_or_fail "r" (Client.read_at cl fh ~off:(Int64.of_int (c * 32768)) ~count:32768) with
+        | Nfs.Data d, _ -> check_bool "mapped chunk intact" true (d = pattern (40 + c) 32768)
+        | _ -> Alcotest.fail "synthetic"
+      done)
+
+let remove_cleans_data_everywhere () =
+  let ens, _proxy, cl = mk () in
+  let eng = Ensemble.engine ens in
+  run_on eng (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "tmp") in
+      Client.sequential_write cl fh ~bytes:200_000L;
+      ignore (ok_or_fail "remove" (Client.remove cl Ensemble.root "tmp"));
+      (* data removal is asynchronous through the coordinator's intention
+         protocol; give it a moment *)
+      Engine.sleep eng 1.0;
+      Array.iter
+        (fun node -> check_bool "storage data gone" true (Obsd.object_size node fh = None))
+        (Ensemble.storage ens);
+      let sf_files =
+        Array.fold_left
+          (fun acc sf -> acc + Slice_smallfile.Smallfile.file_count sf)
+          0 (Ensemble.smallfiles ens)
+      in
+      check_int "small-file part gone" 0 sf_files)
+
+let checksums_end_to_end () =
+  (* the ultimate µproxy rewrite check: every packet that reaches an
+     endpoint verifies; rewrites are checksum-neutral by construction.
+     Endpoint handlers drop bad checksums, so a broken incremental update
+     would surface as client timeouts/errors here. *)
+  let ens, proxy, cl = mk ~mirror:false () in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "ck") in
+      Client.sequential_write cl fh ~bytes:150_000L;
+      Client.sequential_read cl fh ~bytes:150_000L;
+      check_int "no client errors" 0 (Client.errors cl);
+      check_int "no retransmissions" 0 (Client.retransmissions cl);
+      check_bool "replies processed" true (Proxy.replies_processed proxy > 10))
+
+let suite =
+  [
+    ("routing classes", `Quick, routing_classes);
+    ("threshold split data roundtrip", `Quick, threshold_split_data_roundtrip);
+    ("striping spreads chunks", `Quick, striping_spreads_chunks);
+    ("eof patched for split file", `Quick, eof_patched_for_split_file);
+    ("attr writeback on commit", `Quick, attr_writeback_on_commit);
+    ("mirrored write both replicas", `Quick, mirrored_write_both_replicas);
+    ("mirrored read roundtrip", `Quick, mirrored_read_roundtrip);
+    ("readdir spans hash sites", `Quick, readdir_spans_hash_sites);
+    ("name hashing balances sites", `Quick, name_hashing_balances);
+    ("stale table lazy refresh", `Quick, stale_table_lazy_refresh);
+    ("soft state discard recovers", `Quick, soft_state_discard_recovers);
+    ("block map policy roundtrip", `Quick, block_map_policy_roundtrip);
+    ("remove cleans data everywhere", `Quick, remove_cleans_data_everywhere);
+    ("checksums end to end", `Quick, checksums_end_to_end);
+  ]
+
+let secure_objects_capabilities () =
+  (* Section 2.2: capability-sealed handles let the µproxy live outside
+     the trust boundary — storage nodes verify each handle's tag. *)
+  let ens =
+    Ensemble.create
+      {
+        Ensemble.default_config with
+        storage_nodes = 2;
+        smallfile_servers = 0;
+        secure_objects = true;
+        proxy_params = { Params.default with threshold = 0 };
+      }
+  in
+  let host, _ = Ensemble.add_client ens ~name:"c0" in
+  let cl = Client.create host ~server:(Ensemble.virtual_addr ens) () in
+  run_on (Ensemble.engine ens) (fun () ->
+      (* legitimate path: handle minted (and sealed) by a directory server *)
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "secret.dat") in
+      check_bool "handle carries a tag" true (fh.Fh.cap <> 0L);
+      ignore (ok_or_fail "write" (Client.write_at cl fh ~off:0L ~data:(Nfs.Data (pattern 3 4096)) ()));
+      (match ok_or_fail "read" (Client.read_at cl fh ~off:0L ~count:4096) with
+      | Nfs.Data d, _ -> check_bool "authorized read works" true (d = pattern 3 4096)
+      | _ -> Alcotest.fail "synthetic");
+      (* forged handle (a compromised µproxy inventing authority): denied *)
+      let forged = { fh with Fh.cap = 0L } in
+      (match Client.read_at cl forged ~off:0L ~count:4096 with
+      | Error Nfs.ERR_PERM -> ()
+      | _ -> Alcotest.fail "forged handle must be rejected");
+      (* tampered identity (reusing a valid tag for another object): denied *)
+      let tampered = { fh with Fh.file_id = Int64.add fh.Fh.file_id 1L } in
+      match Client.write_at cl tampered ~off:0L ~data:(Nfs.Data "evil") () with
+      | Error Nfs.ERR_PERM -> ()
+      | _ -> Alcotest.fail "tampered handle must be rejected")
+
+let cap_properties =
+  Helpers.qtest "capability tags: deterministic, secret- and identity-bound"
+    QCheck2.Gen.(pair (string_size (int_range 1 12)) (string_size (int_range 1 12)))
+    (fun (s1, s2) ->
+      let fh = { Fh.root with Fh.file_id = 77L; ftype = Fh.Reg } in
+      let sealed = Slice_nfs.Cap.seal ~secret:s1 fh in
+      Slice_nfs.Cap.verify ~secret:s1 sealed
+      && (s1 = s2 || not (Slice_nfs.Cap.verify ~secret:s2 sealed))
+      && not (Slice_nfs.Cap.verify ~secret:s1 { sealed with Fh.gen = sealed.Fh.gen + 1 }))
+
+let suite =
+  suite
+  @ [
+      ("secure objects: capabilities", `Quick, secure_objects_capabilities);
+      cap_properties;
+    ]
+
+let periodic_attr_writeback () =
+  (* the µproxy's interval-driven setattr push bounds attribute drift
+     without waiting for commit or eviction *)
+  let ens =
+    Ensemble.create
+      {
+        Ensemble.default_config with
+        storage_nodes = 2;
+        proxy_params = { Params.default with attr_writeback_interval = 0.5 };
+      }
+  in
+  let eng = Ensemble.engine ens in
+  let host, proxy = Ensemble.add_client ens ~name:"c0" in
+  let cl = Client.create host ~server:(Ensemble.virtual_addr ens) () in
+  Engine.spawn eng (fun () ->
+      let fh, _ = ok_or_fail "create" (Client.create_file cl Ensemble.root "drifty") in
+      (* uncommitted write: only the µproxy knows the new size *)
+      ignore (ok_or_fail "write" (Client.write_at cl fh ~off:0L ~data:(Nfs.Synthetic 30000) ()));
+      (* wait out a timer tick plus slack: the push happens in background *)
+      Engine.sleep eng 1.5;
+      check_bool "interval writeback ran" true (Proxy.attr_writebacks proxy >= 1);
+      match ok_or_fail "getattr" (Client.getattr cl fh) with
+      | a -> check_bool "dir server saw the size" true (a.Nfs.size = 30000L));
+  (* the timer keeps one event pending forever; run bounded *)
+  Engine.run ~until:10.0 eng
+
+let suite = suite @ [ ("periodic attr writeback", `Quick, periodic_attr_writeback) ]

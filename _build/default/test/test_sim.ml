@@ -1,0 +1,192 @@
+open Helpers
+module Engine = Slice_sim.Engine
+module Resource = Slice_sim.Resource
+module Fiber = Slice_sim.Fiber
+
+let event_ordering () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng 2.0 (fun () -> log := "c" :: !log);
+  Engine.schedule eng 1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule eng 1.0 (fun () -> log := "b" :: !log) (* FIFO at same time *);
+  Engine.run eng;
+  check_bool "order a,b,c" true (List.rev !log = [ "a"; "b"; "c" ]);
+  check_float "clock at last event" 2.0 (Engine.now eng)
+
+let schedule_past_clamps () =
+  let eng = Engine.create () in
+  let at = ref 0.0 in
+  Engine.schedule eng 1.0 (fun () ->
+      Engine.schedule_at eng 0.5 (fun () -> at := Engine.now eng));
+  Engine.run eng;
+  check_float "clamped to now" 1.0 !at
+
+let run_until () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule eng 1.0 (fun () -> incr fired);
+  Engine.schedule eng 5.0 (fun () -> incr fired);
+  Engine.run ~until:2.0 eng;
+  check_int "only first fired" 1 !fired;
+  check_int "one pending" 1 (Engine.pending eng);
+  Engine.run eng;
+  check_int "all fired" 2 !fired
+
+let sleep_advances_time () =
+  let elapsed =
+    run_fiber (fun eng ->
+        let t0 = Engine.now eng in
+        Engine.sleep eng 1.5;
+        Engine.sleep eng 0.25;
+        Engine.now eng -. t0)
+  in
+  check_float "slept 1.75" 1.75 elapsed
+
+let suspend_resumes_with_value () =
+  let v =
+    run_fiber (fun eng ->
+        Engine.suspend (fun wake -> Engine.schedule eng 1.0 (fun () -> wake 42)))
+  in
+  check_int "resumed value" 42 v
+
+let waker_idempotent () =
+  let v =
+    run_fiber (fun eng ->
+        Engine.suspend (fun wake ->
+            Engine.schedule eng 1.0 (fun () -> wake 1);
+            Engine.schedule eng 2.0 (fun () -> wake 2)))
+  in
+  check_int "first waker wins" 1 v
+
+let fibers_interleave () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng 1.0;
+      log := `A :: !log);
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng 0.5;
+      log := `B :: !log);
+  Engine.run eng;
+  check_bool "B before A" true (List.rev !log = [ `B; `A ])
+
+let resource_fcfs () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~name:"cpu" () in
+  let finish = Array.make 2 0.0 in
+  Engine.spawn eng (fun () ->
+      Resource.use r 1.0;
+      finish.(0) <- Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Resource.use r 0.5;
+      finish.(1) <- Engine.now eng);
+  Engine.run eng;
+  check_float "first holds 1.0" 1.0 finish.(0);
+  check_float "second queues behind" 1.5 finish.(1);
+  check_float "busy time" 1.5 (Resource.busy_time r);
+  check_float "utilization" 1.0 (Resource.utilization r ~elapsed:1.5);
+  check_float "queue delay" 1.0 (Resource.queue_delay_total r);
+  check_int "served" 2 (Resource.served r)
+
+let resource_parallel_capacity () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~capacity:2 ~name:"arms" () in
+  let finish = Array.make 3 0.0 in
+  for i = 0 to 2 do
+    Engine.spawn eng (fun () ->
+        Resource.use r 1.0;
+        finish.(i) <- Engine.now eng)
+  done;
+  Engine.run eng;
+  check_float "two run in parallel" 1.0 finish.(0);
+  check_float "two run in parallel 2" 1.0 finish.(1);
+  check_float "third queues" 2.0 finish.(2)
+
+let resource_zero_service () =
+  run_fiber (fun eng ->
+      let r = Resource.create eng ~name:"r" () in
+      let t0 = Engine.now eng in
+      Resource.use r 0.0;
+      check_float "no wait" t0 (Engine.now eng))
+
+let fiber_join_all () =
+  let eng = Engine.create () in
+  let done_at = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      Fiber.join_all eng
+        [ (fun () -> Engine.sleep eng 1.0); (fun () -> Engine.sleep eng 3.0); (fun () -> ()) ];
+      done_at := Engine.now eng);
+  Engine.run eng;
+  check_float "joined at max" 3.0 !done_at
+
+let fiber_join_empty () =
+  run_fiber (fun eng ->
+      let t0 = Engine.now eng in
+      Fiber.join_all eng [];
+      check_float "instant" t0 (Engine.now eng))
+
+let fiber_timeout () =
+  let r =
+    run_fiber (fun eng ->
+        Fiber.timeout eng 1.0 (fun () ->
+            Engine.sleep eng 5.0;
+            `Late))
+  in
+  check_bool "timed out" true (r = None);
+  let r =
+    run_fiber (fun eng ->
+        Fiber.timeout eng 1.0 (fun () ->
+            Engine.sleep eng 0.5;
+            `Fast))
+  in
+  check_bool "completed" true (r = Some `Fast)
+
+let parallel_window_bounds () =
+  let eng = Engine.create () in
+  let inflight = ref 0 in
+  let peak = ref 0 in
+  let ran = ref 0 in
+  Engine.spawn eng (fun () ->
+      Fiber.parallel_window eng ~window:3 10 (fun _ ->
+          incr inflight;
+          if !inflight > !peak then peak := !inflight;
+          Engine.sleep eng 1.0;
+          decr inflight;
+          incr ran));
+  Engine.run eng;
+  check_int "all ran" 10 !ran;
+  check_bool "peak <= window" true (!peak <= 3);
+  check_int "peak reaches window" 3 !peak
+
+let parallel_window_order () =
+  let eng = Engine.create () in
+  let starts = ref [] in
+  Engine.spawn eng (fun () ->
+      Fiber.parallel_window eng ~window:2 5 (fun i ->
+          starts := i :: !starts;
+          Engine.sleep eng (0.1 *. float_of_int (5 - i))));
+  Engine.run eng;
+  check_bool "issue order" true (List.rev !starts = [ 0; 1; 2; 3; 4 ])
+
+let parallel_window_zero () =
+  run_fiber (fun eng -> Fiber.parallel_window eng ~window:4 0 (fun _ -> Alcotest.fail "no items"))
+
+let suite =
+  [
+    ("event ordering", `Quick, event_ordering);
+    ("schedule past clamps", `Quick, schedule_past_clamps);
+    ("run ~until", `Quick, run_until);
+    ("sleep advances time", `Quick, sleep_advances_time);
+    ("suspend resumes with value", `Quick, suspend_resumes_with_value);
+    ("waker idempotent", `Quick, waker_idempotent);
+    ("fibers interleave", `Quick, fibers_interleave);
+    ("resource FCFS", `Quick, resource_fcfs);
+    ("resource parallel capacity", `Quick, resource_parallel_capacity);
+    ("resource zero service", `Quick, resource_zero_service);
+    ("fiber join_all", `Quick, fiber_join_all);
+    ("fiber join empty", `Quick, fiber_join_empty);
+    ("fiber timeout", `Quick, fiber_timeout);
+    ("parallel_window bounds", `Quick, parallel_window_bounds);
+    ("parallel_window order", `Quick, parallel_window_order);
+    ("parallel_window zero items", `Quick, parallel_window_zero);
+  ]

@@ -1,0 +1,164 @@
+open Helpers
+module Engine = Slice_sim.Engine
+module Net = Slice_net.Net
+module Rpc = Slice_net.Rpc
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Codec = Slice_nfs.Codec
+module Host = Slice_storage.Host
+module Smallfile = Slice_smallfile.Smallfile
+
+type rig = { eng : Engine.t; sf : Smallfile.t; rpc : Rpc.t; dst : Slice_net.Packet.addr }
+
+let mk_rig ?cache_bytes () =
+  let eng = Engine.create () in
+  let net = Net.create eng () in
+  let host = Host.create net ~name:"sf" ~disks:8 () in
+  let sf = Smallfile.attach host ?cache_bytes () in
+  let client = Host.create net ~name:"client" () in
+  let rpc = Rpc.create net client.Host.addr ~port:1000 in
+  { eng; sf; rpc; dst = Smallfile.addr sf }
+
+let reg_fh id =
+  { Fh.file_id = Int64.of_int id; gen = 1; ftype = Fh.Reg; mirrored = false; attr_site = 0; cap = 0L }
+
+let call rig c =
+  let xid = Rpc.fresh_xid rig.rpc in
+  let payload = Codec.encode_call ~xid c in
+  let reply =
+    Rpc.call rig.rpc ~timeout:2.0 ~dst:rig.dst ~dport:2049
+      ~extra_size:(Codec.extra_size_of_call c) payload
+  in
+  snd (Codec.decode_reply reply)
+
+let physical_rounding () =
+  check_int "0" 0 (Smallfile.physical_size_of 0);
+  check_int "1 -> 128" 128 (Smallfile.physical_size_of 1);
+  check_int "128" 128 (Smallfile.physical_size_of 128);
+  check_int "129 -> 256" 256 (Smallfile.physical_size_of 129);
+  check_int "5000 -> 8192" 8192 (Smallfile.physical_size_of 5000);
+  check_int "8192 caps" 8192 (Smallfile.physical_size_of 8192)
+
+let paper_example_8300 () =
+  (* "a 8300 byte file would consume only 8320 bytes of physical storage
+     space, 8192 bytes for the first block, and 128 for the remaining 108
+     bytes" *)
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      let fh = reg_fh 1 in
+      ignore (call rig (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Synthetic 8300)));
+      check_bool "8320 bytes stored" true (Smallfile.bytes_stored rig.sf = 8320L);
+      check_bool "8300 logical" true (Smallfile.logical_bytes rig.sf = 8300L))
+
+let write_read_real_data () =
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      let fh = reg_fh 2 in
+      let data = String.init 5000 (fun i -> Char.chr ((i * 7) mod 256)) in
+      ignore (call rig (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Data data)));
+      (match call rig (Nfs.Read (fh, 0L, 5000)) with
+      | Ok (Nfs.RRead (Nfs.Data d, eof, a)) ->
+          check_string "data" data d;
+          check_bool "eof" true eof;
+          check_bool "size" true (a.Nfs.size = 5000L)
+      | _ -> Alcotest.fail "read");
+      match call rig (Nfs.Read (fh, 1000L, 100)) with
+      | Ok (Nfs.RRead (Nfs.Data d, eof, _)) ->
+          check_string "middle slice" (String.sub data 1000 100) d;
+          check_bool "not eof" false eof
+      | _ -> Alcotest.fail "read middle")
+
+let growth_reallocates () =
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      let fh = reg_fh 3 in
+      ignore (call rig (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Synthetic 100)));
+      check_bool "128 fragment" true (Smallfile.bytes_stored rig.sf = 128L);
+      ignore (call rig (Nfs.Write (fh, 100L, Nfs.Unstable, Nfs.Synthetic 400)));
+      (* grown to 500 bytes: one 512 fragment, old 128 freed *)
+      check_bool "512 fragment" true (Smallfile.bytes_stored rig.sf = 512L);
+      check_bool "logical 500" true (Smallfile.logical_bytes rig.sf = 500L))
+
+let remove_frees_space () =
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      let fh = reg_fh 4 in
+      ignore (call rig (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Synthetic 20000)));
+      check_int "one file" 1 (Smallfile.file_count rig.sf);
+      (match call rig (Nfs.Remove (fh, "")) with
+      | Ok Nfs.RRemove -> ()
+      | _ -> Alcotest.fail "remove");
+      check_int "no files" 0 (Smallfile.file_count rig.sf);
+      check_bool "space freed" true (Smallfile.bytes_stored rig.sf = 0L))
+
+let truncate_to_zero_and_partial () =
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      let fh = reg_fh 5 in
+      ignore (call rig (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Synthetic 30000)));
+      ignore (call rig (Nfs.Setattr (fh, Nfs.sattr_size 10000L)));
+      check_bool "logical 10000" true (Smallfile.logical_bytes rig.sf = 10000L);
+      (* blocks past the cut freed: 10000 needs blocks 0 (8192) + 1 *)
+      check_bool "partial trim freed space" true (Smallfile.bytes_stored rig.sf <= 16384L);
+      ignore (call rig (Nfs.Setattr (fh, Nfs.sattr_size 0L)));
+      check_bool "all freed" true (Smallfile.bytes_stored rig.sf = 0L))
+
+let fragment_reuse () =
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      (* create files, remove one, create another of the same size: the
+         freed fragment is reused (best fit), keeping fragmentation low *)
+      ignore (call rig (Nfs.Write (reg_fh 10, 0L, Nfs.Unstable, Nfs.Synthetic 1000)));
+      ignore (call rig (Nfs.Write (reg_fh 11, 0L, Nfs.Unstable, Nfs.Synthetic 1000)));
+      ignore (call rig (Nfs.Remove (reg_fh 10, "")));
+      ignore (call rig (Nfs.Write (reg_fh 12, 0L, Nfs.Unstable, Nfs.Synthetic 1000)));
+      check_bool "no extra fragments" true (Smallfile.fragmentation rig.sf <= 2))
+
+let stable_write_commits () =
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      let t0 = Engine.now rig.eng in
+      ignore (call rig (Nfs.Write (reg_fh 6, 0L, Nfs.File_sync, Nfs.Synthetic 8192)));
+      let stable_t = Engine.now rig.eng -. t0 in
+      let t1 = Engine.now rig.eng in
+      ignore (call rig (Nfs.Write (reg_fh 7, 0L, Nfs.Unstable, Nfs.Synthetic 8192)));
+      let unstable_t = Engine.now rig.eng -. t1 in
+      check_bool "stable write slower than unstable" true (stable_t > unstable_t))
+
+let commit_then_read_cached () =
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      let fh = reg_fh 8 in
+      ignore (call rig (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Synthetic 4096)));
+      (match call rig (Nfs.Commit (fh, 0L, 0)) with
+      | Ok (Nfs.RCommit _) -> ()
+      | _ -> Alcotest.fail "commit");
+      let h0 = Smallfile.cache_hits rig.sf in
+      ignore (call rig (Nfs.Read (fh, 0L, 4096)));
+      check_bool "read hits cache" true (Smallfile.cache_hits rig.sf > h0))
+
+let map_block_locality () =
+  (* files created together share map-descriptor blocks: creating 84
+     consecutive fileIDs touches at most 2 map blocks *)
+  let rig = mk_rig () in
+  run_on rig.eng (fun () ->
+      for i = 100 to 183 do
+        ignore (call rig (Nfs.Write (reg_fh i, 0L, Nfs.Unstable, Nfs.Synthetic 256)))
+      done;
+      let misses = Smallfile.cache_misses rig.sf in
+      (* map blocks: <= 2 of the misses come from the descriptor array *)
+      check_bool "few map misses" true (misses < 90))
+
+let suite =
+  [
+    ("physical size rounding", `Quick, physical_rounding);
+    ("paper's 8300-byte example", `Quick, paper_example_8300);
+    ("write/read real data", `Quick, write_read_real_data);
+    ("growth reallocates fragments", `Quick, growth_reallocates);
+    ("remove frees space", `Quick, remove_frees_space);
+    ("truncate partial and zero", `Quick, truncate_to_zero_and_partial);
+    ("fragment reuse", `Quick, fragment_reuse);
+    ("stable write commits", `Quick, stable_write_commits);
+    ("commit then read cached", `Quick, commit_then_read_cached);
+    ("map block locality", `Quick, map_block_locality);
+  ]

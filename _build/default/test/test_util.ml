@@ -1,0 +1,280 @@
+open Helpers
+module Heap = Slice_util.Heap
+module Prng = Slice_util.Prng
+module Stats = Slice_util.Stats
+module Lru = Slice_util.Lru
+
+(* ---- Heap ---- *)
+
+let heap_basic () =
+  let h = Heap.create ~cmp:compare in
+  check_bool "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  check_int "length" 6 (Heap.length h);
+  check_int "peek min" 1 (Option.get (Heap.peek h));
+  check_int "pop 1" 1 (Heap.pop_exn h);
+  check_int "pop 2" 2 (Heap.pop_exn h);
+  Heap.push h 0;
+  check_int "pop 0" 0 (Heap.pop_exn h);
+  check_int "length after" 4 (Heap.length h)
+
+let heap_pop_empty () =
+  let h = Heap.create ~cmp:compare in
+  check_bool "pop none" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let heap_sorts =
+  qtest "heap yields sorted order" QCheck2.Gen.(list int) (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare xs)
+
+let heap_interleaved =
+  qtest "heap min under interleaved push/pop"
+    QCheck2.Gen.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Heap.push h v;
+            model := List.sort compare (v :: !model);
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+                model := rest;
+                x = m
+            | _ -> false)
+        ops)
+
+(* ---- Prng ---- *)
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.int64 a = Prng.int64 b)
+  done
+
+let prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let prng_int_range =
+  qtest "int in range" QCheck2.Gen.(pair int (int_range 1 1000)) (fun (seed, bound) ->
+      let p = Prng.create seed in
+      let v = Prng.int p bound in
+      v >= 0 && v < bound)
+
+let prng_float_range =
+  qtest "float in range" QCheck2.Gen.int (fun seed ->
+      let p = Prng.create seed in
+      let v = Prng.float p 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let prng_weighted () =
+  let p = Prng.create 7 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.weighted p [| (1.0, `A); (2.0, `B); (7.0, `C) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  check_bool "A ~10%" true (abs (get `A - 1000) < 250);
+  check_bool "B ~20%" true (abs (get `B - 2000) < 350);
+  check_bool "C ~70%" true (abs (get `C - 7000) < 500)
+
+let prng_exponential () =
+  let p = Prng.create 9 in
+  let total = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Prng.exponential p 2.0 in
+    check_bool "non-negative" true (v >= 0.0);
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean near 2.0" true (Float.abs (mean -. 2.0) < 0.1)
+
+let prng_shuffle_permutes =
+  qtest "shuffle permutes" QCheck2.Gen.(pair int (list int)) (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      Prng.shuffle (Prng.create seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+(* ---- Stats ---- *)
+
+let stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.count s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "min" 1.0 (Stats.min s);
+  check_float "max" 4.0 (Stats.max s);
+  check_float "sum" 10.0 (Stats.sum s);
+  check_float_eps 1e-6 "stddev" 1.1180339887 (Stats.stddev s)
+
+let stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check_float "p50" 50.0 (Stats.percentile s 50.0);
+  check_float "p95" 95.0 (Stats.percentile s 95.0);
+  check_float "p100" 100.0 (Stats.percentile s 100.0)
+
+let stats_empty () =
+  let s = Stats.create () in
+  check_float "mean empty" 0.0 (Stats.mean s);
+  check_float "percentile empty" 0.0 (Stats.percentile s 50.0)
+
+let stats_merge =
+  qtest "merge pools samples"
+    QCheck2.Gen.(pair (list (float_range 0. 100.)) (list (float_range 0. 100.)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      let m = Stats.merge a b in
+      Stats.count m = List.length xs + List.length ys
+      && Float.abs (Stats.sum m -. (Stats.sum a +. Stats.sum b)) < 1e-6)
+
+let counter_rate () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.add c 10;
+  Stats.Counter.incr c;
+  check_int "count" 11 (Stats.Counter.get c);
+  check_float "rate" 5.5 (Stats.Counter.rate c ~elapsed:2.0);
+  check_float "rate zero elapsed" 0.0 (Stats.Counter.rate c ~elapsed:0.0)
+
+let histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; 15.0; -1.0 ];
+  check_int "bucket 0" 2 (Stats.Histogram.bucket_count h 0) (* 0.5 and clamped -1.0 *);
+  check_int "bucket 1" 2 (Stats.Histogram.bucket_count h 1);
+  check_int "overflow" 1 (Stats.Histogram.bucket_count h 10);
+  check_int "total" 6 (Stats.Histogram.total h);
+  check_bool "render nonempty" true (String.length (Stats.Histogram.render h) > 0)
+
+(* ---- Lru ---- *)
+
+let lru_basic () =
+  let l = Lru.create ~capacity:3 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  Lru.add l 3 "c";
+  check_bool "find 1" true (Lru.find l 1 = Some "a");
+  (* 1 is now MRU; adding 4 evicts 2 *)
+  Lru.add l 4 "d";
+  check_bool "2 evicted" true (Lru.find l 2 = None);
+  check_bool "1 kept" true (Lru.find l 1 = Some "a");
+  check_int "entries" 3 (Lru.entry_count l)
+
+let lru_eviction_callback () =
+  let evicted = ref [] in
+  let l = Lru.create ~on_evict:(fun k v -> evicted := (k, v) :: !evicted) ~capacity:2 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  Lru.add l 3 "c";
+  check_bool "evicted (1,a)" true (!evicted = [ (1, "a") ]);
+  Lru.remove l 2;
+  check_bool "remove is silent" true (List.length !evicted = 1);
+  Lru.flush l;
+  check_int "flush fires callbacks" 2 (List.length !evicted)
+
+let lru_weights () =
+  let l = Lru.create ~capacity:100 () in
+  Lru.add l 1 "x" ~weight:60;
+  Lru.add l 2 "y" ~weight:30;
+  check_int "size" 90 (Lru.size l);
+  Lru.add l 3 "z" ~weight:40;
+  (* 60+30+40 > 100: LRU (key 1) evicted *)
+  check_bool "1 evicted" true (Lru.find l 1 = None);
+  check_int "size after" 70 (Lru.size l)
+
+let lru_replace () =
+  let l = Lru.create ~capacity:10 () in
+  Lru.add l 1 "a" ~weight:4;
+  Lru.add l 1 "b" ~weight:6;
+  check_int "replaced weight" 6 (Lru.size l);
+  check_bool "value updated" true (Lru.find l 1 = Some "b");
+  check_int "one entry" 1 (Lru.entry_count l)
+
+let lru_mem_no_promote () =
+  let l = Lru.create ~capacity:2 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  check_bool "mem" true (Lru.mem l 1);
+  (* mem must not promote: 1 is still LRU and gets evicted *)
+  Lru.add l 3 "c";
+  check_bool "1 evicted despite mem" true (Lru.find l 1 = None)
+
+let lru_model =
+  qtest ~count:100 "lru matches model"
+    QCheck2.Gen.(list (pair (int_range 0 10) (int_range 0 2)))
+    (fun ops ->
+      (* model: list of keys, MRU first, capacity 4 *)
+      let l = Lru.create ~capacity:4 () in
+      let model = ref [] in
+      List.for_all
+        (fun (k, op) ->
+          match op with
+          | 0 ->
+              Lru.add l k k;
+              model := k :: List.filter (( <> ) k) !model;
+              if List.length !model > 4 then
+                model := List.filteri (fun i _ -> i < 4) !model;
+              true
+          | 1 ->
+              let expect = List.mem k !model in
+              let got = Lru.find l k <> None in
+              if got then model := k :: List.filter (( <> ) k) !model;
+              expect = got
+          | _ ->
+              Lru.remove l k;
+              model := List.filter (( <> ) k) !model;
+              true)
+        ops)
+
+let suite =
+  [
+    ("heap basic", `Quick, heap_basic);
+    ("heap pop empty", `Quick, heap_pop_empty);
+    ("heap clear", `Quick, heap_clear);
+    heap_sorts;
+    heap_interleaved;
+    ("prng deterministic", `Quick, prng_deterministic);
+    ("prng seeds differ", `Quick, prng_seeds_differ);
+    prng_int_range;
+    prng_float_range;
+    ("prng weighted", `Quick, prng_weighted);
+    ("prng exponential", `Quick, prng_exponential);
+    prng_shuffle_permutes;
+    ("stats basic", `Quick, stats_basic);
+    ("stats percentile", `Quick, stats_percentile);
+    ("stats empty", `Quick, stats_empty);
+    stats_merge;
+    ("counter rate", `Quick, counter_rate);
+    ("histogram", `Quick, histogram);
+    ("lru basic", `Quick, lru_basic);
+    ("lru eviction callback", `Quick, lru_eviction_callback);
+    ("lru weights", `Quick, lru_weights);
+    ("lru replace", `Quick, lru_replace);
+    ("lru mem does not promote", `Quick, lru_mem_no_promote);
+    lru_model;
+  ]

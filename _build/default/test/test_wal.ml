@@ -1,0 +1,122 @@
+open Helpers
+module Engine = Slice_sim.Engine
+module Wal = Slice_wal.Wal
+module Disk = Slice_disk.Disk
+
+let append_sync_replay () =
+  let w = Wal.create ~name:"t" () in
+  let l1 = Wal.append w ~rtype:1 "alpha" in
+  let l2 = Wal.append w ~rtype:2 "beta" in
+  check_bool "lsns increase" true (Int64.compare l2 l1 > 0);
+  check_bool "nothing synced yet" true (Wal.synced_lsn w = 0L);
+  Wal.sync w;
+  check_bool "synced to l2" true (Wal.synced_lsn w = l2);
+  let seen = ref [] in
+  let n = Wal.replay (Wal.image w) (fun ~lsn ~rtype payload -> seen := (lsn, rtype, payload) :: !seen) in
+  check_int "two records" 2 n;
+  check_bool "order and content" true
+    (List.rev !seen = [ (l1, 1, "alpha"); (l2, 2, "beta") ])
+
+let unsynced_invisible () =
+  let w = Wal.create ~name:"t" () in
+  ignore (Wal.append w ~rtype:1 "x");
+  check_int "image empty before sync" 0 (Wal.replay (Wal.image w) (fun ~lsn:_ ~rtype:_ _ -> ()))
+
+let torn_tail_recovers_prefix =
+  qtest ~count:80 "torn tail yields intact prefix"
+    QCheck2.Gen.(pair (list_size (int_range 1 10) (string_size (int_range 0 40))) (int_range 0 500))
+    (fun (payloads, cut) ->
+      let w = Wal.create ~name:"t" () in
+      (* first half synced, second half pending *)
+      let n = List.length payloads in
+      List.iteri
+        (fun i p ->
+          ignore (Wal.append w ~rtype:i p);
+          if i = (n / 2) - 1 then Wal.sync w)
+        payloads;
+      let img = Wal.crash_image w ~keep_unsynced_bytes:cut in
+      let seen = ref [] in
+      ignore (Wal.replay img (fun ~lsn:_ ~rtype:_ payload -> seen := payload :: !seen));
+      let recovered = List.rev !seen in
+      (* recovered must be a prefix of the appended sequence, covering at
+         least everything synced *)
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+        | _ -> false
+      in
+      is_prefix recovered payloads && List.length recovered >= n / 2)
+
+let corrupt_record_stops_replay () =
+  let w = Wal.create ~name:"t" () in
+  ignore (Wal.append w ~rtype:1 "good");
+  ignore (Wal.append w ~rtype:1 "bad!");
+  Wal.sync w;
+  let img = Bytes.of_string (Wal.image w) in
+  (* flip a byte inside the second record's payload *)
+  let len = Bytes.length img in
+  Bytes.set img (len - 6) 'X';
+  let seen = ref 0 in
+  ignore (Wal.replay (Bytes.to_string img) (fun ~lsn:_ ~rtype:_ _ -> incr seen));
+  check_int "only first survives" 1 !seen
+
+let checkpoint_truncates () =
+  let w = Wal.create ~name:"t" () in
+  ignore (Wal.append w ~rtype:1 "old");
+  Wal.sync w;
+  Wal.checkpoint w;
+  ignore (Wal.append w ~rtype:2 "new");
+  Wal.sync w;
+  let seen = ref [] in
+  ignore (Wal.replay (Wal.image w) (fun ~lsn:_ ~rtype:_ p -> seen := p :: !seen));
+  check_bool "only post-checkpoint" true (!seen = [ "new" ])
+
+let disk_backed_sync_takes_time () =
+  run_fiber (fun eng ->
+      let d = Disk.create eng ~arms:1 ~name:"log" () in
+      let w = Wal.create ~eng ~disk:d ~name:"t" () in
+      ignore (Wal.append w ~rtype:1 (String.make 100 'a'));
+      let t0 = Engine.now eng in
+      Wal.sync w;
+      check_bool "sync waited for disk" true (Engine.now eng > t0);
+      check_int "one disk write" 1 (Disk.ops d))
+
+let group_commit () =
+  let eng = Engine.create () in
+  let d = Disk.create eng ~arms:1 ~name:"log" () in
+  let w = Wal.create ~eng ~disk:d ~name:"t" () in
+  let done_count = ref 0 in
+  (* many fibers append + sync concurrently: far fewer disk writes than
+     records *)
+  for i = 1 to 20 do
+    Engine.spawn eng (fun () ->
+        ignore (Wal.append w ~rtype:i "rec");
+        Wal.sync w;
+        check_bool "my record stable" true (Int64.compare (Wal.synced_lsn w) (Int64.of_int i) >= 0);
+        incr done_count)
+  done;
+  Engine.run eng;
+  check_int "all synced" 20 !done_count;
+  check_bool "group commit batches" true (Wal.sync_count w < 20)
+
+let sync_fn_hook () =
+  let eng = Engine.create () in
+  let written = ref 0 in
+  let w = Wal.create ~eng ~sync_fn:(fun n -> written := !written + n) ~name:"t" () in
+  run_on eng (fun () ->
+      ignore (Wal.append w ~rtype:1 "abc");
+      Wal.sync w);
+  check_bool "hook saw bytes" true (!written > 0)
+
+let suite =
+  [
+    ("append/sync/replay", `Quick, append_sync_replay);
+    ("unsynced invisible", `Quick, unsynced_invisible);
+    torn_tail_recovers_prefix;
+    ("corrupt record stops replay", `Quick, corrupt_record_stops_replay);
+    ("checkpoint truncates", `Quick, checkpoint_truncates);
+    ("disk-backed sync takes time", `Quick, disk_backed_sync_takes_time);
+    ("group commit", `Quick, group_commit);
+    ("sync_fn hook", `Quick, sync_fn_hook);
+  ]

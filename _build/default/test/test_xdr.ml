@@ -1,0 +1,114 @@
+open Helpers
+module Xdr = Slice_xdr.Xdr
+
+let roundtrip_primitives () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.u32 e 0;
+  Xdr.Enc.u32 e 0xFFFFFFFF;
+  Xdr.Enc.u64 e 0x1122334455667788L;
+  Xdr.Enc.bool e true;
+  Xdr.Enc.bool e false;
+  Xdr.Enc.i32 e (-5l);
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  check_int "u32 zero" 0 (Xdr.Dec.u32 d);
+  check_int "u32 max" 0xFFFFFFFF (Xdr.Dec.u32 d);
+  check_bool "u64" true (Xdr.Dec.u64 d = 0x1122334455667788L);
+  check_bool "bool t" true (Xdr.Dec.bool d);
+  check_bool "bool f" false (Xdr.Dec.bool d);
+  check_bool "i32" true (Xdr.Dec.i32 d = -5l);
+  check_int "consumed all" 0 (Xdr.Dec.remaining d)
+
+let opaque_padding () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.opaque e "abc" (* 4 len + 3 data + 1 pad *);
+  check_int "padded length" 8 (Xdr.Enc.length e);
+  Xdr.Enc.opaque e "abcd" (* no pad *);
+  check_int "aligned length" 16 (Xdr.Enc.length e);
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  check_string "first" "abc" (Xdr.Dec.opaque d);
+  check_string "second" "abcd" (Xdr.Dec.opaque d)
+
+let opaque_fixed () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.opaque_fixed e "xy";
+  check_int "padded to 4" 4 (Xdr.Enc.length e);
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  check_string "fixed" "xy" (Xdr.Dec.opaque_fixed d 2);
+  check_int "pad skipped" 0 (Xdr.Dec.remaining d)
+
+let truncation_raises () =
+  let d = Xdr.Dec.of_bytes (Bytes.create 3) in
+  Alcotest.check_raises "u32 truncated" Xdr.Truncated (fun () -> ignore (Xdr.Dec.u32 d));
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.u32 e 100 (* length prefix promising 100 bytes *);
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  Alcotest.check_raises "opaque truncated" Xdr.Truncated (fun () -> ignore (Xdr.Dec.opaque d))
+
+let skip_and_pos () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.u32 e 1;
+  Xdr.Enc.u32 e 2;
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  Xdr.Dec.skip d 4;
+  check_int "pos" 4 (Xdr.Dec.pos d);
+  check_int "second" 2 (Xdr.Dec.u32 d)
+
+let items_counted () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.u32 e 1;
+  Xdr.Enc.u64 e 2L;
+  Xdr.Enc.str e "hello";
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  ignore (Xdr.Dec.u32 d);
+  ignore (Xdr.Dec.u64 d);
+  ignore (Xdr.Dec.str d);
+  (* str = length word + fixed body = 2 items *)
+  check_int "items" 4 (Xdr.Dec.items_read d)
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun n -> `U32 (n land 0xFFFFFFFF)) int;
+        map (fun n -> `U64 n) (map Int64.of_int int);
+        map (fun s -> `Str s) (string_size (int_range 0 50));
+        map (fun b -> `Bool b) bool;
+      ])
+
+let roundtrip_sequences =
+  qtest "sequences roundtrip" QCheck2.Gen.(list gen_value) (fun vs ->
+      let e = Xdr.Enc.create () in
+      List.iter
+        (function
+          | `U32 n -> Xdr.Enc.u32 e n
+          | `U64 n -> Xdr.Enc.u64 e n
+          | `Str s -> Xdr.Enc.str e s
+          | `Bool b -> Xdr.Enc.bool e b)
+        vs;
+      let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+      List.for_all
+        (function
+          | `U32 n -> Xdr.Dec.u32 d = n
+          | `U64 n -> Xdr.Dec.u64 d = n
+          | `Str s -> Xdr.Dec.str d = s
+          | `Bool b -> Xdr.Dec.bool d = b)
+        vs
+      && Xdr.Dec.remaining d = 0)
+
+let alignment_invariant =
+  qtest "encoded length is 4-aligned" QCheck2.Gen.(string_size (int_range 0 64)) (fun s ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.opaque e s;
+      Xdr.Enc.length e mod 4 = 0)
+
+let suite =
+  [
+    ("roundtrip primitives", `Quick, roundtrip_primitives);
+    ("opaque padding", `Quick, opaque_padding);
+    ("opaque fixed", `Quick, opaque_fixed);
+    ("truncation raises", `Quick, truncation_raises);
+    ("skip and pos", `Quick, skip_and_pos);
+    ("items counted", `Quick, items_counted);
+    roundtrip_sequences;
+    alignment_invariant;
+  ]
