@@ -53,6 +53,13 @@ let fig6_cmd =
       const (fun s p -> run_fig56 ~fig5:false ~fig6:true s p)
       $ scale_arg ~default:0.01 $ points_arg)
 
+let run_chaos () = E.Report.print (E.Chaos.report ())
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Fault injection: workloads under loss and node crashes.")
+    Term.(const run_chaos $ const ())
+
 let all_cmd =
   let run fast =
     let f = if fast then 0.5 else 1.0 in
@@ -60,7 +67,8 @@ let all_cmd =
     run_table3 0.05;
     run_fig3 (0.04 *. f);
     run_fig4 (0.03 *. f);
-    run_fig56 ~fig5:true ~fig6:true (0.01 *. f) (if fast then 3 else 4)
+    run_fig56 ~fig5:true ~fig6:true (0.01 *. f) (if fast then 3 else 4);
+    run_chaos ()
   in
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Halve the default scales.") in
   Cmd.v (Cmd.info "all" ~doc:"Every table and figure.") Term.(const run $ fast)
@@ -69,6 +77,6 @@ let main_cmd =
   let doc = "reproduce the evaluation of Slice (Interposed Request Routing, OSDI 2000)" in
   Cmd.group
     (Cmd.info "slice_sim" ~version:"1.0" ~doc)
-    [ table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; all_cmd ]
+    [ table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; chaos_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

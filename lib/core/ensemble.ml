@@ -304,6 +304,33 @@ let add_client t ~name:client_name =
   in
   (host, proxy)
 
+(* Fail-stop a server at both layers: the service stops answering and the
+   net drops everything addressed to (or sent by) the host, so in-flight
+   packets die exactly as on a powered-off machine. *)
+let crash_storage t i =
+  Obsd.crash t.storage_.(i);
+  Net.set_node_up t.net_ t.storage_addrs.(i) false
+
+let recover_storage t i =
+  Obsd.recover t.storage_.(i);
+  Net.set_node_up t.net_ t.storage_addrs.(i) true
+
+let crash_smallfile t i =
+  Smallfile.crash t.smallfiles_.(i);
+  Net.set_node_up t.net_ (Smallfile.addr t.smallfiles_.(i)) false
+
+let recover_smallfile t i =
+  Smallfile.recover t.smallfiles_.(i);
+  Net.set_node_up t.net_ (Smallfile.addr t.smallfiles_.(i)) true
+
+let crash_dir t i =
+  Dirserver.crash t.dirs_.(i);
+  Net.set_node_up t.net_ (Dirserver.addr t.dirs_.(i)) false
+
+let recover_dir t i =
+  Net.set_node_up t.net_ (Dirserver.addr t.dirs_.(i)) true;
+  Dirserver.recover t.dirs_.(i)
+
 let storage t = t.storage_
 let coordinator t = t.coord
 let dirs t = t.dirs_

@@ -49,6 +49,22 @@ val root : Slice_nfs.Fh.t
 val add_client : t -> name:string -> Slice_storage.Host.t * Proxy.t
 (** A fresh client host with its µproxy interposed. *)
 
+val crash_storage : t -> int -> unit
+(** Fail-stop storage node [i]: silences its service (cold cache on
+    recovery) and downs its host at the net layer. Caution: the block
+    coordinator lives on storage node 0 — crashing it stalls commits and
+    map fetches for far longer than the other nodes. *)
+
+val recover_storage : t -> int -> unit
+val crash_smallfile : t -> int -> unit
+val recover_smallfile : t -> int -> unit
+
+val crash_dir : t -> int -> unit
+(** Fail-stop directory server [i]; {!recover_dir} replays its journal
+    (see {!Slice_dir.Dirserver.recover}). *)
+
+val recover_dir : t -> int -> unit
+
 val storage : t -> Slice_storage.Obsd.t array
 val coordinator : t -> Slice_storage.Coordinator.t option
 val dirs : t -> Slice_dir.Dirserver.t array

@@ -14,6 +14,8 @@ type t = {
   mirror_dup_cost_per_byte : float;
   attr_cache_capacity : int;
   attr_writeback_interval : float;
+  pending_sweep_interval : float;
+  pending_expiry : float;
   rpc_port : int;
 }
 
@@ -31,5 +33,7 @@ let default =
     mirror_dup_cost_per_byte = 5.2e-9;
     attr_cache_capacity = 4096;
     attr_writeback_interval = 0.0;
+    pending_sweep_interval = 1.0;
+    pending_expiry = 10.0;
     rpc_port = 3001;
   }

@@ -33,6 +33,16 @@ type t = {
   attr_writeback_interval : float;
       (** period of the background push of dirty cached attributes to the
           directory servers (0 = rely on commit/evict-driven writeback) *)
+  pending_sweep_interval : float;
+      (** period of the sweep that expires abandoned pending records —
+          soft state for requests whose reply will never arrive because
+          the client gave up retransmitting (0 disables the sweep). The
+          sweep self-arms only while pending records exist, so idle
+          µproxies schedule nothing. *)
+  pending_expiry : float;
+      (** age at which an unanswered pending record is expired by the
+          sweep; must exceed the client's retransmit interval (a live
+          client refreshes its record with every retransmission) *)
   rpc_port : int;  (** port of the µproxy's own endpoint on the client *)
 }
 

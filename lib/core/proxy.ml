@@ -36,9 +36,11 @@ type pending = {
   p_proc : int;
   p_offset : int64 option;
   p_count : int option;
-  p_orig : bytes option; (* original request payload, for misdirect retry *)
+  p_orig : bytes; (* pristine client payload: misdirect / failover retry *)
   p_rd_site : int; (* readdir: logical dir site the request was sent to *)
+  p_born : float; (* arrival time; refreshed by each client retransmit *)
   mutable p_mirror_left : int;
+  mutable p_worst : int; (* worst NFS status seen across mirror acks *)
 }
 
 type cached_attr = { ca_fh : Fh.t; mutable ca_attr : Nfs.fattr; mutable ca_dirty : bool }
@@ -80,6 +82,8 @@ type t = {
   mutable n_intents : int;
   mutable n_stale : int;
   mutable n_map_fetch : int;
+  mutable n_expired : int;
+  mutable sweep_armed : bool;
 }
 
 (* ---- per-packet cost accounting ----
@@ -135,7 +139,13 @@ let cached_attr t (fh : Fh.t) =
       Lru.add t.attrs fh.Fh.file_id c;
       c
 
-let dir_phys t logical = t.dir_map.(logical mod Array.length t.dir_map)
+let dir_phys t logical =
+  let n = Array.length t.dir_map in
+  (* No directory sites (misconfiguration or a snapshot taken mid-reshape):
+     aim at the virtual address, where the packet is counted as a drop and
+     the client's retransmission gets another chance after a refresh —
+     never divide by zero in the fast path. *)
+  if n = 0 then t.tg.virtual_addr else t.dir_map.(logical mod n)
 
 (* Push one dirty cached attribute back to its directory server (the
    paper's setattr write-back on commit / eviction / interval). *)
@@ -175,6 +185,34 @@ let refresh_tables t =
 
 (* ---- forwarding ---- *)
 
+(* Expire pending records whose reply will never arrive: a client that
+   exhausted its retransmissions stops refreshing its record, so nothing
+   will ever match that XID again and the entry would leak forever. The
+   sweep arms itself only while records exist — an idle µproxy keeps the
+   event queue empty, so unbounded [Engine.run] still terminates. The
+   sweep charges no CPU: it models a background timer off the packet
+   path. *)
+let rec arm_sweep t =
+  let interval = t.p.Params.pending_sweep_interval in
+  if interval > 0.0 && not t.sweep_armed then begin
+    t.sweep_armed <- true;
+    Engine.schedule t.eng interval (fun () ->
+        t.sweep_armed <- false;
+        let now = Engine.now t.eng in
+        let expired =
+          Hashtbl.fold
+            (fun xid pd acc ->
+              if now -. pd.p_born >= t.p.Params.pending_expiry then xid :: acc else acc)
+            t.pending []
+        in
+        List.iter
+          (fun xid ->
+            Hashtbl.remove t.pending xid;
+            t.n_expired <- t.n_expired + 1)
+          expired;
+        if Hashtbl.length t.pending > 0 then arm_sweep t)
+  end
+
 let remember t (peek : Codec.peek) ~klass ~orig ~rd_site ~mirrors =
   Hashtbl.replace t.pending peek.Codec.xid
     {
@@ -185,8 +223,11 @@ let remember t (peek : Codec.peek) ~klass ~orig ~rd_site ~mirrors =
       p_count = peek.Codec.count;
       p_orig = orig;
       p_rd_site = rd_site;
+      p_born = Engine.now t.eng;
       p_mirror_left = mirrors;
-    }
+      p_worst = 0;
+    };
+  arm_sweep t
 
 let forward t (c : cost) (pkt : Packet.t) ~dst =
   charge t c `Rewrite t.p.Params.rewrite_cost;
@@ -268,6 +309,8 @@ let open_intent_if_needed t (fh : Fh.t) =
 
 let name_logical t (peek : Codec.peek) (fh : Fh.t) =
   let nsites = Array.length t.dir_map in
+  if nsites = 0 then 0 (* no dir sites: degenerate logical id; dir_phys copes *)
+  else
   let by_hash name = Routekey.name_site ~nsites fh name in
   match (peek.Codec.proc, t.p.Params.name_policy) with
   | (1 | 2 | 4 | 5), _ -> fh.Fh.attr_site mod nsites (* getattr/setattr/access/readlink *)
@@ -304,7 +347,7 @@ let name_logical t (peek : Codec.peek) (fh : Fh.t) =
           mod nsites)
   | _ -> fh.Fh.attr_site mod nsites
 
-let route_name t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
+let route_name t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~orig =
   let site = name_logical t peek fh in
   t.n_dir <- t.n_dir + 1;
   if site < Array.length t.dir_hist then t.dir_hist.(site) <- t.dir_hist.(site) + 1;
@@ -313,24 +356,22 @@ let route_name t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
   (if peek.Codec.proc = 16 && t.p.Params.name_policy = Params.Name_hashing then
      let local = Int64.logand (Option.value ~default:0L peek.Codec.offset) 0xFFFFFFFFL in
      patch_offset t c pkt peek local);
-  remember t peek ~klass:KName
-    ~orig:(Some (Bytes.copy pkt.Packet.payload))
-    ~rd_site:site ~mirrors:1;
+  remember t peek ~klass:KName ~orig ~rd_site:site ~mirrors:1;
   forward t c pkt ~dst:(dir_phys t site)
 
-let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
+let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~orig =
   let off = Option.value ~default:0L peek.Codec.offset in
   match smallfile_dst t fh with
   | Some dst when Int64.compare off (Int64.of_int t.p.Params.threshold) < 0 ->
       t.n_smallfile <- t.n_smallfile + 1;
-      remember t peek ~klass:KSmallfile ~orig:None ~rd_site:0 ~mirrors:1;
+      remember t peek ~klass:KSmallfile ~orig ~rd_site:0 ~mirrors:1;
       forward t c pkt ~dst
   | _ ->
       let n = Array.length t.tg.storage in
       if n = 0 then begin
         (* No storage class configured: let a directory server reject it. *)
         t.n_dir <- t.n_dir + 1;
-        remember t peek ~klass:KName ~orig:None ~rd_site:0 ~mirrors:1;
+        remember t peek ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
         forward t c pkt ~dst:(dir_phys t 0)
       end
       else if fh.Fh.mirrored then begin
@@ -340,7 +381,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
           (* mirrored read: alternate between the replicas to balance load *)
           let site = if chunk land 1 = 0 then r0 else r1 in
           t.n_storage <- t.n_storage + 1;
-          remember t peek ~klass:KStorage ~orig:None ~rd_site:0 ~mirrors:1;
+          remember t peek ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
           forward t c pkt ~dst:t.tg.storage.(site)
         end
         else begin
@@ -348,7 +389,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
           open_intent_if_needed t fh;
           t.n_storage <- t.n_storage + 1;
           t.n_mirror_dup <- t.n_mirror_dup + 1;
-          remember t peek ~klass:KStorage ~orig:None ~rd_site:0
+          remember t peek ~klass:KStorage ~orig ~rd_site:0
             ~mirrors:(if r0 = r1 then 1 else 2);
           let copy = Packet.copy pkt in
           forward t c pkt ~dst:t.tg.storage.(r0);
@@ -370,7 +411,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
           let site = Routekey.stripe_site ~nsites:n ~stripe_unit:su fh off in
           patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
           t.n_storage <- t.n_storage + 1;
-          remember t peek ~klass:KStorage ~orig:None ~rd_site:0 ~mirrors:1;
+          remember t peek ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
           forward t c pkt ~dst:t.tg.storage.(site)
         in
         match t.p.Params.io_policy with
@@ -380,7 +421,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
             | Some map when chunk < Array.length !map ->
                 patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
                 t.n_storage <- t.n_storage + 1;
-                remember t peek ~klass:KStorage ~orig:None ~rd_site:0 ~mirrors:1;
+                remember t peek ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
                 forward t c pkt ~dst:!map.(chunk)
             | _ ->
                 (* Map-fragment miss: fetch from the coordinator, then
@@ -403,7 +444,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
                                  (Array.init (chunk + 64) (fun b ->
                                       t.tg.storage.((Routekey.file_site ~nsites:n fh + b) mod n)))));
                         let c2 = { c_total = 0.0 } in
-                        route_io t c2 pkt peek fh)))
+                        route_io t c2 pkt peek fh ~orig)))
       end
 
 let handle_request t (pkt : Packet.t) =
@@ -416,19 +457,23 @@ let handle_request t (pkt : Packet.t) =
       charge t c `Decode t.p.Params.decode_cost_per_item
   | Some peek -> (
       charge t c `Decode (t.p.Params.decode_cost_per_item *. float_of_int peek.Codec.items);
+      (* Pristine copy before any in-place rewrite (offset/cookie patches):
+         a bounce or failover retry must re-enter routing with the bytes
+         the client sent, or stripe offsets would be translated twice. *)
+      let orig = Bytes.copy pkt.Packet.payload in
       match peek.Codec.fh with
       | None ->
           (* NULL: any directory server can answer *)
           t.n_dir <- t.n_dir + 1;
-          remember t peek ~klass:KName ~orig:None ~rd_site:0 ~mirrors:1;
+          remember t peek ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
           forward t c pkt ~dst:(dir_phys t 0)
       | Some fh -> (
           match peek.Codec.proc with
-          | 6 | 7 when fh.Fh.ftype = Fh.Reg -> route_io t c pkt peek fh
+          | 6 | 7 when fh.Fh.ftype = Fh.Reg -> route_io t c pkt peek fh ~orig
           | 21 when fh.Fh.ftype = Fh.Reg ->
               charge t c `Softstate t.p.Params.softstate_cost;
               after_cpu t c (fun () -> orchestrate_commit t pkt peek fh)
-          | _ -> route_name t c pkt peek fh))
+          | _ -> route_name t c pkt peek fh ~orig))
 
 (* ---- reply handling ---- *)
 
@@ -436,16 +481,15 @@ let reply_status (payload : bytes) =
   if Bytes.length payload >= 28 then Int32.to_int (Bytes.get_int32_be payload 24)
   else -1
 
-(* Retry a bounced request after refreshing the routing tables. *)
+(* Retry a bounced request after refreshing the routing tables. Every
+   request class keeps its pristine payload, so any bounce can be
+   re-routed instead of silently swallowed. *)
 let retry_misdirected t (pd : pending) (client_pkt : Packet.t) =
-  match pd.p_orig with
-  | None -> ()
-  | Some payload ->
-      let pkt =
-        Packet.make ~src:client_pkt.Packet.dst ~dst:t.tg.virtual_addr ~sport:client_pkt.Packet.dport
-          ~dport:2049 (Bytes.copy payload)
-      in
-      handle_request t pkt
+  let pkt =
+    Packet.make ~src:client_pkt.Packet.dst ~dst:t.tg.virtual_addr ~sport:client_pkt.Packet.dport
+      ~dport:2049 (Bytes.copy pd.p_orig)
+  in
+  handle_request t pkt
 
 (* readdir iteration across hash sites: translate local cookies into
    (site, cookie) pairs and splice sites together at EOF boundaries. *)
@@ -568,17 +612,39 @@ let handle_reply t (pkt : Packet.t) (pd : pending) =
   charge t c `Softstate t.p.Params.softstate_cost;
   t.n_replies <- t.n_replies + 1;
   if pd.p_mirror_left > 1 then begin
-    (* first mirror ack: wait for the slower replica *)
+    (* first mirror ack: wait for the slower replica, but keep the worst
+       status seen — acking a write the first replica failed would lose
+       data silently. *)
     pd.p_mirror_left <- pd.p_mirror_left - 1;
+    let st = reply_status pkt.Packet.payload in
+    if st > 0 then pd.p_worst <- st;
     after_cpu t c (fun () -> ());
     None
   end
   else begin
     (* pending record already removed by the caller, keyed on xid *)
-    if reply_status pkt.Packet.payload = 20001 then begin
+    let st = reply_status pkt.Packet.payload in
+    if st = 20001 || pd.p_worst = 20001 then begin
       t.n_stale <- t.n_stale + 1;
       refresh_tables t;
       after_cpu t c (fun () -> retry_misdirected t pd pkt);
+      None
+    end
+    else if pd.p_worst > 0 && st = 0 then begin
+      (* Mirrored write: an earlier replica failed but the last one
+         succeeded. Forward the failure so the client retries — the
+         success reply would hide a half-written mirror pair. *)
+      let xid = Codec.xid_of pkt.Packet.payload in
+      let status =
+        try Codec.status_of_int pd.p_worst with Codec.Malformed _ -> Nfs.ERR_IO
+      in
+      let payload = Codec.encode_reply ~xid (Error status) in
+      charge t c `Rewrite t.p.Params.rewrite_cost;
+      let reply =
+        Packet.make ~src:t.tg.virtual_addr ~dst:pkt.Packet.dst ~sport:pkt.Packet.sport
+          ~dport:pkt.Packet.dport payload
+      in
+      after_cpu t c (fun () -> Net.dispatch t.net reply);
       None
     end
     else if pd.p_proc = 16 && t.p.Params.name_policy = Params.Name_hashing then
@@ -672,6 +738,8 @@ let install host ?(params = Params.default) ?(seed = 7) targets =
       n_intents = 0;
       n_stale = 0;
       n_map_fetch = 0;
+      n_expired = 0;
+      sweep_armed = false;
     }
   in
   self := Some t;
@@ -709,3 +777,5 @@ let commits_orchestrated t = t.n_commits
 let intents_opened t = t.n_intents
 let stale_bounces t = t.n_stale
 let map_fetches t = t.n_map_fetch
+let expired_pending t = t.n_expired
+let pending_size t = Hashtbl.length t.pending

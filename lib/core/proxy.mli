@@ -88,3 +88,13 @@ val commits_orchestrated : t -> int
 val intents_opened : t -> int
 val stale_bounces : t -> int
 val map_fetches : t -> int
+
+val expired_pending : t -> int
+(** Pending records reaped by the background sweep because no reply (and
+    no client retransmission, which refreshes the record) arrived within
+    [Params.pending_expiry] — the leak the sweep exists to stop. Zero in
+    a healthy run: entries normally leave via the reply path. *)
+
+val pending_size : t -> int
+(** Live pending records (soft state keyed by XID). Must be 0 once the
+    workload has quiesced — anything else is a leaked record. *)

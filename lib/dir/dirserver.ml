@@ -653,7 +653,8 @@ let attach host ?(port = 2049) ?(costs = default_costs) cfg =
   in
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = costs.per_op; per_byte = 0.0 }
-    ~handler:(fun call -> if t.up then handle t call else Error Nfs.ERR_IO);
+    ~alive:(fun () -> t.up)
+    ~handler:(handle t) ();
   serve_peer t;
   Engine.spawn host.Host.eng (fun () -> install_root t);
   t

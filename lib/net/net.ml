@@ -17,9 +17,20 @@ type node = {
   name : string;
   tx : Resource.t;
   rx : Resource.t;
+  mutable up : bool;
   mutable egress : filter list; (* in application order *)
   mutable ingress : filter list;
   handlers : (int, Packet.t -> unit) Hashtbl.t;
+}
+
+(* An injected link fault: applies to every packet whose (src, dst) pair
+   matches ([None] matches any address). *)
+type link_fault = {
+  lf_src : Packet.addr option;
+  lf_dst : Packet.addr option;
+  lf_drop : float;
+  lf_delay : float;
+  lf_dup : float;
 }
 
 type t = {
@@ -31,10 +42,32 @@ type t = {
   mutable sent : int;
   mutable bytes : int;
   mutable dropped : int;
+  (* fault schedule *)
+  mutable link_faults : link_fault list;
+  mutable partition : (Packet.addr -> int) option;
+  mutable f_node_drops : int;
+  mutable f_link_drops : int;
+  mutable f_part_drops : int;
+  mutable f_dups : int;
 }
 
 let create eng ?(params = default_params) ?(seed = 1) () =
-  { eng; p = params; prng = Slice_util.Prng.create seed; nodes = [||]; n = 0; sent = 0; bytes = 0; dropped = 0 }
+  {
+    eng;
+    p = params;
+    prng = Slice_util.Prng.create seed;
+    nodes = [||];
+    n = 0;
+    sent = 0;
+    bytes = 0;
+    dropped = 0;
+    link_faults = [];
+    partition = None;
+    f_node_drops = 0;
+    f_link_drops = 0;
+    f_part_drops = 0;
+    f_dups = 0;
+  }
 
 let engine t = t.eng
 let params t = t.p
@@ -45,6 +78,7 @@ let add_node t ~name =
       name;
       tx = Resource.create t.eng ~name:(name ^ ".tx") ();
       rx = Resource.create t.eng ~name:(name ^ ".rx") ();
+      up = true;
       egress = [];
       ingress = [];
       handlers = Hashtbl.create 4;
@@ -85,6 +119,54 @@ let deliver t (pkt : Packet.t) =
       | Some h -> h pkt
       | None -> t.dropped <- t.dropped + 1)
 
+(* Put the packet on the destination NIC at [arrival]; a node that is down
+   when the packet lands loses it silently. *)
+let deliver_at t (pkt : Packet.t) ~arrival ~ser =
+  Engine.schedule_at t.eng arrival (fun () ->
+      let dst = get t pkt.dst in
+      if not dst.up then begin
+        t.dropped <- t.dropped + 1;
+        t.f_node_drops <- t.f_node_drops + 1
+      end
+      else begin
+        let rx_done = Resource.reserve dst.rx ser in
+        Engine.schedule_at t.eng rx_done (fun () -> deliver t pkt)
+      end)
+
+(* Consult the fault schedule for one transmission. The PRNG is only drawn
+   for faults that are actually configured, so fault-free runs keep the
+   exact event/random stream they had before the fault layer existed. *)
+let fault_verdict t (pkt : Packet.t) =
+  let partitioned =
+    match t.partition with Some group -> group pkt.src <> group pkt.dst | None -> false
+  in
+  if partitioned then begin
+    t.f_part_drops <- t.f_part_drops + 1;
+    `Drop
+  end
+  else begin
+    let delay = ref 0.0 in
+    let dup = ref false in
+    let dropped = ref false in
+    List.iter
+      (fun lf ->
+        let matches =
+          (match lf.lf_src with None -> true | Some a -> a = pkt.src)
+          && match lf.lf_dst with None -> true | Some a -> a = pkt.dst
+        in
+        if matches && not !dropped then
+          if lf.lf_drop > 0.0 && Slice_util.Prng.float t.prng 1.0 < lf.lf_drop then begin
+            t.f_link_drops <- t.f_link_drops + 1;
+            dropped := true
+          end
+          else begin
+            delay := !delay +. lf.lf_delay;
+            if lf.lf_dup > 0.0 && Slice_util.Prng.float t.prng 1.0 < lf.lf_dup then dup := true
+          end)
+      t.link_faults;
+    if !dropped then `Drop else `Deliver (!delay, !dup)
+  end
+
 let transmit t (pkt : Packet.t) =
   if pkt.dst < 0 || pkt.dst >= t.n then t.dropped <- t.dropped + 1
   else begin
@@ -94,15 +176,24 @@ let transmit t (pkt : Packet.t) =
     let src = get t pkt.src in
     let ser = float_of_int size /. t.p.bandwidth in
     let tx_done = Resource.reserve src.tx ser in
-    if t.p.drop_prob > 0.0 && Slice_util.Prng.float t.prng 1.0 < t.p.drop_prob then
-      t.dropped <- t.dropped + 1
-    else begin
-      let arrival = tx_done +. t.p.wire_latency +. t.p.switch_latency in
-      Engine.schedule_at t.eng arrival (fun () ->
-          let dst = get t pkt.dst in
-          let rx_done = Resource.reserve dst.rx ser in
-          Engine.schedule_at t.eng rx_done (fun () -> deliver t pkt))
+    if not src.up then begin
+      (* a crashed host transmits nothing *)
+      t.dropped <- t.dropped + 1;
+      t.f_node_drops <- t.f_node_drops + 1
     end
+    else if t.p.drop_prob > 0.0 && Slice_util.Prng.float t.prng 1.0 < t.p.drop_prob then
+      t.dropped <- t.dropped + 1
+    else
+      match fault_verdict t pkt with
+      | `Drop -> t.dropped <- t.dropped + 1
+      | `Deliver (extra_delay, dup) ->
+          let arrival = tx_done +. t.p.wire_latency +. t.p.switch_latency +. extra_delay in
+          deliver_at t pkt ~arrival ~ser;
+          if dup then begin
+            (* an independent copy: downstream filters rewrite in place *)
+            t.f_dups <- t.f_dups + 1;
+            deliver_at t (Packet.copy pkt) ~arrival ~ser
+          end
   end
 
 let send t (pkt : Packet.t) =
@@ -118,6 +209,30 @@ let dispatch t (pkt : Packet.t) =
   match Hashtbl.find_opt dst.handlers pkt.dport with
   | Some h -> h pkt
   | None -> t.dropped <- t.dropped + 1
+(* ---- fault schedule ---- *)
+
+let set_node_up t a up = (get t a).up <- up
+let node_up t a = (get t a).up
+
+let schedule_crash t a ~at ~until =
+  if until <= at then invalid_arg "Net.schedule_crash: until <= at";
+  Engine.schedule_at t.eng at (fun () -> set_node_up t a false);
+  Engine.schedule_at t.eng until (fun () -> set_node_up t a true)
+
+let add_link_fault t ?src ?dst ?(drop = 0.0) ?(delay = 0.0) ?(dup = 0.0) () =
+  t.link_faults <-
+    t.link_faults
+    @ [ { lf_src = src; lf_dst = dst; lf_drop = drop; lf_delay = delay; lf_dup = dup } ]
+
+let clear_link_faults t = t.link_faults <- []
+let set_partition t group = t.partition <- Some group
+let clear_partition t = t.partition <- None
+let fault_node_drops t = t.f_node_drops
+let fault_link_drops t = t.f_link_drops
+let fault_partition_drops t = t.f_part_drops
+let fault_duplicates t = t.f_dups
+let fault_drops t = t.f_node_drops + t.f_link_drops + t.f_part_drops
+
 let packets_sent t = t.sent
 let bytes_sent t = t.bytes
 let packets_dropped t = t.dropped

@@ -61,12 +61,74 @@ val dispatch : t -> Packet.t -> unit
     filters, NICs and latency: how an interposed filter hands an
     already-arrived packet onward after processing it. *)
 
+(** {2 Fault injection}
+
+    A deterministic fault schedule layered on the switched LAN, driven by
+    the same seeded PRNG as [drop_prob] (runs stay bit-reproducible; the
+    PRNG is only consulted for faults actually configured). Three fault
+    classes:
+
+    - {e node crashes}: a down node transmits nothing and loses every
+      packet that lands on it, in both directions — a dead host is silent,
+      it does not refuse;
+    - {e link faults}: per-(src, dst) drop probability, added one-way
+      delay, and duplicate probability ([None] endpoints match any
+      address);
+    - {e partitions}: a node-grouping function; packets crossing groups
+      are dropped until the partition heals.
+
+    End-to-end retransmission (client RPC) is what recovers; the counters
+    below let tests assert that injected faults actually bit. *)
+
+val set_node_up : t -> Packet.addr -> bool -> unit
+(** Crash ([false]) or recover ([true]) a node at the net layer. *)
+
+val node_up : t -> Packet.addr -> bool
+
+val schedule_crash : t -> Packet.addr -> at:float -> until:float -> unit
+(** Pre-plan a crash window \[[at], [until]) in absolute simulated time.
+    Raises [Invalid_argument] if [until <= at]. *)
+
+val add_link_fault :
+  t ->
+  ?src:Packet.addr ->
+  ?dst:Packet.addr ->
+  ?drop:float ->
+  ?delay:float ->
+  ?dup:float ->
+  unit ->
+  unit
+(** Install a link-fault rule. Matching rules apply in installation
+    order: each may drop the packet (probability [drop]), add [delay]
+    seconds of one-way latency, and deliver a duplicate copy
+    (probability [dup]). *)
+
+val clear_link_faults : t -> unit
+
+val set_partition : t -> (Packet.addr -> int) -> unit
+(** Partition the LAN: packets between nodes in different groups are
+    dropped. *)
+
+val clear_partition : t -> unit
+(** Heal the partition. *)
+
+val fault_node_drops : t -> int
+(** Packets lost to a down node (either endpoint). *)
+
+val fault_link_drops : t -> int
+val fault_partition_drops : t -> int
+val fault_duplicates : t -> int
+
+val fault_drops : t -> int
+(** Sum of node, link and partition drops (excludes iid [drop_prob]
+    losses, which count only in {!packets_dropped}). *)
+
 (** {2 Accounting} *)
 
 val packets_sent : t -> int
 val bytes_sent : t -> int
 val packets_dropped : t -> int
-(** Loss-injected plus no-handler drops. *)
+(** Loss-injected (iid and fault-schedule) plus no-handler drops. *)
 
 val nic_busy_time : t -> Packet.addr -> float
 (** Transmit-side NIC busy seconds for a node. *)

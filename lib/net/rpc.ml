@@ -9,13 +9,20 @@ type outcome = Reply of bytes | Timed_out
    soft state on the XID alone. *)
 let xid_counter = ref 0
 
+type ep = { mutable ep_calls : int; mutable ep_retransmits : int; mutable ep_timeouts : int }
+
+type endpoint_stats = { calls : int; retransmits : int; timeouts : int }
+
 type t = {
   net : Net.t;
   eng : Engine.t;
   addr : Packet.addr;
   port : int;
+  prng : Slice_util.Prng.t;
   pending : (int, outcome -> unit) Hashtbl.t;
+  endpoints : (Packet.addr, ep) Hashtbl.t;
   mutable retransmits : int;
+  mutable timeouts : int;
   mutable completed : int;
 }
 
@@ -37,13 +44,26 @@ let create net addr ~port =
       eng = Net.engine net;
       addr;
       port;
+      (* jitter stream seeded from the endpoint identity: deterministic
+         across runs, decorrelated across endpoints *)
+      prng = Slice_util.Prng.create ((addr * 65599) + port + 17);
       pending = Hashtbl.create 64;
+      endpoints = Hashtbl.create 8;
       retransmits = 0;
+      timeouts = 0;
       completed = 0;
     }
   in
   Net.listen net addr ~port (on_packet t);
   t
+
+let ep_of t dst =
+  match Hashtbl.find_opt t.endpoints dst with
+  | Some ep -> ep
+  | None ->
+      let ep = { ep_calls = 0; ep_retransmits = 0; ep_timeouts = 0 } in
+      Hashtbl.replace t.endpoints dst ep;
+      ep
 
 let addr t = t.addr
 
@@ -51,14 +71,25 @@ let fresh_xid _t =
   incr xid_counter;
   !xid_counter land 0xFFFFFFFF
 
-let call t ?(timeout = 0.1) ?(retries = 8) ~dst ~dport ?(extra_size = 0) payload =
+(* Fraction of the current timeout added as uniform jitter, so a fleet of
+   endpoints that lost packets together does not retransmit in lockstep. *)
+let jitter_frac = 0.1
+
+let call t ?(timeout = 0.1) ?(retries = 8) ?(backoff = 2.0) ?(max_timeout = 2.0) ~dst ~dport
+    ?(extra_size = 0) payload =
   let xid = Int32.to_int (Bytes.get_int32_be payload 0) land 0xFFFFFFFF in
+  let cap = if timeout > max_timeout then timeout else max_timeout in
+  let ep = ep_of t dst in
+  ep.ep_calls <- ep.ep_calls + 1;
   let outcome =
     Engine.suspend (fun wake ->
         Hashtbl.replace t.pending xid wake;
-        let rec attempt n =
+        let rec attempt n cur =
           if Hashtbl.mem t.pending xid then begin
-            if n > 0 then t.retransmits <- t.retransmits + 1;
+            if n > 0 then begin
+              t.retransmits <- t.retransmits + 1;
+              ep.ep_retransmits <- ep.ep_retransmits + 1
+            end;
             (* Fresh packet per attempt: an interposed filter may have
                rewritten the previous copy in place. *)
             let pkt =
@@ -66,18 +97,32 @@ let call t ?(timeout = 0.1) ?(retries = 8) ~dst ~dport ?(extra_size = 0) payload
                 (Bytes.copy payload)
             in
             Net.send t.net pkt;
-            Engine.schedule t.eng timeout (fun () ->
+            let wait = cur *. (1.0 +. (jitter_frac *. Slice_util.Prng.float t.prng 1.0)) in
+            Engine.schedule t.eng wait (fun () ->
                 if Hashtbl.mem t.pending xid then
-                  if n < retries then attempt (n + 1)
+                  if n < retries then begin
+                    let next = cur *. backoff in
+                    attempt (n + 1) (if next > cap then cap else next)
+                  end
                   else begin
                     Hashtbl.remove t.pending xid;
+                    t.timeouts <- t.timeouts + 1;
+                    ep.ep_timeouts <- ep.ep_timeouts + 1;
                     wake Timed_out
                   end)
           end
         in
-        attempt 0)
+        attempt 0 timeout)
   in
   match outcome with Reply b -> b | Timed_out -> raise Timeout
 
 let retransmissions t = t.retransmits
+let timeouts t = t.timeouts
 let calls_completed t = t.completed
+let pending_calls t = Hashtbl.length t.pending
+
+let endpoint_stats t dst =
+  match Hashtbl.find_opt t.endpoints dst with
+  | None -> { calls = 0; retransmits = 0; timeouts = 0 }
+  | Some ep ->
+      { calls = ep.ep_calls; retransmits = ep.ep_retransmits; timeouts = ep.ep_timeouts }

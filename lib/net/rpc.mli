@@ -25,6 +25,8 @@ val call :
   t ->
   ?timeout:float ->
   ?retries:int ->
+  ?backoff:float ->
+  ?max_timeout:float ->
   dst:Packet.addr ->
   dport:int ->
   ?extra_size:int ->
@@ -32,9 +34,29 @@ val call :
   bytes
 (** [call t ~dst ~dport payload] sends the payload (whose first word must
     be a fresh XID from {!fresh_xid}) and parks the calling fiber until a
-    matching reply arrives; retransmits every [timeout] seconds (default
-    0.1), at most [retries] times (default 8), then raises {!Timeout}.
-    Returns the reply payload. *)
+    matching reply arrives, raising {!Timeout} after [retries]
+    retransmissions (default 8). The retransmit schedule starts at
+    [timeout] seconds (default 0.1) and grows by factor [backoff]
+    (default 2) up to [max_timeout] (default 2 s, or [timeout] if that is
+    larger), with up to 10 % additive jitter from a deterministic
+    per-endpoint stream — exponential backoff stops the fixed-interval
+    retransmit storm under sustained loss while jitter decorrelates
+    clients that lost packets together. Returns the reply payload. *)
 
 val retransmissions : t -> int
+(** Total timeout-triggered resends across all calls. *)
+
+val timeouts : t -> int
+(** Calls that exhausted their retransmission budget and raised
+    {!Timeout}. *)
+
 val calls_completed : t -> int
+
+val pending_calls : t -> int
+(** Calls currently awaiting a reply (0 at quiesce). *)
+
+type endpoint_stats = { calls : int; retransmits : int; timeouts : int }
+
+val endpoint_stats : t -> Packet.addr -> endpoint_stats
+(** Per-destination counters: how a specific server behaved from this
+    endpoint's point of view (all zero for a destination never called). *)

@@ -23,6 +23,11 @@ val extra_size_of_call : Nfs.call -> int
 
 val extra_size_of_response : Nfs.response -> int
 
+val int_of_status : Nfs.status -> int
+val status_of_int : int -> Nfs.status
+(** The NFS V3 wire values ([ERR_MISDIRECTED] is Slice's 20001).
+    @raise Malformed on an unknown code. *)
+
 (** {2 µproxy partial decode} *)
 
 type peek = {

@@ -72,7 +72,7 @@ let run ?until t =
     ignore (step t)
   done;
   match until with
-  | Some limit when limit > t.clock && Slice_util.Heap.length t.queue > 0 -> t.clock <- limit
+  | Some limit when limit > t.clock -> t.clock <- limit
   | _ -> ()
 
 let pending t = Slice_util.Heap.length t.queue

@@ -45,7 +45,9 @@ val suspend : (('a -> unit) -> unit) -> 'a
 
 val run : ?until:float -> t -> unit
 (** Process events until the queue is empty, or until simulated time would
-    exceed [until] (remaining events stay queued). *)
+    exceed [until] (remaining events stay queued). With [until], the clock
+    always advances to [until] — even if the queue drained earlier — so
+    rates computed as work/elapsed see the full window. *)
 
 val step : t -> bool
 (** Process a single event; [false] if the queue was empty. *)

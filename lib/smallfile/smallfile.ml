@@ -31,6 +31,7 @@ type t = {
   alloc : Ffs.t;
   files : (int64, filerec) Hashtbl.t;
   threshold : int;
+  mutable up : bool;
   mutable logical : int64;
   mutable physical : int64;
   mutable reads : int;
@@ -260,6 +261,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
       alloc = Ffs.create ~size:backing_bytes;
       files = Hashtbl.create 4096;
       threshold;
+      up = true;
       logical = 0L;
       physical = 0L;
       reads = 0;
@@ -268,8 +270,16 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
   in
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = 70e-6; per_byte = 4e-9 }
-    ~handler:(handle t);
+    ~alive:(fun () -> t.up)
+    ~handler:(handle t) ();
   t
+
+let crash t =
+  t.up <- false;
+  Bcache.drop_clean t.cache
+
+let recover t = t.up <- true
+let is_up t = t.up
 
 let addr t = t.host.Host.addr
 let threshold t = t.threshold

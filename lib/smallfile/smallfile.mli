@@ -31,6 +31,13 @@ val attach :
 val addr : t -> Slice_net.Packet.addr
 val threshold : t -> int
 
+val crash : t -> unit
+(** Fail-stop: the endpoint goes silent and the cache is cold on
+    {!recover}; map records and data survive in the backing object. *)
+
+val recover : t -> unit
+val is_up : t -> bool
+
 val file_count : t -> int
 val bytes_stored : t -> int64
 (** Physical bytes allocated (after power-of-two rounding). *)

@@ -19,7 +19,7 @@ let request_data_bytes (call : Nfs.call) =
 let response_data_bytes (resp : Nfs.response) =
   match resp with Ok (Nfs.RRead (d, _, _)) -> Nfs.wdata_length d | _ -> 0
 
-let serve (host : Host.t) ~port ~cost ~handler =
+let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ~handler () =
   (* Duplicate request cache: a retransmitted non-idempotent call (create,
      remove, rename, ...) whose reply was lost must get the cached reply,
      not a re-execution. Keyed by XID (globally unique here). *)
@@ -27,7 +27,9 @@ let serve (host : Host.t) ~port ~cost ~handler =
   let in_flight : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   Net.listen host.net host.addr ~port (fun pkt ->
       Engine.spawn host.eng (fun () ->
-          if Slice_net.Cksum.verify pkt then
+          (* A crashed service is silent: no decode, no error reply —
+             the client's end-to-end retransmission is the recovery. *)
+          if alive () && Slice_net.Cksum.verify pkt then
             match (try Some (Codec.decode_call pkt.payload) with Codec.Malformed _ -> None) with
             | None -> () (* garbage: drop; client retransmits *)
             | Some (xid, call) -> (

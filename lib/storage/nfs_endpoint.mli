@@ -11,10 +11,15 @@ val serve :
   Host.t ->
   port:int ->
   cost:cost ->
+  ?alive:(unit -> bool) ->
   handler:(Slice_nfs.Nfs.call -> Slice_nfs.Nfs.response) ->
+  unit ->
   unit
 (** The handler runs in a fiber and may use storage/cache/RPC operations
-    that park. Malformed packets are dropped (the client retransmits). *)
+    that park. Malformed packets are dropped (the client retransmits).
+    While [alive] (default: always) returns [false] the endpoint is
+    silent — packets are swallowed without decode or reply, modeling a
+    crashed service whose clients recover by retransmission. *)
 
 val serve_raw :
   Host.t ->

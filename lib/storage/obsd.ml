@@ -14,6 +14,7 @@ type t = {
   cap_secret : string option;
   cache : Bcache.t;
   objects : (int64, obj) Hashtbl.t;
+  mutable up : bool;
   mutable reads : int;
   mutable writes : int;
   mutable bytes_read : int;
@@ -188,6 +189,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ()
           ~backend:(Bcache.disk_backend host.Host.eng disk)
           ~capacity:cache_bytes ~name:(Host.name host);
       objects = Hashtbl.create 256;
+      up = true;
       reads = 0;
       writes = 0;
       bytes_read = 0;
@@ -199,8 +201,17 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ()
      per-node bandwidth cap. *)
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = 40e-6; per_byte = 2.5e-9 }
-    ~handler:(handle t);
+    ~alive:(fun () -> t.up)
+    ~handler:(handle t) ();
   t
+
+let crash t =
+  t.up <- false;
+  (* RAM is lost; the objects table plays the role of the disk. *)
+  Bcache.drop_clean t.cache
+
+let recover t = t.up <- true
+let is_up t = t.up
 
 let addr t = t.host.Host.addr
 let object_count t = Hashtbl.length t.objects

@@ -23,6 +23,15 @@ val attach : Host.t -> ?port:int -> ?cache_bytes:int -> ?cap_secret:string -> un
 
 val addr : t -> Slice_net.Packet.addr
 
+val crash : t -> unit
+(** Fail-stop the service: the endpoint goes silent (no decode, no
+    replies) and the buffer cache is cold on {!recover} — committed data
+    survives, as on a real node whose disks outlive its RAM. Pair with
+    {!Slice_net.Net.set_node_up} to silence the whole host. *)
+
+val recover : t -> unit
+val is_up : t -> bool
+
 val object_id_of_fh : Slice_nfs.Fh.t -> int64
 (** The external hash from file handles to storage object identifiers. *)
 

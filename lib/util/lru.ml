@@ -58,7 +58,14 @@ let evict_until_fits t =
   done
 
 let add t ?(weight = 1) k v =
-  (match Hashtbl.find_opt t.tbl k with Some old -> remove_node t old | None -> ());
+  (* Replacing a live entry displaces its value just like pressure does:
+     the eviction hook must see it (a dirty cached attribute silently
+     replaced would otherwise lose its write-back). *)
+  (match Hashtbl.find_opt t.tbl k with
+  | Some old ->
+      remove_node t old;
+      t.on_evict old.key old.value
+  | None -> ());
   let node = { key = k; value = v; weight; prev = None; next = None } in
   Hashtbl.replace t.tbl k node;
   t.total <- t.total + weight;

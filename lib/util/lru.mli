@@ -9,8 +9,9 @@ type ('k, 'v) t
 
 val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
 (** [create ~capacity ()] holds items whose weights sum to at most
-    [capacity]. [on_evict] fires for every item removed by pressure (not
-    for explicit [remove]). *)
+    [capacity]. [on_evict] fires for every item removed by pressure and
+    for a value displaced by {!add} on an existing key (not for explicit
+    [remove]). *)
 
 val find : ('k, 'v) t -> 'k -> 'v option
 (** [find t k] returns the value and marks it most-recently-used. *)

@@ -1,0 +1,321 @@
+open Helpers
+module Engine = Slice_sim.Engine
+module Net = Slice_net.Net
+module Packet = Slice_net.Packet
+module Rpc = Slice_net.Rpc
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Codec = Slice_nfs.Codec
+module Host = Slice_storage.Host
+module Obsd = Slice_storage.Obsd
+module Client = Slice_workload.Client
+module Ensemble = Slice.Ensemble
+module Proxy = Slice.Proxy
+module Table = Slice.Table
+module Chaos = Slice_experiments.Chaos
+
+let mk_net ?params ?(seed = 11) () =
+  let eng = Engine.create () in
+  let net = Net.create eng ?params ~seed () in
+  (eng, net)
+
+let pkt ~src ~dst = Packet.make ~src ~dst ~sport:1 ~dport:9 (Bytes.create 100)
+
+(* ---- net-level fault schedule ---- *)
+
+let link_fault_drops () =
+  let eng, net = mk_net () in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let got = ref 0 in
+  Net.listen net a ~port:9 (fun _ -> incr got);
+  Net.listen net b ~port:9 (fun _ -> incr got);
+  Net.add_link_fault net ~src:a ~dst:b ~drop:1.0 ();
+  Net.send net (pkt ~src:a ~dst:b);
+  Net.send net (pkt ~src:b ~dst:a);
+  Engine.run eng;
+  (* a->b black-holed; the reverse direction unaffected *)
+  check_int "only reverse delivered" 1 !got;
+  check_int "link drop counted" 1 (Net.fault_link_drops net);
+  check_int "summed in fault_drops" 1 (Net.fault_drops net)
+
+let link_fault_duplicates () =
+  let eng, net = mk_net () in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let got = ref 0 in
+  Net.listen net b ~port:9 (fun _ -> incr got);
+  Net.add_link_fault net ~src:a ~dst:b ~dup:1.0 ();
+  Net.send net (pkt ~src:a ~dst:b);
+  Engine.run eng;
+  check_int "both copies arrive" 2 !got;
+  check_int "duplicate counted" 1 (Net.fault_duplicates net)
+
+let link_fault_delay () =
+  let base = ref 0.0 in
+  let slow = ref 0.0 in
+  let once ~delay cell =
+    let eng, net = mk_net () in
+    let a = Net.add_node net ~name:"a" in
+    let b = Net.add_node net ~name:"b" in
+    Net.listen net b ~port:9 (fun _ -> cell := Engine.now eng);
+    if delay > 0.0 then Net.add_link_fault net ~src:a ~dst:b ~delay ();
+    Net.send net (pkt ~src:a ~dst:b);
+    Engine.run eng
+  in
+  once ~delay:0.0 base;
+  once ~delay:0.005 slow;
+  check_float_eps 1e-9 "delay added verbatim" (!base +. 0.005) !slow
+
+let partition_drops_and_heals () =
+  let eng, net = mk_net () in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let c = Net.add_node net ~name:"c" in
+  let got = ref [] in
+  List.iter (fun n -> Net.listen net n ~port:9 (fun p -> got := p.Packet.src :: !got)) [ a; b; c ];
+  (* a | {b, c} *)
+  Net.set_partition net (fun n -> if n = a then 0 else 1);
+  Net.send net (pkt ~src:a ~dst:b);
+  Net.send net (pkt ~src:b ~dst:c);
+  Engine.run eng;
+  check_bool "same-side traffic flows" true (!got = [ b ]);
+  check_int "cross traffic dropped" 1 (Net.fault_partition_drops net);
+  Net.clear_partition net;
+  Net.send net (pkt ~src:a ~dst:b);
+  Engine.run eng;
+  check_bool "healed" true (List.mem a !got)
+
+let crash_window_silences_node () =
+  let eng, net = mk_net () in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let got = ref 0 in
+  Net.listen net b ~port:9 (fun _ -> incr got);
+  Net.schedule_crash net b ~at:1.0 ~until:2.0;
+  Engine.schedule_at eng 1.5 (fun () ->
+      check_bool "down inside the window" false (Net.node_up net b);
+      Net.send net (pkt ~src:a ~dst:b));
+  Engine.schedule_at eng 2.5 (fun () ->
+      check_bool "up after the window" true (Net.node_up net b);
+      Net.send net (pkt ~src:a ~dst:b));
+  Engine.run eng;
+  check_int "only post-recovery packet arrives" 1 !got;
+  check_int "crash-window loss counted" 1 (Net.fault_node_drops net);
+  Alcotest.check_raises "empty window rejected"
+    (Invalid_argument "Net.schedule_crash: until <= at") (fun () ->
+      Net.schedule_crash net b ~at:3.0 ~until:3.0)
+
+let crashed_source_transmits_nothing () =
+  let eng, net = mk_net () in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let got = ref 0 in
+  Net.listen net b ~port:9 (fun _ -> incr got);
+  Net.set_node_up net a false;
+  Net.send net (pkt ~src:a ~dst:b);
+  Engine.run eng;
+  check_int "nothing delivered" 0 !got;
+  check_int "counted as node drop" 1 (Net.fault_node_drops net)
+
+let faultfree_runs_identical () =
+  (* the fault layer must not perturb the PRNG stream of a run that
+     configures no faults: same seed + drop_prob, same delivery times *)
+  let once ~faults =
+    let eng, net =
+      mk_net ~params:{ Net.default_params with drop_prob = 0.2 } ~seed:3 ()
+    in
+    let a = Net.add_node net ~name:"a" in
+    let b = Net.add_node net ~name:"b" in
+    if faults then Net.add_link_fault net ~src:b ~dst:a ~drop:1.0 ();
+    let log = ref [] in
+    Net.listen net b ~port:9 (fun _ -> log := Engine.now eng :: !log);
+    for _ = 1 to 50 do
+      Net.send net (pkt ~src:a ~dst:b)
+    done;
+    Engine.run eng;
+    !log
+  in
+  check_bool "iid loss pattern unchanged by unrelated fault rules" true
+    (once ~faults:false = once ~faults:true)
+
+(* ---- RPC exponential backoff ---- *)
+
+let backoff_schedule () =
+  let eng, net = mk_net () in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let rpc = Rpc.create net a ~port:50 in
+  run_on eng (fun () ->
+      (* no listener on b: every attempt times out. Waits are
+         0.1, 0.2, 0.4, 0.8 seconds, each with at most +10% jitter. *)
+      let t0 = Engine.now eng in
+      let payload = Bytes.create 8 in
+      Bytes.set_int32_be payload 0 (Int32.of_int (Rpc.fresh_xid rpc));
+      (try
+         ignore (Rpc.call rpc ~timeout:0.1 ~retries:3 ~dst:b ~dport:9 payload);
+         Alcotest.fail "expected Rpc.Timeout"
+       with Rpc.Timeout -> ());
+      let elapsed = Engine.now eng -. t0 in
+      check_bool "at least the base schedule" true (elapsed >= 1.5 -. 1e-9);
+      check_bool "at most +10% jitter" true (elapsed <= 1.65 +. 1e-9);
+      check_int "three retransmissions" 3 (Rpc.retransmissions rpc);
+      check_int "one exhausted call" 1 (Rpc.timeouts rpc);
+      check_int "no pending entry leaked" 0 (Rpc.pending_calls rpc);
+      let s = Rpc.endpoint_stats rpc b in
+      check_bool "per-endpoint counters" true
+        (s.Rpc.calls = 1 && s.Rpc.retransmits = 3 && s.Rpc.timeouts = 1);
+      let z = Rpc.endpoint_stats rpc 999 in
+      check_bool "unknown endpoint all zero" true
+        (z.Rpc.calls = 0 && z.Rpc.retransmits = 0 && z.Rpc.timeouts = 0))
+
+let backoff_cap () =
+  let eng, net = mk_net () in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let rpc = Rpc.create net a ~port:50 in
+  run_on eng (fun () ->
+      (* cap at max_timeout: 0.5, 1.0, 2.0, 2.0, 2.0 -> base total 7.5 *)
+      let t0 = Engine.now eng in
+      let payload = Bytes.create 8 in
+      Bytes.set_int32_be payload 0 (Int32.of_int (Rpc.fresh_xid rpc));
+      (try ignore (Rpc.call rpc ~timeout:0.5 ~retries:4 ~dst:b ~dport:9 payload)
+       with Rpc.Timeout -> ());
+      let elapsed = Engine.now eng -. t0 in
+      check_bool "capped schedule lower bound" true (elapsed >= 7.5 -. 1e-9);
+      check_bool "capped schedule upper bound" true (elapsed <= 8.25 +. 1e-9))
+
+(* ---- µproxy pending sweep ---- *)
+
+let dead_node_expires_pending () =
+  let ens =
+    Ensemble.create
+      { Ensemble.default_config with storage_nodes = 2; smallfile_servers = 0 }
+  in
+  let eng = Ensemble.engine ens in
+  let net = Ensemble.net ens in
+  let host, proxy = Ensemble.add_client ens ~name:"giveup" in
+  let rpc = Rpc.create net host.Host.addr ~port:5000 in
+  run_on eng (fun () ->
+      (* both storage nodes dead: a bulk read can never be answered *)
+      Ensemble.crash_storage ens 0;
+      Ensemble.crash_storage ens 1;
+      let fh =
+        { Fh.file_id = 42L; gen = 1; ftype = Fh.Reg; mirrored = false; attr_site = 0; cap = 0L }
+      in
+      let xid = Rpc.fresh_xid rpc in
+      let payload = Codec.encode_call ~xid (Nfs.Read (fh, 0L, 1000)) in
+      (try
+         ignore
+           (Rpc.call rpc ~timeout:0.05 ~retries:2 ~dst:(Ensemble.virtual_addr ens) ~dport:2049
+              payload);
+         Alcotest.fail "expected Rpc.Timeout"
+       with Rpc.Timeout -> ());
+      (* the client gave up; its record is stranded in the µproxy *)
+      check_int "record stranded" 1 (Proxy.pending_size proxy);
+      let expiry = (Proxy.params proxy).Slice.Params.pending_expiry in
+      Engine.sleep eng (expiry +. 3.0);
+      check_int "sweep reaped it" 0 (Proxy.pending_size proxy);
+      check_bool "reap counted" true (Proxy.expired_pending proxy >= 1));
+  (* the sweep disarms once pending is empty, so the run above terminated *)
+  check_int "rpc side clean too" 0 (Rpc.pending_calls rpc)
+
+(* ---- mirrored writes must not mask a replica failure ---- *)
+
+let mirror_failure_not_masked () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~seed:4 () in
+  let vaddr = Net.add_node net ~name:"virtual" in
+  let dirnode = Net.add_node net ~name:"dir-unused" in
+  let s0 = Host.create net ~name:"s0" ~disks:1 () in
+  let s1 = Host.create net ~name:"s1" ~disks:1 () in
+  (* replica 0 demands sealed capability handles; replica 1 does not: an
+     unsealed handle fails on exactly one replica of the pair *)
+  let _o0 = Obsd.attach s0 ~cap_secret:"secret" () in
+  let _o1 = Obsd.attach s1 () in
+  let ch = Host.create net ~name:"client" () in
+  let _proxy =
+    Proxy.install ch
+      {
+        Proxy.virtual_addr = vaddr;
+        dir_table = Table.create [| dirnode |];
+        smallfile_table = None;
+        storage = [| s0.Host.addr; s1.Host.addr |];
+        coordinator = None;
+      }
+  in
+  let cl = Client.create ch ~server:vaddr () in
+  run_on eng (fun () ->
+      let fh =
+        { Fh.file_id = 7L; gen = 1; ftype = Fh.Reg; mirrored = true; attr_site = 0; cap = 0L }
+      in
+      (* one replica acks OK, the other NFS3ERR_PERM: the client must see
+         the failure, whichever replica answers last *)
+      expect_err "worst mirror status forwarded" Nfs.ERR_PERM
+        (Client.write_at cl fh ~off:0L ~data:(Nfs.Data "payload") ()))
+
+(* ---- chaos: real workloads under loss and crash ---- *)
+
+let clean_run_is_quiet () =
+  let r = Chaos.run_untar ~cfg:{ Chaos.default_config with drop_prob = 0.0; crash_node = None } () in
+  check_int "no errors" 0 r.Chaos.errors;
+  check_int "no retransmissions" 0 r.Chaos.retransmissions;
+  check_int "no expiries" 0 r.Chaos.expired_pending;
+  check_int "no fault drops" 0 r.Chaos.fault_drops;
+  check_int "pending empty at quiesce" 0 r.Chaos.pending_at_quiesce;
+  check_bool "work actually ran" true (r.Chaos.ops > 1000)
+
+let untar_under_loss () =
+  List.iter
+    (fun drop ->
+      let r =
+        Chaos.run_untar ~cfg:{ Chaos.default_config with drop_prob = drop; crash_node = None } ()
+      in
+      let tag = Printf.sprintf "%.0f%% loss:" (drop *. 100.0) in
+      check_int (tag ^ " zero lost operations") 0 r.Chaos.errors;
+      check_int (tag ^ " pending empty at quiesce") 0 r.Chaos.pending_at_quiesce;
+      check_bool (tag ^ " loss actually bit") true (r.Chaos.packets_dropped > 0);
+      check_bool (tag ^ " recovery by retransmission") true (r.Chaos.retransmissions > 0))
+    [ 0.01; 0.03; 0.05 ]
+
+let untar_with_node_crash () =
+  (* untar traffic is all name operations: the dir server is the victim *)
+  let r = Chaos.run_untar ~cfg:{ Chaos.default_config with crash_node = Some (Chaos.Dir 0) } () in
+  check_int "zero lost operations" 0 r.Chaos.errors;
+  check_int "pending empty at quiesce" 0 r.Chaos.pending_at_quiesce;
+  check_bool "crash actually bit" true (r.Chaos.fault_drops > 0);
+  check_bool "recovery by retransmission" true (r.Chaos.retransmissions > 0)
+
+let specsfs_with_node_crash () =
+  let r = Chaos.run_specsfs () in
+  check_int "zero lost operations" 0 r.Chaos.errors;
+  check_int "pending empty at quiesce" 0 r.Chaos.pending_at_quiesce;
+  check_bool "work actually ran" true (r.Chaos.ops > 100);
+  check_bool "crash actually bit" true (r.Chaos.fault_drops > 0);
+  check_bool "recovery by retransmission" true (r.Chaos.retransmissions > 0)
+
+let chaos_deterministic () =
+  let cfg = { Chaos.default_config with crash_node = Some (Chaos.Dir 0) } in
+  let r1 = Chaos.run_untar ~cfg () in
+  let r2 = Chaos.run_untar ~cfg () in
+  check_bool "identical seeds, identical chaos" true (compare r1 r2 = 0)
+
+let suite =
+  [
+    ("link fault drops", `Quick, link_fault_drops);
+    ("link fault duplicates", `Quick, link_fault_duplicates);
+    ("link fault delay", `Quick, link_fault_delay);
+    ("partition drops and heals", `Quick, partition_drops_and_heals);
+    ("crash window silences node", `Quick, crash_window_silences_node);
+    ("crashed source transmits nothing", `Quick, crashed_source_transmits_nothing);
+    ("fault-free runs identical", `Quick, faultfree_runs_identical);
+    ("rpc backoff schedule", `Quick, backoff_schedule);
+    ("rpc backoff cap", `Quick, backoff_cap);
+    ("dead node expires pending", `Quick, dead_node_expires_pending);
+    ("mirror failure not masked", `Quick, mirror_failure_not_masked);
+    ("chaos: clean run is quiet", `Slow, clean_run_is_quiet);
+    ("chaos: untar under loss", `Slow, untar_under_loss);
+    ("chaos: untar with node crash", `Slow, untar_with_node_crash);
+    ("chaos: specsfs with node crash", `Slow, specsfs_with_node_crash);
+    ("chaos: deterministic", `Slow, chaos_deterministic);
+  ]

@@ -51,6 +51,53 @@ let patch_payload_bounds () =
   Alcotest.check_raises "overflow" (Invalid_argument "Cksum.patch_payload") (fun () ->
       Cksum.patch_payload p ~off:8 "abcdef")
 
+let patch_payload_odd_straddle () =
+  (* Odd-length patch: its final word is shared with the byte that
+     follows the patch, so the adjustment must fold that neighbour in. *)
+  let p = mk_pkt ~payload:"0123456789" () in
+  Cksum.patch_payload p ~off:2 "abc";
+  check_bool "bytes patched" true (Bytes.to_string p.Packet.payload = "01abc56789");
+  check_bool "shared-word checksum valid" true (Cksum.verify p)
+
+let patch_payload_final_byte () =
+  (* Odd-length payload: patching the last byte exercises word_at's
+     half-word path, where the final byte forms a word on its own. *)
+  let p = mk_pkt ~payload:"0123456" () in
+  Cksum.patch_payload p ~off:6 "z";
+  check_bool "last byte patched" true (Bytes.to_string p.Packet.payload = "012345z");
+  check_bool "half-word checksum valid" true (Cksum.verify p);
+  (* and an odd patch that runs up to the very end of an odd payload:
+     words at 4-5 and the lone byte at 6 *)
+  let q = mk_pkt ~payload:"0123456" () in
+  Cksum.patch_payload q ~off:4 "xyz";
+  check_bool "tail straddle patched" true (Bytes.to_string q.Packet.payload = "0123xyz");
+  check_bool "tail straddle checksum valid" true (Cksum.verify q)
+
+let proxy_rewrite_sequence_verifies () =
+  (* End-to-end: an egress filter performs the full µproxy rewrite
+     sequence — redirect dst/dport, patch a stripe-offset field and an
+     odd-length tail in the payload — and the receiver verifies the
+     checksum on arrival, exactly as a storage node would. *)
+  let eng, net =
+    let eng = Engine.create () in
+    (eng, Net.create eng ())
+  in
+  let a = Net.add_node net ~name:"a" in
+  let b = Net.add_node net ~name:"b" in
+  let c = Net.add_node net ~name:"c" in
+  let verified = ref 0 in
+  Net.listen net c ~port:3049 (fun pkt ->
+      if Cksum.verify pkt then incr verified);
+  Net.add_egress_filter net a (fun pkt ->
+      Cksum.rewrite_dst pkt c;
+      Cksum.rewrite_dport pkt 3049;
+      Cksum.patch_payload pkt ~off:8 "\x00\x00\x00\x00\x00\x01\x86\xa0";
+      Cksum.patch_payload pkt ~off:60 "end";
+      Some pkt);
+  Net.send net (Packet.make ~src:a ~dst:b ~sport:1 ~dport:9 (Bytes.make 63 'q'));
+  Engine.run eng;
+  check_int "rewritten packet verifies at receiver" 1 !verified
+
 let packet_copy_independent () =
   let p = mk_pkt () in
   let q = Packet.copy p in
@@ -276,6 +323,9 @@ let suite =
     rewrite_all_fields;
     patch_payload_checksum;
     ("patch payload bounds", `Quick, patch_payload_bounds);
+    ("patch payload odd straddle", `Quick, patch_payload_odd_straddle);
+    ("patch payload final byte", `Quick, patch_payload_final_byte);
+    ("proxy rewrite sequence verifies", `Quick, proxy_rewrite_sequence_verifies);
     ("packet copy independent", `Quick, packet_copy_independent);
     ("wire size accounts extra", `Quick, wire_size_accounts_extra);
     ("delivery and latency", `Quick, delivery_and_latency);

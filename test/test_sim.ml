@@ -32,6 +32,19 @@ let run_until () =
   Engine.run eng;
   check_int "all fired" 2 !fired
 
+let run_until_advances_clock () =
+  (* [run ~until] leaves the clock at [until] even when the event queue
+     drains first — periodic measurement loops rely on this so a quiet
+     window still advances simulated time. *)
+  let eng = Engine.create () in
+  Engine.run ~until:3.0 eng;
+  check_float "empty queue still advances" 3.0 (Engine.now eng);
+  Engine.schedule eng 1.0 (fun () -> ());
+  Engine.run ~until:10.0 eng;
+  check_float "past last event" 10.0 (Engine.now eng);
+  Engine.run ~until:5.0 eng;
+  check_float "never moves backwards" 10.0 (Engine.now eng)
+
 let sleep_advances_time () =
   let elapsed =
     run_fiber (fun eng ->
@@ -176,6 +189,7 @@ let suite =
     ("event ordering", `Quick, event_ordering);
     ("schedule past clamps", `Quick, schedule_past_clamps);
     ("run ~until", `Quick, run_until);
+    ("run ~until advances clock", `Quick, run_until_advances_clock);
     ("sleep advances time", `Quick, sleep_advances_time);
     ("suspend resumes with value", `Quick, suspend_resumes_with_value);
     ("waker idempotent", `Quick, waker_idempotent);

@@ -197,6 +197,18 @@ let lru_eviction_callback () =
   Lru.flush l;
   check_int "flush fires callbacks" 2 (List.length !evicted)
 
+let lru_replace_fires_evict () =
+  let evicted = ref [] in
+  let l = Lru.create ~on_evict:(fun k v -> evicted := (k, v) :: !evicted) ~capacity:4 () in
+  Lru.add l 1 "a";
+  Lru.add l 2 "b";
+  (* replacing a live key displaces its old value just like pressure
+     does — the hook must see it (else a dirty entry loses write-back) *)
+  Lru.add l 1 "a2";
+  check_bool "replace fired on_evict with old value" true (!evicted = [ (1, "a") ]);
+  check_bool "new value visible" true (Lru.find l 1 = Some "a2");
+  check_int "no duplicate entry" 2 (Lru.entry_count l)
+
 let lru_weights () =
   let l = Lru.create ~capacity:100 () in
   Lru.add l 1 "x" ~weight:60;
@@ -273,6 +285,7 @@ let suite =
     ("histogram", `Quick, histogram);
     ("lru basic", `Quick, lru_basic);
     ("lru eviction callback", `Quick, lru_eviction_callback);
+    ("lru replace fires evict", `Quick, lru_replace_fires_evict);
     ("lru weights", `Quick, lru_weights);
     ("lru replace", `Quick, lru_replace);
     ("lru mem does not promote", `Quick, lru_mem_no_promote);
