@@ -66,23 +66,128 @@ let micro_tests =
       (let wal = Slice_wal.Wal.create ~name:"bench" () in
        Test.make ~name:"managers/wal-append"
          (Staged.stage (fun () -> ignore (Slice_wal.Wal.append wal ~rtype:1 "0123456789abcdef"))));
+      (* metadata fast path: lease-aware cache lookup and the percentile
+         query every exhibit's latency lines lean on *)
+      (let lru : (int, int) Slice_util.Lru.t = Slice_util.Lru.create ~capacity:4096 () in
+       for i = 0 to 4095 do
+         Slice_util.Lru.add lru ~expires_at:infinity i i
+       done;
+       let k = ref 0 in
+       Test.make ~name:"metacache/lru-find-ttl"
+         (Staged.stage (fun () ->
+              k := (!k + 17) land 4095;
+              ignore (Slice_util.Lru.find_ttl lru !k ~now:1.0))));
+      (let s = Slice_util.Stats.create () in
+       let p = Slice_util.Prng.create 5 in
+       for _ = 1 to 10_000 do
+         Slice_util.Stats.add s (Slice_util.Prng.float p 1.0)
+       done;
+       Test.make ~name:"metacache/stats-percentile-cached"
+         (Staged.stage (fun () -> ignore (Slice_util.Stats.percentile s 99.0))));
     ]
 
-let run_micro () =
+(* Returns (name, ns_per_op) rows for the JSON artifact; NaN when Bechamel
+   produced no estimate. *)
+let run_micro ?(quota = 0.25) () =
   let open Bechamel in
   print_endline "\n== Microbenchmarks (Bechamel, ns/op) ==";
   print_endline "the real hot-path code behind each exhibit:";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] micro_tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  List.iter
+  List.map
     (fun (name, v) ->
       match Analyze.OLS.estimates v with
-      | Some (t :: _) -> Printf.printf "  %-44s %10.1f ns/op\n" name t
-      | _ -> Printf.printf "  %-44s %10s\n" name "n/a")
+      | Some (t :: _) ->
+          Printf.printf "  %-44s %10.1f ns/op\n" name t;
+          (name, t)
+      | _ ->
+          Printf.printf "  %-44s %10s\n" name "n/a";
+          (name, Float.nan))
     (List.sort compare rows)
+
+(* ---- machine-readable perf artifact (BENCH_PR2.json) ---- *)
+
+module Json = Slice_util.Json
+
+let bench_json_path = "BENCH_PR2.json"
+
+let bench_json ~micro ~exhibits =
+  Json.Obj
+    [
+      ("schema_version", Json.Num 1.0);
+      ( "micro",
+        Json.Arr
+          (List.map
+             (fun (name, ns) ->
+               Json.Obj [ ("name", Json.Str name); ("ns_per_op", Json.Num ns) ])
+             micro) );
+      ( "exhibits",
+        Json.Arr
+          (List.map
+             (fun (p : E.Offload.point) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str p.E.Offload.label);
+                   ("ops_per_sec", Json.Num p.E.Offload.delivered_ops_s);
+                   ("p50_ms", Json.Num p.E.Offload.p50_ms);
+                   ("p95_ms", Json.Num p.E.Offload.p95_ms);
+                   ("p99_ms", Json.Num p.E.Offload.p99_ms);
+                   ("dir_ops", Json.Num (float_of_int p.E.Offload.dir_ops));
+                 ])
+             exhibits) );
+    ]
+
+(* Schema check over the re-parsed file: the smoke alias runs this so the
+   artifact can't silently rot into a shape downstream tooling rejects. *)
+let validate_bench_json txt =
+  let problem = ref None in
+  let fail msg = problem := Some msg in
+  let is_num k o = match Json.member k o with Some (Json.Num _) -> true | _ -> false in
+  let is_str k o = match Json.member k o with Some (Json.Str _) -> true | _ -> false in
+  (match Json.of_string txt with
+  | exception Json.Parse_error m -> fail ("parse error: " ^ m)
+  | j -> (
+      match (Json.member "schema_version" j, Json.member "micro" j, Json.member "exhibits" j) with
+      | Some (Json.Num _), Some (Json.Arr micro), Some (Json.Arr exhibits) ->
+          if micro = [] then fail "micro is empty";
+          if exhibits = [] then fail "exhibits is empty";
+          List.iter
+            (fun m ->
+              if not (is_str "name" m && is_num "ns_per_op" m) then
+                fail "bad micro row: want {name, ns_per_op}")
+            micro;
+          List.iter
+            (fun e ->
+              if
+                not
+                  (is_str "name" e && is_num "ops_per_sec" e && is_num "p50_ms" e
+                 && is_num "p95_ms" e && is_num "p99_ms" e && is_num "dir_ops" e)
+              then fail "bad exhibit row: want {name, ops_per_sec, p50/p95/p99_ms, dir_ops}")
+            exhibits
+      | _ -> fail "missing top-level keys {schema_version, micro, exhibits}"));
+  match !problem with
+  | None -> true
+  | Some msg ->
+      Printf.eprintf "%s: schema validation failed: %s\n" bench_json_path msg;
+      false
+
+let write_bench_json ~micro ~exhibits =
+  let oc = open_out bench_json_path in
+  output_string oc (Json.to_string (bench_json ~micro ~exhibits));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d micro, %d exhibit rows)\n" bench_json_path (List.length micro)
+    (List.length exhibits)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
 
 (* ---- ablations ---- *)
 
@@ -189,21 +294,65 @@ let stripe_unit_ablation ~scale =
 let parse_args () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
+  let smoke = List.mem "--smoke" args in
   let which =
     List.filter
       (fun a ->
         List.mem a
-          [ "table2"; "table3"; "fig3"; "fig4"; "fig5"; "fig6"; "micro"; "ablation"; "all" ])
+          [
+            "table2"; "table3"; "fig3"; "fig4"; "fig5"; "fig6"; "offload"; "micro"; "ablation";
+            "all";
+          ])
       args
   in
-  ((match which with [] -> "all" | w :: _ -> w), full)
+  ((match which with [] -> "all" | w :: _ -> w), full, smoke)
+
+(* CI smoke: tiny-quota micro pass + a no-sweep offload point pair, then
+   write BENCH_PR2.json and re-validate it from disk. Exit 1 on schema
+   failure so the bench-smoke alias actually gates. *)
+let run_smoke () =
+  print_endline "bench smoke: micro (tiny quota) + offload (scale 0.05)";
+  let micro = run_micro ~quota:0.05 () in
+  let exhibits = E.Offload.compute ~scale:0.05 ~sweep:false () in
+  (match exhibits with
+  | off :: on :: _ ->
+      Printf.printf "  offload smoke: dir ops %d -> %d (-%.0f%%)\n" off.E.Offload.dir_ops
+        on.E.Offload.dir_ops
+        (E.Offload.dir_reduction ~off ~on)
+  | _ -> ());
+  write_bench_json ~micro ~exhibits;
+  if validate_bench_json (read_file bench_json_path) then
+    print_endline "bench smoke: BENCH_PR2.json schema OK"
+  else exit 1
 
 let () =
-  let which, full = parse_args () in
+  let which, full, smoke = parse_args () in
+  if smoke then begin
+    run_smoke ();
+    print_endline "\nbench: done";
+    exit 0
+  end;
   let want x = which = "all" || which = x in
   print_endline "Slice reproduction benchmarks (Anderson/Chase/Vahdat, OSDI 2000)";
   Printf.printf "mode: %s%s\n" which (if full then " (--full)" else "");
-  if want "micro" then run_micro ();
+  let micro = if want "micro" then run_micro () else [] in
+  let offload_points =
+    if want "offload" then begin
+      let points = E.Offload.compute ~scale:(if full then 1.0 else 0.25) () in
+      E.Report.print (E.Offload.report_of points);
+      points
+    end
+    else []
+  in
+  if micro <> [] || offload_points <> [] then begin
+    write_bench_json ~micro ~exhibits:offload_points;
+    (* partial targets legitimately leave one section empty; only a run
+       that produced both gates on the schema *)
+    if
+      micro <> [] && offload_points <> []
+      && not (validate_bench_json (read_file bench_json_path))
+    then exit 1
+  end;
   if want "table2" then E.Report.print (E.Table2.report ~scale:(if full then 0.4 else 0.08) ());
   if want "table3" then E.Report.print (E.Table3.report ~scale:(if full then 0.5 else 0.05) ());
   if want "fig3" then E.Report.print (E.Fig3.report ~scale:(if full then 0.1 else 0.03) ());

@@ -60,6 +60,12 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc:"Fault injection: workloads under loss and node crashes.")
     Term.(const run_chaos $ const ())
 
+let run_offload scale = E.Report.print (E.Offload.report ~scale ())
+
+let offload_cmd =
+  cmd "offload" ~default_scale:0.25
+    ~doc:"Metadata offload: dir-server requests absorbed by the uproxy cache." run_offload
+
 let all_cmd =
   let run fast =
     let f = if fast then 0.5 else 1.0 in
@@ -68,6 +74,7 @@ let all_cmd =
     run_fig3 (0.04 *. f);
     run_fig4 (0.03 *. f);
     run_fig56 ~fig5:true ~fig6:true (0.01 *. f) (if fast then 3 else 4);
+    run_offload (0.25 *. f);
     run_chaos ()
   in
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Halve the default scales.") in
@@ -77,6 +84,9 @@ let main_cmd =
   let doc = "reproduce the evaluation of Slice (Interposed Request Routing, OSDI 2000)" in
   Cmd.group
     (Cmd.info "slice_sim" ~version:"1.0" ~doc)
-    [ table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; chaos_cmd; all_cmd ]
+    [
+      table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; offload_cmd; chaos_cmd;
+      all_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

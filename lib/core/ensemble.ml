@@ -57,6 +57,7 @@ type t = {
   dir_tbl : Table.t;
   sf_tbl : Table.t option;
   mutable next_client : int;
+  mutable client_proxies : Proxy.t list; (* newest first *)
 }
 
 let root = Fh.root
@@ -245,6 +246,7 @@ let create cfg =
       dir_tbl;
       sf_tbl;
       next_client = 0;
+      client_proxies = [];
     }
   in
   let smallfiles_ =
@@ -302,6 +304,7 @@ let add_client t ~name:client_name =
         coordinator;
       }
   in
+  t.client_proxies <- proxy :: t.client_proxies;
   (host, proxy)
 
 (* Fail-stop a server at both layers: the service stops answering and the
@@ -338,4 +341,21 @@ let smallfiles t = t.smallfiles_
 let dir_table t = t.dir_tbl
 let smallfile_table t = t.sf_tbl
 let config t = t.cfg
+let client_proxies t = List.rev t.client_proxies
+
+let meta_cache_totals t =
+  List.fold_left
+    (fun (acc : Proxy.meta_cache_stats) px ->
+      let s = Proxy.meta_cache_stats px in
+      {
+        Proxy.hits = acc.Proxy.hits + s.Proxy.hits;
+        negative_hits = acc.Proxy.negative_hits + s.Proxy.negative_hits;
+        misses = acc.Proxy.misses + s.Proxy.misses;
+        stale = acc.Proxy.stale + s.Proxy.stale;
+        invalidations = acc.Proxy.invalidations + s.Proxy.invalidations;
+      })
+    { Proxy.hits = 0; negative_hits = 0; misses = 0; stale = 0; invalidations = 0 }
+    t.client_proxies
+
+let dir_ops_served t = Array.fold_left (fun acc d -> acc + Dirserver.ops_served d) 0 t.dirs_
 let run ?until t = Engine.run ?until t.eng

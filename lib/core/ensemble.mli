@@ -73,5 +73,16 @@ val dir_table : t -> Table.t
 val smallfile_table : t -> Table.t option
 val config : t -> config
 
+val client_proxies : t -> Proxy.t list
+(** µproxies installed by {!add_client}, in creation order (the
+    storage-only proxies of dataless small-file servers are excluded). *)
+
+val meta_cache_totals : t -> Proxy.meta_cache_stats
+(** Metadata fast-path counters summed over all client µproxies. *)
+
+val dir_ops_served : t -> int
+(** Name-space requests served, summed over the directory servers — the
+    denominator of the metadata-offload exhibit. *)
+
 val run : ?until:float -> t -> unit
 (** Convenience: run the underlying engine. *)

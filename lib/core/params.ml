@@ -14,6 +14,10 @@ type t = {
   mirror_dup_cost_per_byte : float;
   attr_cache_capacity : int;
   attr_writeback_interval : float;
+  meta_cache_enabled : bool;
+  meta_cache_ttl : float;
+  name_cache_capacity : int;
+  map_cache_capacity : int;
   pending_sweep_interval : float;
   pending_expiry : float;
   rpc_port : int;
@@ -33,6 +37,10 @@ let default =
     mirror_dup_cost_per_byte = 5.2e-9;
     attr_cache_capacity = 4096;
     attr_writeback_interval = 0.0;
+    meta_cache_enabled = true;
+    meta_cache_ttl = 2.0;
+    name_cache_capacity = 4096;
+    map_cache_capacity = 1024;
     pending_sweep_interval = 1.0;
     pending_expiry = 10.0;
     rpc_port = 3001;

@@ -33,6 +33,20 @@ type t = {
   attr_writeback_interval : float;
       (** period of the background push of dirty cached attributes to the
           directory servers (0 = rely on commit/evict-driven writeback) *)
+  meta_cache_enabled : bool;
+      (** master switch for the µproxy metadata fast path: answer
+          [lookup]/[getattr]/[access] from proxy-cached state instead of
+          forwarding to a directory server *)
+  meta_cache_ttl : float;
+      (** lease duration (seconds of simulated time) granted to each
+          cached name/attr entry; bounds cross-client staleness. 0
+          disables the fast path entirely (equivalent to
+          [meta_cache_enabled = false]) *)
+  name_cache_capacity : int;
+      (** entries in the [(dir file-id, name)] -> handle cache, counting
+          negative entries *)
+  map_cache_capacity : int;
+      (** entries in the per-file block-map placement cache *)
   pending_sweep_interval : float;
       (** period of the sweep that expires abandoned pending records —
           soft state for requests whose reply will never arrive because

@@ -34,16 +34,35 @@ type pending = {
   p_klass : klass;
   p_fh : Fh.t option;
   p_proc : int;
+  p_name : string option; (* name argument: feeds the name cache on reply *)
   p_offset : int64 option;
   p_count : int option;
   p_orig : bytes; (* pristine client payload: misdirect / failover retry *)
   p_rd_site : int; (* readdir: logical dir site the request was sent to *)
   p_born : float; (* arrival time; refreshed by each client retransmit *)
+  p_epoch : int; (* meta_epoch at forward time: replies from before an
+                    invalidation must not (re)populate the metadata cache *)
   mutable p_mirror_left : int;
   mutable p_worst : int; (* worst NFS status seen across mirror acks *)
 }
 
-type cached_attr = { ca_fh : Fh.t; mutable ca_attr : Nfs.fattr; mutable ca_dirty : bool }
+type cached_attr = {
+  ca_fh : Fh.t;
+  mutable ca_attr : Nfs.fattr;
+  mutable ca_dirty : bool;
+  mutable ca_valid_until : float;
+      (* lease deadline for serving this attr from the fast path; only an
+         authoritative directory-server reply grants one. neg_infinity on
+         fabricated entries, so locally-invented attrs are never served. *)
+}
+
+type meta_cache_stats = {
+  hits : int;  (** positive lookup/getattr/access answered at the proxy *)
+  negative_hits : int;  (** lookups answered NOENT from a negative entry *)
+  misses : int;  (** fast-path attempts forwarded for lack of an entry *)
+  stale : int;  (** fast-path attempts forwarded because a lease lapsed *)
+  invalidations : int;  (** mutating ops that invalidated cached entries *)
+}
 
 type t = {
   host : Host.t;
@@ -55,8 +74,13 @@ type t = {
   rpc : Rpc.t;
   pending : (int, pending) Hashtbl.t;
   attrs : (int64, cached_attr) Lru.t;
-  map_cache : (int64, Packet.addr array ref) Hashtbl.t;
+  name_cache : (int64 * string, Fh.t option) Lru.t;
+      (* (dir file-id, component) -> handle; None is a negative entry *)
+  map_cache : (int64, int * Packet.addr array) Lru.t;
+      (* file-id -> (generation, per-chunk placement); the generation
+         guards against a recycled file-id routing I/O to old sites *)
   intents_open : (int64, int64) Hashtbl.t;
+  mutable meta_epoch : int;
   (* private snapshots (hints) of the routing tables *)
   mutable dir_map : Packet.addr array;
   mutable dir_version : int;
@@ -83,8 +107,15 @@ type t = {
   mutable n_stale : int;
   mutable n_map_fetch : int;
   mutable n_expired : int;
+  mutable n_meta_hit : int;
+  mutable n_meta_neg_hit : int;
+  mutable n_meta_miss : int;
+  mutable n_meta_stale : int;
+  mutable n_meta_inval : int;
   mutable sweep_armed : bool;
 }
+
+let meta_enabled t = t.p.Params.meta_cache_enabled && t.p.Params.meta_cache_ttl > 0.0
 
 (* ---- per-packet cost accounting ----
    Phases accumulate into a per-packet cell, are charged to the client CPU
@@ -134,6 +165,7 @@ let cached_attr t (fh : Fh.t) =
           ca_fh = fh;
           ca_attr = Nfs.default_attr ~ftype:fh.Fh.ftype ~fileid:fh.Fh.file_id ~now:(Engine.now t.eng);
           ca_dirty = false;
+          ca_valid_until = neg_infinity;
         }
       in
       Lru.add t.attrs fh.Fh.file_id c;
@@ -219,11 +251,13 @@ let remember t (peek : Codec.peek) ~klass ~orig ~rd_site ~mirrors =
       p_klass = klass;
       p_fh = peek.Codec.fh;
       p_proc = peek.Codec.proc;
+      p_name = peek.Codec.name;
       p_offset = peek.Codec.offset;
       p_count = peek.Codec.count;
       p_orig = orig;
       p_rd_site = rd_site;
       p_born = Engine.now t.eng;
+      p_epoch = t.meta_epoch;
       p_mirror_left = mirrors;
       p_worst = 0;
     };
@@ -417,14 +451,15 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
         match t.p.Params.io_policy with
         | Params.Static_striping -> static_route ()
         | Params.Block_map -> (
-            match Hashtbl.find_opt t.map_cache fh.Fh.file_id with
-            | Some map when chunk < Array.length !map ->
+            match Lru.find t.map_cache fh.Fh.file_id with
+            | Some (g, map) when g = fh.Fh.gen && chunk < Array.length map ->
                 patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
                 t.n_storage <- t.n_storage + 1;
                 remember t peek ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
-                forward t c pkt ~dst:!map.(chunk)
+                forward t c pkt ~dst:map.(chunk)
             | _ ->
-                (* Map-fragment miss: fetch from the coordinator, then
+                (* Map-fragment miss (including a generation mismatch from
+                   a recycled file-id): fetch from the coordinator, then
                    re-route the absorbed request (the µproxy "interacts
                    with the coordinators to fetch and cache fragments of
                    the block maps"). *)
@@ -436,16 +471,159 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
                            ctrl_call t (Ctrl.Get_map { fh; first_block = 0; count = chunk + 64 })
                          with
                         | Ctrl.Map { first_block = _; sites } ->
-                            Hashtbl.replace t.map_cache fh.Fh.file_id (ref sites)
+                            Lru.add t.map_cache fh.Fh.file_id (fh.Fh.gen, sites)
                         | Ctrl.Ack | Ctrl.Nack ->
                             (* no dynamic map: fall back to static *)
-                            Hashtbl.replace t.map_cache fh.Fh.file_id
-                              (ref
-                                 (Array.init (chunk + 64) (fun b ->
-                                      t.tg.storage.((Routekey.file_site ~nsites:n fh + b) mod n)))));
+                            Lru.add t.map_cache fh.Fh.file_id
+                              ( fh.Fh.gen,
+                                Array.init (chunk + 64) (fun b ->
+                                    t.tg.storage.((Routekey.file_site ~nsites:n fh + b) mod n)) ));
                         let c2 = { c_total = 0.0 } in
                         route_io t c2 pkt peek fh ~orig)))
       end
+
+(* ---- metadata fast path ----
+   The SPECsfs mix is dominated by lookup/getattr/access; each of those
+   today costs a directory-server round trip. The µproxy already sees
+   every reply, so it can absorb repeats: name entries (including
+   negative ones) live in [name_cache] under a TTL lease, and attribute
+   entries are served while their lease ([ca_valid_until]) is live.
+   Correctness is write-through invalidation (below) plus the lease
+   bounding what another client's unseen mutation can cost us. *)
+
+let synth_reply t (c : cost) (pkt : Packet.t) ~xid (resp : Nfs.response) =
+  charge t c `Rewrite t.p.Params.rewrite_cost;
+  let payload = Codec.encode_reply ~xid resp in
+  let reply =
+    Packet.make ~src:t.tg.virtual_addr ~dst:pkt.Packet.src ~sport:2049 ~dport:pkt.Packet.sport
+      payload
+  in
+  after_cpu t c (fun () -> Net.dispatch t.net reply)
+
+(* Returns true when the request was answered at the proxy. *)
+let try_meta_fast_path t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
+  let now = Engine.now t.eng in
+  charge t c `Softstate t.p.Params.softstate_cost;
+  let hit resp =
+    t.n_meta_hit <- t.n_meta_hit + 1;
+    synth_reply t c pkt ~xid:peek.Codec.xid resp;
+    true
+  in
+  let miss () =
+    t.n_meta_miss <- t.n_meta_miss + 1;
+    false
+  in
+  let stale () =
+    t.n_meta_stale <- t.n_meta_stale + 1;
+    false
+  in
+  match peek.Codec.proc with
+  | 1 -> (
+      match Lru.find t.attrs fh.Fh.file_id with
+      | Some ca when ca.ca_valid_until > now -> hit (Ok (Nfs.RGetattr ca.ca_attr))
+      | Some _ -> stale ()
+      | None -> miss ())
+  | 4 -> (
+      match (peek.Codec.access_mask, Lru.find t.attrs fh.Fh.file_id) with
+      | Some mask, Some ca when ca.ca_valid_until > now ->
+          (* the directory server grants the full requested mask (see
+             Dirserver's Access handler), so echoing it is faithful *)
+          hit (Ok (Nfs.RAccess (mask, ca.ca_attr)))
+      | _, Some _ -> stale ()
+      | _, None -> miss ())
+  | 3 -> (
+      match peek.Codec.name with
+      | None -> miss ()
+      | Some name -> (
+          match Lru.find_ttl t.name_cache (fh.Fh.file_id, name) ~now with
+          | Lru.Fresh (Some child) -> (
+              (* a positive hit must also produce attributes; serve only
+                 if the child's attr lease is live too *)
+              match Lru.find t.attrs child.Fh.file_id with
+              | Some ca when ca.ca_valid_until > now -> hit (Ok (Nfs.RLookup (child, ca.ca_attr)))
+              | Some _ -> stale ()
+              | None -> miss ())
+          | Lru.Fresh None ->
+              t.n_meta_neg_hit <- t.n_meta_neg_hit + 1;
+              synth_reply t c pkt ~xid:peek.Codec.xid (Error Nfs.ERR_NOENT);
+              true
+          | Lru.Stale -> stale ()
+          | Lru.Miss -> miss ()))
+  | _ -> false
+
+(* Write-through invalidation: drop or revoke every cached entry a
+   mutating op can falsify, *before* the op is forwarded — a later hit
+   can then never contradict the server. Attr entries are revoked (lease
+   zeroed) rather than removed so dirty I/O state keeps its write-back;
+   entries for a removed file are dropped outright. The epoch bump makes
+   in-flight replies from before the mutation unable to repopulate. *)
+let revoke_attr t (fh_id : int64) =
+  match Lru.find t.attrs fh_id with
+  | Some ca -> ca.ca_valid_until <- neg_infinity
+  | None -> ()
+
+let drop_child t (child : Fh.t) =
+  Lru.remove t.attrs child.Fh.file_id;
+  Lru.remove t.map_cache child.Fh.file_id
+
+let invalidate_meta t (peek : Codec.peek) (fh : Fh.t) =
+  let bump () =
+    t.meta_epoch <- t.meta_epoch + 1;
+    t.n_meta_inval <- t.n_meta_inval + 1
+  in
+  let resolve dir_id name =
+    match Lru.find t.name_cache (dir_id, name) with Some (Some child) -> Some child | _ -> None
+  in
+  let name = Option.value ~default:"" peek.Codec.name in
+  match peek.Codec.proc with
+  | 2 ->
+      (* setattr: attributes change; a truncation also invalidates the
+         block map (a re-created file must not route I/O to placement
+         decided for the old extent) *)
+      revoke_attr t fh.Fh.file_id;
+      if peek.Codec.set_size <> None then Lru.remove t.map_cache fh.Fh.file_id;
+      bump ()
+  | 8 | 9 | 10 ->
+      (* create/mkdir/symlink: kill any negative entry under this name;
+         the directory's own attrs (mtime, size) change *)
+      Lru.remove t.name_cache (fh.Fh.file_id, name);
+      revoke_attr t fh.Fh.file_id;
+      bump ()
+  | 12 | 13 ->
+      (* remove/rmdir: the child is gone for good — drop everything known
+         about it (its dirty state has nowhere to go anyway) *)
+      (match resolve fh.Fh.file_id name with Some child -> drop_child t child | None -> ());
+      Lru.remove t.name_cache (fh.Fh.file_id, name);
+      revoke_attr t fh.Fh.file_id;
+      bump ()
+  | 14 ->
+      (* rename: the source name vanishes but the file persists (keep its
+         dirty attr state, just revoke the lease — ctime changed); any
+         previous destination target is silently deleted *)
+      (match resolve fh.Fh.file_id name with
+      | Some child -> revoke_attr t child.Fh.file_id
+      | None -> ());
+      Lru.remove t.name_cache (fh.Fh.file_id, name);
+      (match (peek.Codec.fh2, peek.Codec.name2) with
+      | Some dir2, Some n2 ->
+          (match resolve dir2.Fh.file_id n2 with
+          | Some victim -> drop_child t victim
+          | None -> ());
+          Lru.remove t.name_cache (dir2.Fh.file_id, n2);
+          revoke_attr t dir2.Fh.file_id
+      | _ -> ());
+      revoke_attr t fh.Fh.file_id;
+      bump ()
+  | 15 ->
+      (* link: a new entry appears in dir2; the file's nlink changes *)
+      revoke_attr t fh.Fh.file_id;
+      (match peek.Codec.fh2 with
+      | Some dir2 ->
+          Lru.remove t.name_cache (dir2.Fh.file_id, name);
+          revoke_attr t dir2.Fh.file_id
+      | None -> ());
+      bump ()
+  | _ -> ()
 
 let handle_request t (pkt : Packet.t) =
   t.n_intercepted <- t.n_intercepted + 1;
@@ -473,7 +651,11 @@ let handle_request t (pkt : Packet.t) =
           | 21 when fh.Fh.ftype = Fh.Reg ->
               charge t c `Softstate t.p.Params.softstate_cost;
               after_cpu t c (fun () -> orchestrate_commit t pkt peek fh)
-          | _ -> route_name t c pkt peek fh ~orig))
+          | (1 | 3 | 4) when meta_enabled t ->
+              if not (try_meta_fast_path t c pkt peek fh) then route_name t c pkt peek fh ~orig
+          | _ ->
+              invalidate_meta t peek fh;
+              route_name t c pkt peek fh ~orig))
 
 (* ---- reply handling ---- *)
 
@@ -577,7 +759,15 @@ let patch_reply_attrs t (c : cost) (pd : pending) (pkt : Packet.t) =
           end
       | KName -> (
           (* Directory servers are authoritative; refresh the cache. If
-             the µproxy holds dirtier I/O state, patch it in. *)
+             the µproxy holds dirtier I/O state, patch it in. The refresh
+             also grants a fast-path lease — unless an invalidation raced
+             past while this reply was in flight (epoch mismatch), in
+             which case the reply's data may already be falsified and
+             must not become servable. *)
+          let grant ca =
+            if meta_enabled t && pd.p_epoch = t.meta_epoch then
+              ca.ca_valid_until <- now +. t.p.Params.meta_cache_ttl
+          in
           let fh_for_attr =
             match Codec.reply_fh_after_attr pkt.Packet.payload with
             | Some child -> Some child
@@ -601,10 +791,40 @@ let patch_reply_attrs t (c : cost) (pd : pending) (pkt : Packet.t) =
                     ~off:(off + Codec.attr_mtime_field_off)
                     (Codec.time_be ca.ca_attr.Nfs.mtime);
                   charge t c `Rewrite (2.0 *. t.p.Params.rewrite_cost);
-                  t.n_attr_patch <- t.n_attr_patch + 1
-              | Some ca -> ca.ca_attr <- returned
+                  t.n_attr_patch <- t.n_attr_patch + 1;
+                  grant ca
+              | Some ca ->
+                  ca.ca_attr <- returned;
+                  grant ca
               | None ->
-                  Lru.add t.attrs keyed { ca_fh = fh; ca_attr = returned; ca_dirty = false })))
+                  let ca =
+                    { ca_fh = fh; ca_attr = returned; ca_dirty = false;
+                      ca_valid_until = neg_infinity }
+                  in
+                  grant ca;
+                  Lru.add t.attrs keyed ca)))
+
+(* Populate the name cache from a directory server's answer: a successful
+   lookup/create/mkdir/symlink binds (dir, name) -> child handle; a
+   lookup that returned NOENT proves absence, worth a negative entry
+   (SPECsfs and build workloads probe absent names repeatedly). Replies
+   from before an invalidation (epoch mismatch) teach nothing. *)
+let learn_name t (pd : pending) (pkt : Packet.t) =
+  if meta_enabled t && pd.p_epoch = t.meta_epoch && pd.p_klass = KName then
+    match (pd.p_fh, pd.p_name) with
+    | Some dir, Some name -> (
+        let key = (dir.Fh.file_id, name) in
+        let expires = Engine.now t.eng +. t.p.Params.meta_cache_ttl in
+        let st = reply_status pkt.Packet.payload in
+        match pd.p_proc with
+        | (3 | 8 | 9 | 10) when st = 0 -> (
+            match Codec.reply_fh_after_attr pkt.Packet.payload with
+            | Some child -> Lru.add t.name_cache ~expires_at:expires key (Some child)
+            | None -> ())
+        | 3 when st = Codec.int_of_status Nfs.ERR_NOENT ->
+            Lru.add t.name_cache ~expires_at:expires key None
+        | _ -> ())
+    | _ -> ()
 
 let handle_reply t (pkt : Packet.t) (pd : pending) =
   let c = { c_total = 0.0 } in
@@ -651,6 +871,7 @@ let handle_reply t (pkt : Packet.t) (pd : pending) =
       translate_readdir t c pd pkt
     else begin
       patch_reply_attrs t c pd pkt;
+      learn_name t pd pkt;
       charge t c `Rewrite t.p.Params.rewrite_cost;
       Cksum.rewrite_src pkt t.tg.virtual_addr;
       after_cpu t c (fun () -> Net.dispatch t.net pkt);
@@ -714,8 +935,10 @@ let install host ?(params = Params.default) ?(seed = 7) targets =
       rpc = Rpc.create net host.Host.addr ~port:params.Params.rpc_port;
       pending = Hashtbl.create 256;
       attrs;
-      map_cache = Hashtbl.create 64;
+      name_cache = Lru.create ~capacity:params.Params.name_cache_capacity ();
+      map_cache = Lru.create ~capacity:params.Params.map_cache_capacity ();
       intents_open = Hashtbl.create 16;
+      meta_epoch = 0;
       dir_map;
       dir_version;
       sf_map;
@@ -739,6 +962,11 @@ let install host ?(params = Params.default) ?(seed = 7) targets =
       n_stale = 0;
       n_map_fetch = 0;
       n_expired = 0;
+      n_meta_hit = 0;
+      n_meta_neg_hit = 0;
+      n_meta_miss = 0;
+      n_meta_stale = 0;
+      n_meta_inval = 0;
       sweep_armed = false;
     }
   in
@@ -753,7 +981,9 @@ let params t = t.p
 let discard_soft_state t =
   Hashtbl.reset t.pending;
   Lru.clear t.attrs;
-  Hashtbl.reset t.map_cache
+  Lru.clear t.name_cache;
+  Lru.clear t.map_cache;
+  t.meta_epoch <- t.meta_epoch + 1
 
 let cpu_breakdown t =
   {
@@ -779,3 +1009,15 @@ let stale_bounces t = t.n_stale
 let map_fetches t = t.n_map_fetch
 let expired_pending t = t.n_expired
 let pending_size t = Hashtbl.length t.pending
+
+let meta_cache_stats t =
+  {
+    hits = t.n_meta_hit;
+    negative_hits = t.n_meta_neg_hit;
+    misses = t.n_meta_miss;
+    stale = t.n_meta_stale;
+    invalidations = t.n_meta_inval;
+  }
+
+let name_cache_entries t = Lru.entry_count t.name_cache
+let map_cache_entries t = Lru.entry_count t.map_cache

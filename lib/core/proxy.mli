@@ -21,6 +21,12 @@
     - NFS commit on a multi-site file is absorbed and orchestrated through
       the block-service coordinator (write commitment, intention
       completion), with the reply synthesized to the client;
+    - [lookup]/[getattr]/[access] are answered directly at the proxy when
+      its metadata cache holds a live-leased entry (names — including
+      negative entries — and attributes), with write-through invalidation
+      on every mutating op it routes and a short TTL bounding what an
+      unseen mutation by another client can cost (NFS close-to-open
+      semantics);
     - readdir over a name-hashed volume is iterated across all directory
       sites by cookie translation;
     - a server bouncing a request with [SLICE_MISDIRECTED] triggers a lazy
@@ -98,3 +104,20 @@ val expired_pending : t -> int
 val pending_size : t -> int
 (** Live pending records (soft state keyed by XID). Must be 0 once the
     workload has quiesced — anything else is a leaked record. *)
+
+type meta_cache_stats = {
+  hits : int;  (** positive lookup/getattr/access answered at the proxy *)
+  negative_hits : int;  (** lookups answered NOENT from a negative entry *)
+  misses : int;  (** fast-path attempts forwarded for lack of an entry *)
+  stale : int;  (** fast-path attempts forwarded because a lease lapsed *)
+  invalidations : int;  (** mutating ops that invalidated cached entries *)
+}
+
+val meta_cache_stats : t -> meta_cache_stats
+(** Metadata fast-path counters. Requests the fast path answers never
+    reach a directory server — the offload the cache exists to provide. *)
+
+val name_cache_entries : t -> int
+val map_cache_entries : t -> int
+(** Current entry counts of the name and block-map caches (both bounded
+    by [Params.name_cache_capacity] / [Params.map_cache_capacity]). *)

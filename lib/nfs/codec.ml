@@ -471,10 +471,13 @@ type peek = {
   fh : Fh.t option;
   fh2 : Fh.t option;
   name : string option;
+  name2 : string option;
   offset : int64 option;
   offset_field_off : int option;
   count : int option;
   write_stable : Nfs.stable_how option;
+  set_size : int64 option;
+  access_mask : int option;
   items : int;
 }
 
@@ -483,18 +486,24 @@ let peek_call buf =
   try
     let xid, proc = dec_call_header d in
     let base =
-      { xid; proc; fh = None; fh2 = None; name = None; offset = None;
-        offset_field_off = None; count = None; write_stable = None; items = 0 }
+      { xid; proc; fh = None; fh2 = None; name = None; name2 = None; offset = None;
+        offset_field_off = None; count = None; write_stable = None;
+        set_size = None; access_mask = None; items = 0 }
     in
     let p =
       match proc with
       | 0 -> base
       | 1 | 5 | 18 -> { base with fh = Some (dec_fh d) }
-      | 2 -> { base with fh = Some (dec_fh d) }
+      | 2 ->
+          let fh = dec_fh d in
+          let s = dec_sattr d in
+          { base with fh = Some fh; set_size = s.Nfs.set_size }
       | 3 | 8 | 9 | 12 | 13 ->
           let fh = dec_fh d in
           { base with fh = Some fh; name = Some (Dec.str d) }
-      | 4 -> { base with fh = Some (dec_fh d) }
+      | 4 ->
+          let fh = dec_fh d in
+          { base with fh = Some fh; access_mask = Some (Dec.u32 d) }
       | 6 ->
           let fh = dec_fh d in
           let fpos = Dec.pos d in
@@ -516,7 +525,8 @@ let peek_call buf =
           let fh1 = dec_fh d in
           let n1 = Dec.str d in
           let fh2 = dec_fh d in
-          { base with fh = Some fh1; name = Some n1; fh2 = Some fh2 }
+          { base with fh = Some fh1; name = Some n1; fh2 = Some fh2;
+            name2 = Some (Dec.str d) }
       | 15 ->
           let file = dec_fh d in
           let dir = dec_fh d in

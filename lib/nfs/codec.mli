@@ -36,6 +36,7 @@ type peek = {
   fh : Fh.t option;  (** first file-handle argument *)
   fh2 : Fh.t option;  (** second handle ([rename]/[link] destination dir) *)
   name : string option;  (** first name-component argument *)
+  name2 : string option;  (** [rename] destination name *)
   offset : int64 option;  (** [read]/[write]/[commit] offset *)
   offset_field_off : int option;
       (** byte offset of the 8-byte offset/cookie field within the
@@ -44,6 +45,10 @@ type peek = {
           repair *)
   count : int option;
   write_stable : Nfs.stable_how option;
+  set_size : int64 option;
+      (** [setattr] size field when present — a truncation, which must
+          invalidate the µproxy's cached block map for the file *)
+  access_mask : int option;  (** [access] requested permission mask *)
   items : int;  (** XDR items consumed — drives the decode cost model *)
 }
 

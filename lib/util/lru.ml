@@ -4,6 +4,7 @@ type ('k, 'v) node = {
   key : 'k;
   mutable value : 'v;
   mutable weight : int;
+  mutable expires_at : float;
   mutable prev : ('k, 'v) node option;
   mutable next : ('k, 'v) node option;
 }
@@ -16,6 +17,8 @@ type ('k, 'v) t = {
   capacity : int;
   on_evict : 'k -> 'v -> unit;
 }
+
+type 'v ttl_lookup = Fresh of 'v | Stale | Miss
 
 let create ?(on_evict = fun _ _ -> ()) ~capacity () =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
@@ -48,6 +51,19 @@ let remove_node t node =
   Hashtbl.remove t.tbl node.key;
   t.total <- t.total - node.weight
 
+let find_ttl t k ~now =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> Miss
+  | Some node when node.expires_at <= now ->
+      (* A lapsed lease is dead data, not displaced data: drop it without
+         the eviction hook (which models write-back of live state). *)
+      remove_node t node;
+      Stale
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Fresh node.value
+
 let evict_until_fits t =
   while t.total > t.capacity && t.tail <> None do
     match t.tail with
@@ -57,7 +73,7 @@ let evict_until_fits t =
         t.on_evict victim.key victim.value
   done
 
-let add t ?(weight = 1) k v =
+let add t ?(weight = 1) ?(expires_at = infinity) k v =
   (* Replacing a live entry displaces its value just like pressure does:
      the eviction hook must see it (a dirty cached attribute silently
      replaced would otherwise lose its write-back). *)
@@ -66,7 +82,7 @@ let add t ?(weight = 1) k v =
       remove_node t old;
       t.on_evict old.key old.value
   | None -> ());
-  let node = { key = k; value = v; weight; prev = None; next = None } in
+  let node = { key = k; value = v; weight; expires_at; prev = None; next = None } in
   Hashtbl.replace t.tbl k node;
   t.total <- t.total + weight;
   push_front t node;

@@ -89,12 +89,25 @@ let deterministic_runs () =
   in
   check_float "identical completion times" (once ()) (once ())
 
+let offload_smoke () =
+  match E.Offload.compute ~scale:0.05 ~sweep:false () with
+  | [ off; on ] ->
+      check_bool "measured ops ran" true (off.E.Offload.ops > 100);
+      check_bool "baseline talks to dir servers" true (off.E.Offload.dir_ops > 0);
+      (* the PR's acceptance bar: >= 30% fewer directory-server requests
+         at default knobs, even at smoke scale *)
+      check_bool "cache absorbs >= 30% of dir requests" true
+        (float_of_int on.E.Offload.dir_ops < 0.7 *. float_of_int off.E.Offload.dir_ops);
+      check_bool "hits account for the offload" true (on.E.Offload.meta.Slice.Proxy.hits > 0)
+  | pts -> Alcotest.failf "expected 2 points, got %d" (List.length pts)
+
 let suite =
   [
     ("table2 smoke", `Slow, table2_smoke);
     ("table3 smoke", `Quick, table3_smoke);
     ("fig3 smoke", `Slow, fig3_smoke);
     ("fig4 smoke", `Slow, fig4_smoke);
+    ("offload smoke", `Quick, offload_smoke);
     ("e2e under packet loss", `Quick, e2e_under_packet_loss);
     ("deterministic runs", `Quick, deterministic_runs);
   ]

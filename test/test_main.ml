@@ -13,6 +13,7 @@ let () =
       ("dir", Test_dir.suite);
       ("smallfile", Test_smallfile.suite);
       ("proxy", Test_proxy.suite);
+      ("metacache", Test_metacache.suite);
       ("fault", Test_fault.suite);
       ("workload", Test_workload.suite);
       ("baseline", Test_baseline.suite);

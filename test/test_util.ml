@@ -3,6 +3,7 @@ module Heap = Slice_util.Heap
 module Prng = Slice_util.Prng
 module Stats = Slice_util.Stats
 module Lru = Slice_util.Lru
+module Json = Slice_util.Json
 
 (* ---- Heap ---- *)
 
@@ -263,6 +264,116 @@ let lru_model =
               true)
         ops)
 
+(* ---- lease-aware lookup (the metadata cache's TTL machinery) ---- *)
+
+let lru_find_ttl () =
+  let evicted = ref [] in
+  let l = Lru.create ~capacity:8 ~on_evict:(fun k _ -> evicted := k :: !evicted) () in
+  Lru.add l ~expires_at:5.0 "leased" 1;
+  Lru.add l "forever" 2;
+  (match Lru.find_ttl l "leased" ~now:4.9 with
+  | Lru.Fresh v -> check_int "fresh within lease" 1 v
+  | _ -> Alcotest.fail "expected Fresh");
+  (match Lru.find_ttl l "leased" ~now:5.0 with
+  | Lru.Stale -> ()
+  | _ -> Alcotest.fail "expected Stale at expiry");
+  (* expiry removed the entry silently: no eviction callback, and a
+     re-probe is a Miss, not Stale again *)
+  check_bool "no on_evict for lease expiry" true (!evicted = []);
+  (match Lru.find_ttl l "leased" ~now:5.0 with
+  | Lru.Miss -> ()
+  | _ -> Alcotest.fail "expected Miss after expiry removal");
+  check_int "expired entry no longer counted" 1 (Lru.entry_count l);
+  (match Lru.find_ttl l "forever" ~now:1e12 with
+  | Lru.Fresh v -> check_int "default lease is infinite" 2 v
+  | _ -> Alcotest.fail "expected Fresh");
+  (* the plain interface ignores leases entirely *)
+  Lru.add l ~expires_at:0.5 "old" 3;
+  check_bool "plain find ignores lease" true (Lru.find l "old" = Some 3)
+
+(* ---- reservoir percentiles ---- *)
+
+let stats_reservoir_bounded () =
+  let s = Stats.create ~reservoir:100 () in
+  for i = 1 to 10_000 do
+    Stats.add s (float_of_int i)
+  done;
+  check_int "count is exact" 10_000 (Stats.count s);
+  check_float "mean is exact" 5000.5 (Stats.mean s);
+  (* percentiles are estimates from 100 retained samples of a uniform
+     ramp: nearest-rank over the reservoir should land within a few
+     percent of truth *)
+  let p50 = Stats.percentile s 50.0 in
+  check_bool "median estimate sane" true (p50 > 3000.0 && p50 < 7000.0);
+  let p100 = Stats.percentile s 100.0 in
+  check_bool "max estimate below true max" true (p100 <= 10_000.0)
+
+let stats_reservoir_exact_under_cap =
+  qtest "percentile exact when samples fit the reservoir"
+    QCheck2.Gen.(list_size (int_range 1 200) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create ~reservoir:256 () in
+      List.iter (Stats.add s) xs;
+      let sorted = List.sort compare xs in
+      let m = List.length xs in
+      List.for_all
+        (fun p ->
+          let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int m))) in
+          Stats.percentile s p = List.nth sorted (min (m - 1) (rank - 1)))
+        [ 0.0; 50.0; 90.0; 99.0; 100.0 ])
+
+let stats_merge_capped () =
+  let a = Stats.create ~reservoir:64 () in
+  let b = Stats.create ~reservoir:64 () in
+  for i = 1 to 500 do
+    Stats.add a (float_of_int i);
+    Stats.add b (float_of_int (i + 500))
+  done;
+  let m = Stats.merge a b in
+  check_int "merged count exact" 1000 (Stats.count m);
+  check_float "merged mean exact" 500.5 (Stats.mean m);
+  let p50 = Stats.percentile m 50.0 in
+  check_bool "merged median from both halves" true (p50 > 200.0 && p50 < 800.0)
+
+(* ---- json ---- *)
+
+let json_roundtrip () =
+  let open Json in
+  let j =
+    Obj
+      [
+        ("schema_version", Num 1.0);
+        ("name", Str "bench \"smoke\"\n\ttab");
+        ("neg", Num (-12.5));
+        ("big", Num 1e9);
+        ("flags", Arr [ Bool true; Bool false; Null ]);
+        ("empty_arr", Arr []);
+        ("nested", Obj [ ("k", Str "v") ]);
+      ]
+  in
+  Alcotest.check
+    (Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (to_string j)) ( = ))
+    "of_string (to_string j) = j" j
+    (of_string (to_string j))
+
+let json_parse_errors () =
+  List.iter
+    (fun txt ->
+      match Json.of_string txt with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input %S" txt)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let json_accessors () =
+  let j = Json.of_string {|{"micro": [{"name": "x", "ns_per_op": 41.5}]}|} in
+  match Json.member "micro" j with
+  | Some (Json.Arr [ row ]) ->
+      check_bool "str accessor" true (Json.member "name" row = Some (Json.Str "x"));
+      (match Json.member "ns_per_op" row with
+      | Some (Json.Num n) -> check_float "num accessor" 41.5 n
+      | _ -> Alcotest.fail "ns_per_op missing")
+  | _ -> Alcotest.fail "micro missing"
+
 let suite =
   [
     ("heap basic", `Quick, heap_basic);
@@ -290,4 +401,11 @@ let suite =
     ("lru replace", `Quick, lru_replace);
     ("lru mem does not promote", `Quick, lru_mem_no_promote);
     lru_model;
+    ("lru find_ttl leases", `Quick, lru_find_ttl);
+    ("stats reservoir bounded", `Quick, stats_reservoir_bounded);
+    stats_reservoir_exact_under_cap;
+    ("stats merge capped", `Quick, stats_merge_capped);
+    ("json roundtrip", `Quick, json_roundtrip);
+    ("json parse errors", `Quick, json_parse_errors);
+    ("json accessors", `Quick, json_accessors);
   ]
