@@ -96,7 +96,11 @@ let run_micro ?(quota = 0.25) () =
   let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] micro_tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [])
+  in
   List.map
     (fun (name, v) ->
       match Analyze.OLS.estimates v with
@@ -106,7 +110,7 @@ let run_micro ?(quota = 0.25) () =
       | _ ->
           Printf.printf "  %-44s %10s\n" name "n/a";
           (name, Float.nan))
-    (List.sort compare rows)
+      rows
 
 (* ---- machine-readable perf artifact (BENCH_PR2.json) ---- *)
 

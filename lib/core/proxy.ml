@@ -933,10 +933,12 @@ let install host ?(params = Params.default) ?(seed = 7) targets =
       tg = targets;
       prng = Prng.create (seed + (host.Host.addr * 7919));
       rpc = Rpc.create net host.Host.addr ~port:params.Params.rpc_port;
+      (* lint: bounded — one row per in-flight request; replies remove, the periodic sweep expires orphans *)
       pending = Hashtbl.create 256;
       attrs;
       name_cache = Lru.create ~capacity:params.Params.name_cache_capacity ();
       map_cache = Lru.create ~capacity:params.Params.map_cache_capacity ();
+      (* lint: bounded — one row per file with an open mirrored-write intent; commit closes it *)
       intents_open = Hashtbl.create 16;
       meta_epoch = 0;
       dir_map;

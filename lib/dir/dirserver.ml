@@ -117,6 +117,7 @@ let dir_tbl t fid =
   match Hashtbl.find_opt t.dir_index fid with
   | Some tbl -> tbl
   | None ->
+      (* lint: bounded — per-directory entry table; namespace state is WAL+checkpoint-backed (§3.4) *)
       let tbl = Hashtbl.create 8 in
       Hashtbl.replace t.dir_index fid tbl;
       tbl
@@ -635,10 +636,15 @@ let attach host ?(port = 2049) ?(costs = default_costs) cfg =
       host;
       cfg;
       costs;
+      (* lint: bounded — attribute cells: dataless-manager state, WAL+checkpoint-backed (§3.4) *)
       attrs = Hashtbl.create 1024;
+      (* lint: bounded — name entries: dataless-manager state, WAL+checkpoint-backed (§3.4) *)
       entries = Hashtbl.create 4096;
+      (* lint: bounded — one row per directory, dropped with the directory *)
       dir_index = Hashtbl.create 256;
+      (* lint: bounded — applied-op dedup, compacted into each checkpoint *)
       applied = Hashtbl.create 64;
+      (* lint: bounded — one row per in-flight two-phase op; commit/abort removes it *)
       prepares = Hashtbl.create 16;
       rpc = Rpc.create host.Host.net host.Host.addr ~port:2053;
       owned = cfg.logical_id :: cfg.also_owns;

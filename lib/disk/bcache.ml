@@ -122,7 +122,9 @@ let create eng ~backend ~capacity ~name:_ =
       eng;
       backend;
       cache = Slice_util.Lru.create ~on_evict ~capacity ();
+      (* lint: bounded — one row per object of the store: prefetch hint *)
       last_access = Hashtbl.create 64;
+      (* lint: bounded — per-object dirty sets, drained by write-back/commit *)
       dirty_index = Hashtbl.create 16;
       hits = 0;
       misses = 0;
@@ -130,8 +132,11 @@ let create eng ~backend ~capacity ~name:_ =
       inflight = ref 0;
       inflight_blocks = ref 0;
       total_dirty = ref 0;
+      (* lint: bounded — rows removed when an object's write-backs drain *)
       obj_inflight = Hashtbl.create 16;
+      (* lint: bounded — one counter row per object of the store *)
       obj_done = Hashtbl.create 16;
+      (* lint: bounded — rows removed when the waiters are woken *)
       obj_waiters = Hashtbl.create 16;
       waiters = ref [];
       throttle_waiters = ref [];
@@ -189,6 +194,7 @@ let dirty_tbl t obj =
   match Hashtbl.find_opt t.dirty_index obj with
   | Some tbl -> tbl
   | None ->
+      (* lint: bounded — dirty blocks of one object, capped by cache capacity *)
       let tbl = Hashtbl.create 64 in
       Hashtbl.replace t.dirty_index obj tbl;
       tbl

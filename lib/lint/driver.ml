@@ -1,0 +1,133 @@
+module Json = Slice_util.Json
+
+type report = { findings : Finding.t list; files : int }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let parse_findings ~file exn =
+  let msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+    | _ -> Printexc.to_string exn
+  in
+  [ Finding.make ~file ~line:1 ~col:0 ~rule:Finding.Parse ("failed to parse: " ^ msg) ]
+
+let lint_file cfg path =
+  let content = read_file path in
+  let pragmas, bad = Pragma.collect ~file:path content in
+  let ast =
+    let lexbuf = Lexing.from_string content in
+    Lexing.set_filename lexbuf path;
+    if ends_with ~suffix:".ml" path then
+      try Rules.structure cfg ~file:path (Parse.implementation lexbuf)
+      with exn -> parse_findings ~file:path exn
+    else
+      try
+        ignore (Parse.interface lexbuf);
+        []
+      with exn -> parse_findings ~file:path exn
+  in
+  Pragma.apply ~file:path pragmas (bad @ ast)
+
+(* X1, directory level: a dune file declaring a library must carry the
+   uniform flags stanza, and every .ml beside it needs a sibling .mli. *)
+let x1_dir (cfg : Config.t) dir entries =
+  let join f = if dir = "" then f else dir ^ "/" ^ f in
+  if not (List.mem cfg.Config.dune_file entries) then []
+  else
+    let dune_path = join cfg.Config.dune_file in
+    let content = read_file dune_path in
+    let squash s =
+      String.concat " " (List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.map (function '\n' | '\t' -> ' ' | c -> c) s)))
+    in
+    if
+      not
+        (let c = squash content in
+         let needle = "(library" in
+         let rec has i = i >= 0 && (String.sub c i (String.length needle) = needle || has (i - 1)) in
+         has (String.length c - String.length needle))
+    then []
+    else
+      let flags =
+        let c = squash content and want = squash cfg.Config.required_dune_flags in
+        let rec has i = i >= 0 && (String.sub c i (String.length want) = want || has (i - 1)) in
+        if has (String.length c - String.length want) then []
+        else
+          [
+            Finding.make ~file:dune_path ~line:1 ~col:0 ~rule:Finding.X1
+              (Printf.sprintf "X1: library dune is missing the uniform flags stanza %s"
+                 cfg.Config.required_dune_flags);
+          ]
+      in
+      let mlis =
+        List.filter_map
+          (fun f ->
+            if ends_with ~suffix:".ml" f && not (cfg.Config.x1_allow (join f)) then
+              let mli = String.sub f 0 (String.length f - 3) ^ ".mli" in
+              if List.mem mli entries then None
+              else
+                Some
+                  (Finding.make ~file:(join f) ~line:1 ~col:0 ~rule:Finding.X1
+                     (Printf.sprintf "X1: library module has no interface (%s missing)" mli))
+            else None)
+          entries
+      in
+      flags @ mlis
+
+let scan cfg roots =
+  let findings = ref [] and files = ref 0 in
+  let rec walk path =
+    if Sys.is_directory path then begin
+      let entries =
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> String.length f > 0 && f.[0] <> '.' && f.[0] <> '_')
+        |> List.sort String.compare
+      in
+      findings := x1_dir cfg path entries @ !findings;
+      List.iter (fun f -> walk (path ^ "/" ^ f)) entries
+    end
+    else if ends_with ~suffix:".ml" path || ends_with ~suffix:".mli" path then begin
+      incr files;
+      findings := lint_file cfg path @ !findings
+    end
+  in
+  List.iter walk roots;
+  { findings = List.sort Finding.order !findings; files = !files }
+
+let errors r =
+  List.length
+    (List.filter
+       (fun f -> (not (Finding.is_suppressed f)) && f.Finding.severity = Finding.Error)
+       r.findings)
+
+let suppressed r = List.length (List.filter Finding.is_suppressed r.findings)
+
+let to_json r =
+  Json.Obj
+    [
+      ("tool", Json.Str "slicelint");
+      ("files", Json.Num (float_of_int r.files));
+      ("errors", Json.Num (float_of_int (errors r)));
+      ("suppressed", Json.Num (float_of_int (suppressed r)));
+      ("findings", Json.Arr (List.map Finding.to_json r.findings));
+    ]
+
+let render_human r =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      if not (Finding.is_suppressed f) then
+        Buffer.add_string b (Format.asprintf "%a@." Finding.pp f))
+    r.findings;
+  Buffer.add_string b
+    (Printf.sprintf "slicelint: %d file(s), %d finding(s), %d suppressed\n" r.files (errors r)
+       (suppressed r));
+  Buffer.contents b

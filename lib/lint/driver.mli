@@ -1,0 +1,22 @@
+(** File discovery, parsing and report assembly.
+
+    [scan cfg roots] walks each root (directory or single file),
+    skipping dot- and underscore-prefixed entries ([_build]), lints
+    every [.ml]/[.mli], applies pragmas, and runs the directory-level X1
+    checks. Findings come back sorted by {!Finding.order}, so reports
+    are byte-stable. *)
+
+type report = { findings : Finding.t list; files : int }
+
+val lint_file : Config.t -> string -> Finding.t list
+(** AST rules + pragmas for one source file (no X1). *)
+
+val scan : Config.t -> string list -> report
+
+val errors : report -> int
+(** Unsuppressed error-severity findings: the gate fails when nonzero. *)
+
+val suppressed : report -> int
+val to_json : report -> Slice_util.Json.t
+val render_human : report -> string
+(** Unsuppressed findings one per line, then a summary line. *)

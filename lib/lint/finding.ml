@@ -1,0 +1,78 @@
+type rule = D1 | D2 | R1 | E1 | P1 | X1 | Parse
+
+let rule_name = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | R1 -> "R1"
+  | E1 -> "E1"
+  | P1 -> "P1"
+  | X1 -> "X1"
+  | Parse -> "parse"
+
+let rule_of_name = function
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "R1" -> Some R1
+  | "E1" -> Some E1
+  | "P1" -> Some P1
+  | "X1" -> Some X1
+  | _ -> None
+
+let rule_doc = function
+  | D1 -> "determinism: wall clock, OS entropy and randomized hashing are banned"
+  | D2 -> "iteration order: hash-table iteration feeding output must be sorted"
+  | R1 -> "bounded state: long-lived hash tables need a bound or a bounded pragma"
+  | E1 -> "polymorphic equality: compare handles and route keys with keyed equality"
+  | P1 -> "partiality: no partial stdlib calls or bare aborts on protocol paths"
+  | X1 -> "interface hygiene: lib modules need an .mli and uniform dune flags"
+  | Parse -> "file failed to parse"
+
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  severity : severity;
+  msg : string;
+  suppressed : string option;
+}
+
+let make ~file ~line ~col ~rule ?(severity = Error) msg =
+  { file; line; col; rule; severity; msg; suppressed = None }
+
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_name a.rule) (rule_name b.rule)
+
+let is_suppressed t = Option.is_some t.suppressed
+
+let to_json t =
+  let module J = Slice_util.Json in
+  J.Obj
+    [
+      ("file", J.Str t.file);
+      ("line", J.Num (float_of_int t.line));
+      ("col", J.Num (float_of_int t.col));
+      ("rule", J.Str (rule_name t.rule));
+      ("severity", J.Str (severity_name t.severity));
+      ("msg", J.Str t.msg);
+      ("suppressed", J.Bool (is_suppressed t));
+      ("reason", match t.suppressed with None -> J.Null | Some r -> J.Str r);
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s/%s] %s" t.file t.line t.col (rule_name t.rule)
+    (severity_name t.severity) t.msg;
+  match t.suppressed with
+  | None -> ()
+  | Some r -> Format.fprintf ppf " (suppressed: %s)" r

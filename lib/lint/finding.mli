@@ -1,0 +1,45 @@
+(** A single slicelint diagnostic: where, which rule, and whether an
+    inline pragma suppressed it (the reason is kept for the audit
+    trail — suppressed findings still appear in the JSON report). *)
+
+type rule =
+  | D1  (** determinism: no wall clock / OS entropy / randomized hashing *)
+  | D2  (** iteration order: hash iteration feeding output must be sorted *)
+  | R1  (** bounded state: long-lived [Hashtbl]s need a bound or pragma *)
+  | E1  (** polymorphic equality on handles / route keys *)
+  | P1  (** partial stdlib calls or bare aborts on protocol paths *)
+  | X1  (** interface hygiene: missing [.mli] or non-uniform dune flags *)
+  | Parse  (** the file failed to parse at all *)
+
+val rule_name : rule -> string
+val rule_of_name : string -> rule option
+(** [None] for unknown names, including ["parse"] (pragmas cannot
+    suppress parse errors). *)
+
+val rule_doc : rule -> string
+(** One-line catalog entry, shown in [--help] style listings. *)
+
+type severity = Error | Warning
+
+val severity_name : severity -> string
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  severity : severity;
+  msg : string;
+  suppressed : string option;  (** pragma reason when suppressed *)
+}
+
+val make :
+  file:string -> line:int -> col:int -> rule:rule -> ?severity:severity -> string -> t
+
+val order : t -> t -> int
+(** Sort key: file, line, column, rule — the report order, stable across
+    runs by construction. *)
+
+val is_suppressed : t -> bool
+val to_json : t -> Slice_util.Json.t
+val pp : Format.formatter -> t -> unit

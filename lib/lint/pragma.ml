@@ -1,0 +1,117 @@
+type t = { line : int; rule : Finding.rule; reason : string; mutable used : bool }
+
+(* Built by concatenation so the scanner does not fire on its own
+   source text. *)
+let marker = "(* lint" ^ ":"
+let em_dash = "\xe2\x80\x94"
+
+(* Index of [sub] in [s] at or after [from]; -1 when absent. *)
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1) in
+  if m = 0 then from else go from
+
+(* Pragma body grammar, after the "lint:" marker and before "*)":
+     <rule> ok <dash> <reason>     generic suppression
+     bounded <dash> <reason>       R1's canonical form
+   where <dash> is an em dash or one-or-more ASCII hyphens. *)
+
+let split_reason body =
+  let hyphen = String.index_opt body '-' in
+  let em = find_sub body em_dash 0 in
+  let dash =
+    match (hyphen, em) with
+    | None, -1 -> None
+    | Some i, -1 -> Some (i, 1)
+    | None, i -> Some (i, 3)
+    | Some i, j -> if i < j then Some (i, 1) else Some (j, 3)
+  in
+  match dash with
+  | None -> None
+  | Some (i, w) ->
+      let head = String.trim (String.sub body 0 i) in
+      let rec skip j = if j < String.length body && body.[j] = '-' then skip (j + 1) else j in
+      let j = if w = 1 then skip i else i + w in
+      let reason = String.trim (String.sub body j (String.length body - j)) in
+      Some (head, reason)
+
+let parse_body ~file ~line ~col body =
+  let bad msg = Error (Finding.make ~file ~line ~col ~rule:Finding.Parse msg) in
+  match split_reason body with
+  | None -> bad "malformed lint pragma: expected `<rule> ok — reason` or `bounded — reason`"
+  | Some (head, reason) -> (
+      let missing rule =
+        Error
+          (Finding.make ~file ~line ~col ~rule
+             (Printf.sprintf "lint pragma `%s` is missing its reason" head))
+      in
+      match String.split_on_char ' ' (String.trim head) with
+      | [ "bounded" ] ->
+          if reason = "" then missing Finding.R1
+          else Ok { line; rule = Finding.R1; reason; used = false }
+      | [ name; "ok" ] -> (
+          match Finding.rule_of_name name with
+          | None -> bad (Printf.sprintf "lint pragma names unknown rule `%s`" name)
+          | Some rule ->
+              if reason = "" then missing rule else Ok { line; rule; reason; used = false })
+      | _ ->
+          bad
+            (Printf.sprintf "malformed lint pragma `%s`: expected `<rule> ok` or `bounded`" head))
+
+let collect ~file content =
+  let pragmas = ref [] and bad = ref [] in
+  let len = String.length content in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let mlen = String.length marker in
+  while !i < len do
+    (if content.[!i] = '\n' then begin
+       incr line;
+       bol := !i + 1
+     end
+     else if !i + mlen <= len && String.sub content !i mlen = marker then begin
+       let col = !i - !bol in
+       match find_sub content "*)" (!i + mlen) with
+       | -1 ->
+           bad :=
+             Finding.make ~file ~line:!line ~col ~rule:Finding.Parse "unterminated lint pragma"
+             :: !bad
+       | stop -> (
+           let body = String.trim (String.sub content (!i + mlen) (stop - !i - mlen)) in
+           match parse_body ~file ~line:!line ~col body with
+           | Ok p -> pragmas := p :: !pragmas
+           | Error f -> bad := f :: !bad)
+     end);
+    incr i
+  done;
+  (List.rev !pragmas, List.rev !bad)
+
+let apply ~file pragmas findings =
+  let suppress (f : Finding.t) =
+    if f.Finding.rule = Finding.Parse then f
+    else
+      match
+        List.find_opt
+          (fun p ->
+            p.rule = f.Finding.rule && (p.line = f.Finding.line || p.line = f.Finding.line - 1))
+          pragmas
+      with
+      | None -> f
+      | Some p ->
+          p.used <- true;
+          { f with Finding.suppressed = Some p.reason }
+  in
+  let findings = List.map suppress findings in
+  let unused =
+    List.filter_map
+      (fun p ->
+        if p.used then None
+        else
+          Some
+            (Finding.make ~file ~line:p.line ~col:0 ~rule:p.rule
+               (Printf.sprintf
+                  "unused lint pragma (%s): nothing to suppress here or on the next line"
+                  (Finding.rule_name p.rule))))
+      pragmas
+  in
+  findings @ unused

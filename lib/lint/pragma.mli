@@ -1,0 +1,23 @@
+(** Inline suppression pragmas.
+
+    Grammar — a comment of its own or trailing a line, whose body is
+    [lint:] followed by:
+
+    {v <rule> ok — reason       generic suppression
+       bounded — reason         R1's canonical form v}
+
+    The dash may be an em dash or ASCII hyphen(s); the reason is
+    mandatory — a pragma without one is itself a finding, as is a pragma
+    that suppresses nothing (so suppressions cannot rot silently). A
+    pragma suppresses matching findings on its own line or the line
+    immediately below. *)
+
+type t = { line : int; rule : Finding.rule; reason : string; mutable used : bool }
+
+val collect : file:string -> string -> t list * Finding.t list
+(** Scan raw source text. Returns well-formed pragmas plus findings for
+    malformed ones (unknown rule, missing reason, unterminated). *)
+
+val apply : file:string -> t list -> Finding.t list -> Finding.t list
+(** Mark findings suppressed by a matching pragma (recording the reason)
+    and append an error finding for every pragma that matched nothing. *)

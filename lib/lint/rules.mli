@@ -1,0 +1,12 @@
+(** The AST rule catalog (D1, D2, R1, E1, P1), evaluated over a parsed
+    implementation with an [Ast_iterator].
+
+    Heuristics are syntactic: a module alias ([module H = Hashtbl]) can
+    evade them, which code review treats the same as deleting a test.
+    X1 and pragma handling live in {!Driver} / {!Pragma}; signatures
+    carry no expressions, so [.mli] files only get parse and X1
+    checks. *)
+
+val structure : Config.t -> file:string -> Parsetree.structure -> Finding.t list
+(** Findings in source order, not yet pragma-filtered. [file] is the
+    repo-relative path used both for rule scoping and in findings. *)

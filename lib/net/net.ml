@@ -81,6 +81,7 @@ let add_node t ~name =
       up = true;
       egress = [];
       ingress = [];
+      (* lint: bounded — one handler per port bound on this node *)
       handlers = Hashtbl.create 4;
     }
   in

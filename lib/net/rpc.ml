@@ -47,7 +47,9 @@ let create net addr ~port =
       (* jitter stream seeded from the endpoint identity: deterministic
          across runs, decorrelated across endpoints *)
       prng = Slice_util.Prng.create ((addr * 65599) + port + 17);
+      (* lint: bounded — one row per outstanding call; reply or timeout removes it *)
       pending = Hashtbl.create 64;
+      (* lint: bounded — one row per (addr, port) peer in the ensemble *)
       endpoints = Hashtbl.create 8;
       retransmits = 0;
       timeouts = 0;

@@ -47,7 +47,11 @@ let decode s =
             }
 
 let key t = encode t
-let equal a b = a.file_id = b.file_id && a.gen = b.gen
+
+(* Keyed equality: exactly the (file_id, gen) identity, via the scalar
+   equalities — never polymorphic compare over the whole record (policy
+   bits and the capability tag are not identity). *)
+let equal a b = Int64.equal a.file_id b.file_id && Int.equal a.gen b.gen
 let compare a b =
   let c = Int64.compare a.file_id b.file_id in
   if c <> 0 then c else Int.compare a.gen b.gen

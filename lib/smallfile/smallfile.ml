@@ -85,27 +85,26 @@ let touch_extent t (ext : extent) ~write =
 
 (* Grow/replace the physical extent for logical block [blk] to fit
    [needed] bytes of that block. Best-fit from fragments, else appended at
-   the end (Ffs first large extent). *)
+   the end (Ffs first large extent). [None] when the backing object is
+   full — the caller answers ERR_NOSPC, it must not crash the server. *)
 let place_block t fr blk ~needed =
   let want = physical_size_of needed in
   let current = fr.blocks.(blk) in
   match current with
-  | Some ext when ext.phys_len >= want -> ext
-  | _ ->
+  | Some ext when ext.phys_len >= want -> Some ext
+  | _ -> (
       (match current with
       | Some ext ->
           Ffs.free t.alloc ~off:ext.phys_off ~len:ext.phys_len;
           t.physical <- Int64.sub t.physical (Int64.of_int ext.phys_len)
       | None -> ());
-      let off =
-        match Ffs.alloc t.alloc ~strategy:`Best_fit want with
-        | Some off -> off
-        | None -> failwith "smallfile: backing object full"
-      in
-      let ext = { phys_off = off; phys_len = want } in
-      fr.blocks.(blk) <- Some ext;
-      t.physical <- Int64.add t.physical (Int64.of_int want);
-      ext
+      match Ffs.alloc t.alloc ~strategy:`Best_fit want with
+      | None -> None
+      | Some off ->
+          let ext = { phys_off = off; phys_len = want } in
+          fr.blocks.(blk) <- Some ext;
+          t.physical <- Int64.add t.physical (Int64.of_int want);
+          Some ext)
 
 let free_file t fr =
   Array.iter
@@ -182,13 +181,22 @@ let handle t (call : Nfs.call) : Nfs.response =
       let last = if len = 0 then first - 1 else (fin - 1) / block_size in
       ensure_blocks fr (last + 1);
       touch_map t fh.Fh.file_id ~write:true;
+      let nospc = ref false in
       for b = first to last do
         (* Bytes of this logical block that will exist after the write. *)
         let blk_end = min (max fin fr.size) ((b + 1) * block_size) in
         let needed = blk_end - (b * block_size) in
-        let ext = place_block t fr b ~needed in
-        touch_extent t ext ~write:true
+        if not !nospc then
+          match place_block t fr b ~needed with
+          | Some ext -> touch_extent t ext ~write:true
+          | None -> nospc := true
       done;
+      if !nospc then
+        (* Blocks placed before the allocator ran dry stay placed (a
+           partially-applied write, like a real server); the size is not
+           extended and the client sees the error. *)
+        Error Nfs.ERR_NOSPC
+      else begin
       (match wdata with
       | Nfs.Data s -> store_real fr ~off s
       | Nfs.Synthetic _ -> fr.data <- None);
@@ -202,6 +210,7 @@ let handle t (call : Nfs.call) : Nfs.response =
         Bcache.commit t.cache ~obj:map_obj
       end;
       Ok (Nfs.RWrite (len, stable, attr_of fh fr))
+      end
   | Nfs.Commit (fh, _, _) ->
       let fr = filerec_of t fh.Fh.file_id in
       Bcache.commit t.cache ~obj:data_obj;
@@ -259,6 +268,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
       host;
       cache = Bcache.create host.Host.eng ~backend ~capacity:cache_bytes ~name:(Host.name host);
       alloc = Ffs.create ~size:backing_bytes;
+      (* lint: bounded — small-file server state, object-backed; Remove deletes rows *)
       files = Hashtbl.create 4096;
       threshold;
       up = true;

@@ -68,13 +68,20 @@ let fan_out t (call : Nfs.call) sites =
          ignore (Rpc.call t.rpc ~timeout:2.0 ~dst:site ~dport:2049 payload))
        sites)
 
+(* Completion retires the intent from the in-memory table — the log
+   already carries the completion record, so the table only ever holds
+   operations in progress and cannot grow with op count. *)
+let retire t op_id (i : intent) =
+  i.completed <- true;
+  t.completed_count <- t.completed_count + 1;
+  log_complete t op_id;
+  Hashtbl.remove t.intents op_id
+
 let redo t op_id (i : intent) =
   if not i.completed then begin
     t.redo_count <- t.redo_count + 1;
     fan_out t (nfs_call_for_redo i) i.participants;
-    i.completed <- true;
-    log_complete t op_id;
-    t.completed_count <- t.completed_count + 1
+    retire t op_id i
   end
 
 let schedule_probe t op_id =
@@ -132,10 +139,7 @@ let handle_msg t (pkt : Packet.t) =
                 reply Ctrl.Ack
             | Ctrl.Complete { op_id } ->
                 (match Hashtbl.find_opt t.intents op_id with
-                | Some i when not i.completed ->
-                    i.completed <- true;
-                    t.completed_count <- t.completed_count + 1;
-                    log_complete t op_id
+                | Some i when not i.completed -> retire t op_id i
                 | _ -> ());
                 reply Ctrl.Ack
             | Ctrl.Remove_file { fh; sites } ->
@@ -144,9 +148,7 @@ let handle_msg t (pkt : Packet.t) =
                 Hashtbl.replace t.intents op_id i;
                 log_intent t op_id i;
                 fan_out t (Nfs.Remove (fh, "")) sites;
-                i.completed <- true;
-                t.completed_count <- t.completed_count + 1;
-                log_complete t op_id;
+                retire t op_id i;
                 reply Ctrl.Ack
             | Ctrl.Commit_file { fh; sites } ->
                 let op_id = fresh_op t in
@@ -154,9 +156,7 @@ let handle_msg t (pkt : Packet.t) =
                 Hashtbl.replace t.intents op_id i;
                 log_intent t op_id i;
                 fan_out t (Nfs.Commit (fh, 0L, 0)) sites;
-                i.completed <- true;
-                t.completed_count <- t.completed_count + 1;
-                log_complete t op_id;
+                retire t op_id i;
                 reply Ctrl.Ack
             | Ctrl.Get_map { fh; first_block; count } -> (
                 match sites_for t fh (first_block + count - 1) with
@@ -184,7 +184,9 @@ let attach host ?(port = 2050) ?(rpc_port = 2052) ?(probe_timeout = 0.5) ?(map_s
       probe_timeout;
       map_sites;
       wal;
+      (* lint: bounded — holds only ops in progress: completion retires the row (WAL keeps history) *)
       intents = Hashtbl.create 64;
+      (* lint: bounded — one row per file with a block map; soft state, reset on crash *)
       maps = Hashtbl.create 64;
       next_op = Int64.of_int (host.Host.addr * 1_000_000);
       logged = 0;
@@ -237,10 +239,7 @@ let recover t =
              | exception Ctrl.Malformed -> ())
          | rt when rt = rt_complete -> (
              match Ctrl.decode_msg (Bytes.of_string payload) with
-             | _, Ctrl.Complete { op_id } -> (
-                 match Hashtbl.find_opt t.intents op_id with
-                 | Some i -> i.completed <- true
-                 | None -> ())
+             | _, Ctrl.Complete { op_id } -> Hashtbl.remove t.intents op_id
              | _ -> ()
              | exception Ctrl.Malformed -> ())
          | _ -> ()));

@@ -24,6 +24,7 @@ let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ~handler () =
      remove, rename, ...) whose reply was lost must get the cached reply,
      not a re-execution. Keyed by XID (globally unique here). *)
   let drc : (int, bytes * int) Slice_util.Lru.t = Slice_util.Lru.create ~capacity:512 () in
+  (* lint: bounded — one row per request being executed; removed with the reply *)
   let in_flight : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   Net.listen host.net host.addr ~port (fun pkt ->
       Engine.spawn host.eng (fun () ->

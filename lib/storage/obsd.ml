@@ -27,6 +27,7 @@ let get_obj t oid =
   match Hashtbl.find_opt t.objects oid with
   | Some o -> o
   | None ->
+      (* lint: bounded — one object's blocks, capped by the object's size *)
       let o = { size = 0L; data = Hashtbl.create 8 } in
       Hashtbl.replace t.objects oid o;
       o
@@ -188,6 +189,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ()
         Bcache.create host.Host.eng
           ~backend:(Bcache.disk_backend host.Host.eng disk)
           ~capacity:cache_bytes ~name:(Host.name host);
+      (* lint: bounded — the backing store itself: one row per stored object *)
       objects = Hashtbl.create 256;
       up = true;
       reads = 0;

@@ -22,6 +22,7 @@ type 'v ttl_lookup = Fresh of 'v | Stale | Miss
 
 let create ?(on_evict = fun _ _ -> ()) ~capacity () =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  (* lint: bounded — mirrors the intrusive list; add evicts down to capacity *)
   { tbl = Hashtbl.create 64; head = None; tail = None; total = 0; capacity; on_evict }
 
 let unlink t node =

@@ -82,7 +82,7 @@ let sorted_samples t =
   | Some arr -> arr
   | None ->
       let arr = Array.sub t.samples 0 t.len in
-      Array.sort compare arr;
+      Array.sort Float.compare arr;
       t.sorted <- Some arr;
       arr
 

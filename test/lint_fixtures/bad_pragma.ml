@@ -1,0 +1,7 @@
+(* Pragma-grammar fixture: malformed, unknown-rule, reason-less and
+   unused pragmas are all findings in their own right. *)
+
+let a = 1 (* lint: D1 ok *)
+let b = 2 (* lint: Q9 ok — no such rule *)
+let c = 3 (* lint: D2 ok — *)
+let d = 4 (* lint: E1 ok — nothing on this line trips E1 *)

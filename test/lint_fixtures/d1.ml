@@ -1,0 +1,13 @@
+(* D1 fixture: nondeterminism sources. Parsed by slicelint under the
+   fixture profile; never compiled. *)
+
+let jitter () = Random.float 1.0
+let now () = Sys.time ()
+let entropy = Hashtbl.hash "seed"
+let racy () = Hashtbl.create ~random:true 8
+
+open Unix
+
+let clock () = gettimeofday ()
+
+let seeded () = Random.int 10 (* lint: D1 ok — fixture: suppression must hide this *)

@@ -1,0 +1,11 @@
+(* D2 fixture: hash-table iteration feeding output must be sorted. *)
+
+(* Positive: unsorted iteration order leaks straight into the report. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl
+
+(* Negative: folding into a list that is immediately sorted is the
+   blessed pattern. *)
+let rows tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Suppressed: order-insensitive aggregation. *)
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0 (* lint: D2 ok — fixture: commutative sum *)

@@ -1,0 +1,15 @@
+(* E1 fixture: polymorphic equality over structured operands. *)
+
+(* Positives: tuples, constructor applications, and the polymorphic
+   association/compare family. *)
+let tuple_eq a b = (a, 1) = (b, 1)
+let opt_eq a b = a = Some b
+let find k l = List.assoc k l
+let order a b = compare a b
+
+(* Negatives: scalar comparisons and constant constructors stay legal. *)
+let count_eq (n : int) m = n = m
+let is_none a = a = None
+
+(* Suppressed. *)
+let swapped a b = (a, b) = (b, a) (* lint: E1 ok — fixture: suppression must hide this *)

@@ -1,0 +1,14 @@
+(* P1 fixture: partial operations on protocol request paths. *)
+
+(* Positives. *)
+let first l = List.hd l
+let forced o = Option.get o
+let boom () = failwith "protocol abort"
+let unreachable () = assert false
+
+(* Negatives: totality by matching. *)
+let checked = function [] -> None | x :: _ -> Some x
+let guarded o = match o with Some v -> v | None -> 0
+
+(* Suppressed. *)
+let allowed () = assert false (* lint: P1 ok — fixture: suppression must hide this *)

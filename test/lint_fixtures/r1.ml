@@ -1,0 +1,12 @@
+(* R1 fixture: hash tables in long-lived modules need a bound or a
+   bounded pragma with a reason. *)
+
+type t = { cache : (int, string) Hashtbl.t; log : (int, string) Hashtbl.t }
+
+(* Positive: no bound, no pragma. *)
+let create () = { cache = Hashtbl.create 64; log = Hashtbl.create 64 }
+
+(* Suppressed: the pragma line covers the allocation below it. *)
+let create_bounded () =
+  (* lint: bounded — fixture: rows retired when the request completes *)
+  Hashtbl.create 64

@@ -1,0 +1,2 @@
+(* X1 fixture: allowlisted module — no interface required. *)
+let y = 2

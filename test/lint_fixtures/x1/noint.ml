@@ -1,0 +1,2 @@
+(* X1 fixture: a library module without an interface file. *)
+let x = 1

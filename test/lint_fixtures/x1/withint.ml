@@ -1,0 +1,2 @@
+(* X1 fixture: a module with its interface in place. *)
+let z = 3

@@ -1,0 +1,2 @@
+(* X1 fixture interface. *)
+val z : int

@@ -1,0 +1,175 @@
+(* Tier-1 coverage for slicelint itself (DESIGN.md §10): each rule
+   family fires on its fixture, respects its inline suppression, and the
+   JSON report matches the checked-in golden byte-for-byte. Goldens are
+   regenerated with `slicelint --fixtures --json <root>`. *)
+
+open Helpers
+module Driver = Slice_lint.Driver
+module Config = Slice_lint.Config
+module Finding = Slice_lint.Finding
+module Pragma = Slice_lint.Pragma
+module Json = Slice_util.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Config scopes and the golden reports both speak relative paths, so
+   run each test from a directory containing [anchor]. Under
+   `dune runtest` that is already the cwd; under `dune exec` from the
+   repo root we hop into the right directory and hop back. *)
+let with_cwd anchor f () =
+  if Sys.file_exists anchor then f ()
+  else
+    let candidates =
+      [ "test"; ".."; Filename.concat ".." (Filename.concat ".." "..") ]
+      @ (match Sys.getenv_opt "DUNE_SOURCEROOT" with
+        | Some root -> [ root; Filename.concat root "test" ]
+        | None -> [])
+    in
+    match List.find_opt (fun d -> Sys.file_exists (Filename.concat d anchor)) candidates with
+    | None -> Alcotest.fail (anchor ^ ": not found from cwd or source root")
+    | Some d ->
+        let old = Sys.getcwd () in
+        Sys.chdir d;
+        Fun.protect ~finally:(fun () -> Sys.chdir old) f
+
+let scan roots = Driver.scan Config.fixtures roots
+
+(* The report for a fixture root must match its golden exactly —
+   messages, positions, suppression reasons and ordering included. *)
+let golden name roots () =
+  let report = scan roots in
+  let got = Json.to_string (Driver.to_json report) ^ "\n" in
+  let want = read_file ("lint_fixtures/golden/" ^ name ^ ".json") in
+  check_string ("golden " ^ name) want got
+
+(* Structural claims the goldens imply, asserted directly so a golden
+   regenerated from a broken linter cannot silently weaken the suite:
+   the rule fires at least [live] times unsuppressed, and exactly
+   [suppressed] findings of the rule carry a pragma reason. *)
+let fires rule roots ~live ~suppressed () =
+  let report = scan roots in
+  let of_rule = List.filter (fun f -> f.Finding.rule = rule) report.Driver.findings in
+  let supp, unsupp = List.partition Finding.is_suppressed of_rule in
+  check_int (Finding.rule_name rule ^ " live findings") live (List.length unsupp);
+  check_int (Finding.rule_name rule ^ " suppressed findings") suppressed (List.length supp);
+  List.iter
+    (fun f ->
+      check_bool "suppression carries a reason" true
+        (match f.Finding.suppressed with Some r -> r <> "" | None -> false))
+    supp
+
+(* Negatives that must stay negative: the blessed sorted-fold pattern,
+   scalar equality, constant constructors, total matches, allowlisted
+   and interface-complete modules. *)
+let no_false_positives () =
+  let d2 = scan [ "lint_fixtures/d2.ml" ] in
+  List.iter
+    (fun f ->
+      if not (Finding.is_suppressed f) then
+        check_bool "sorted fold is not flagged" false (f.Finding.line = 8))
+    d2.Driver.findings;
+  let e1 = scan [ "lint_fixtures/e1.ml" ] in
+  List.iter
+    (fun f -> check_bool "scalar =/None compare not flagged" false (f.Finding.line >= 11 && f.Finding.line <= 12))
+    e1.Driver.findings;
+  let x1 = scan [ "lint_fixtures/x1" ] in
+  List.iter
+    (fun f ->
+      check_bool "allowed.ml / withint.ml not flagged" false
+        (f.Finding.file = "lint_fixtures/x1/allowed.ml"
+        || f.Finding.file = "lint_fixtures/x1/withint.ml"))
+    x1.Driver.findings
+
+(* The gate's exit condition: suppressed findings do not count as
+   errors, unsuppressed ones do. *)
+let error_counting () =
+  let report = scan [ "lint_fixtures/d2.ml" ] in
+  check_int "d2 errors" 1 (Driver.errors report);
+  check_int "d2 suppressed" 1 (Driver.suppressed report)
+
+(* Pragma grammar, driven directly: the marker is assembled by
+   concatenation so this file does not trip the scanner itself. *)
+let pragma_parsing () =
+  let m = "(* lint" ^ ": " in
+  let collect src = Pragma.collect ~file:"inline.ml" src in
+  let ok, bad = collect ("let x = 1 " ^ m ^ "E1 ok — tested inline *)\n") in
+  check_int "one pragma" 1 (List.length ok);
+  check_int "no parse findings" 0 (List.length bad);
+  (match ok with
+  | [ p ] ->
+      check_bool "rule is E1" true (p.Pragma.rule = Finding.E1);
+      check_string "reason" "tested inline" p.Pragma.reason
+  | _ -> Alcotest.fail "expected exactly one pragma");
+  let ok, bad = collect (m ^ "bounded -- ascii dashes work too *)\n") in
+  check_int "ascii-dash pragma parses" 1 (List.length ok);
+  check_int "ascii-dash pragma is clean" 0 (List.length bad);
+  (match ok with
+  | [ p ] ->
+      check_bool "bounded maps to R1" true (p.Pragma.rule = Finding.R1);
+      check_string "ascii reason" "ascii dashes work too" p.Pragma.reason
+  | _ -> Alcotest.fail "expected exactly one pragma");
+  let ok, bad = collect (m ^ "R1 ok *)\n") in
+  check_int "reason-less pragma rejected" 0 (List.length ok);
+  check_int "reason-less pragma is a finding" 1 (List.length bad);
+  let ok, bad = collect (m ^ "parse ok — cannot suppress parse *)\n") in
+  check_int "parse is not suppressible" 0 (List.length ok);
+  check_int "parse pragma is a finding" 1 (List.length bad)
+
+(* A pragma suppresses a finding on its own line or the line below,
+   nothing further; an unmatched pragma is itself a finding. *)
+let pragma_application () =
+  let pragma line = { Pragma.line; rule = Finding.R1; reason = "why"; used = false } in
+  let finding line = Finding.make ~file:"f.ml" ~line ~col:0 ~rule:Finding.R1 "R1: t" in
+  let applied = Pragma.apply ~file:"f.ml" [ pragma 10 ] [ finding 10; finding 11; finding 12 ] in
+  let by_line n = List.find (fun f -> f.Finding.line = n) applied in
+  check_bool "same line suppressed" true (Finding.is_suppressed (by_line 10));
+  check_bool "next line suppressed" true (Finding.is_suppressed (by_line 11));
+  check_bool "two lines below not suppressed" false (Finding.is_suppressed (by_line 12));
+  let applied = Pragma.apply ~file:"f.ml" [ pragma 20 ] [] in
+  check_int "unused pragma surfaces" 1 (List.length applied);
+  check_bool "unused pragma keeps its rule" true
+    ((List.hd applied).Finding.rule = Finding.R1)
+
+(* The repo profile itself must be clean: the same scan the @lint alias
+   runs, executed from the repo root (scopes are relative paths). *)
+let repo_clean () =
+  let report = Driver.scan Config.repo [ "lib"; "bin"; "bench"; "examples" ] in
+  check_int "repo unsuppressed findings" 0 (Driver.errors report);
+  check_bool "repo suppressions all carry reasons" true
+    (List.for_all
+       (fun f ->
+         match f.Finding.suppressed with Some r -> r <> "" | None -> true)
+       report.Driver.findings)
+
+let fixture_case name body = Alcotest.test_case name `Quick (with_cwd "lint_fixtures" body)
+
+let suite =
+  [
+    fixture_case "golden d1" (golden "d1" [ "lint_fixtures/d1.ml" ]);
+    fixture_case "golden d2" (golden "d2" [ "lint_fixtures/d2.ml" ]);
+    fixture_case "golden r1" (golden "r1" [ "lint_fixtures/r1.ml" ]);
+    fixture_case "golden e1" (golden "e1" [ "lint_fixtures/e1.ml" ]);
+    fixture_case "golden p1" (golden "p1" [ "lint_fixtures/p1.ml" ]);
+    fixture_case "golden x1" (golden "x1" [ "lint_fixtures/x1" ]);
+    fixture_case "golden bad_pragma" (golden "bad_pragma" [ "lint_fixtures/bad_pragma.ml" ]);
+    fixture_case "D1 fires and suppresses"
+      (fires Finding.D1 [ "lint_fixtures/d1.ml" ] ~live:5 ~suppressed:1);
+    fixture_case "D2 fires and suppresses"
+      (fires Finding.D2 [ "lint_fixtures/d2.ml" ] ~live:1 ~suppressed:1);
+    fixture_case "R1 fires and suppresses"
+      (fires Finding.R1 [ "lint_fixtures/r1.ml" ] ~live:2 ~suppressed:1);
+    fixture_case "E1 fires and suppresses"
+      (fires Finding.E1 [ "lint_fixtures/e1.ml" ] ~live:4 ~suppressed:1);
+    fixture_case "P1 fires and suppresses"
+      (fires Finding.P1 [ "lint_fixtures/p1.ml" ] ~live:4 ~suppressed:1);
+    fixture_case "X1 fires" (fires Finding.X1 [ "lint_fixtures/x1" ] ~live:2 ~suppressed:0);
+    fixture_case "no false positives" no_false_positives;
+    fixture_case "error counting" error_counting;
+    Alcotest.test_case "pragma parsing" `Quick pragma_parsing;
+    Alcotest.test_case "pragma application" `Quick pragma_application;
+    Alcotest.test_case "repo profile is clean" `Quick (with_cwd "lib" repo_clean);
+  ]

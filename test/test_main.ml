@@ -18,4 +18,5 @@ let () =
       ("workload", Test_workload.suite);
       ("baseline", Test_baseline.suite);
       ("experiments", Test_experiments.suite);
+      ("lint", Test_lint.suite);
     ]

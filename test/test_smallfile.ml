@@ -10,11 +10,11 @@ module Smallfile = Slice_smallfile.Smallfile
 
 type rig = { eng : Engine.t; sf : Smallfile.t; rpc : Rpc.t; dst : Slice_net.Packet.addr }
 
-let mk_rig ?cache_bytes () =
+let mk_rig ?cache_bytes ?backing_bytes () =
   let eng = Engine.create () in
   let net = Net.create eng () in
   let host = Host.create net ~name:"sf" ~disks:8 () in
-  let sf = Smallfile.attach host ?cache_bytes () in
+  let sf = Smallfile.attach host ?cache_bytes ?backing_bytes () in
   let client = Host.create net ~name:"client" () in
   let rpc = Rpc.create net client.Host.addr ~port:1000 in
   { eng; sf; rpc; dst = Smallfile.addr sf }
@@ -149,6 +149,28 @@ let map_block_locality () =
       (* map blocks: <= 2 of the misses come from the descriptor array *)
       check_bool "few map misses" true (misses < 90))
 
+(* A full backing store answers ERR_NOSPC instead of crashing the
+   server fiber, and the server keeps serving afterwards. *)
+let full_disk_is_an_error () =
+  let rig = mk_rig ~backing_bytes:16_384L () in
+  run_on rig.eng (fun () ->
+      (match call rig (Nfs.Write (reg_fh 1, 0L, Nfs.Unstable, Nfs.Synthetic 8192)) with
+      | Ok _ -> ()
+      | Error st -> Alcotest.failf "first write: %s" (Nfs.status_name st));
+      expect_err "second write fills the disk" Nfs.ERR_NOSPC
+        (call rig (Nfs.Write (reg_fh 2, 0L, Nfs.Unstable, Nfs.Synthetic 16384)));
+      (* size not extended by the failed write *)
+      (match call rig (Nfs.Getattr (reg_fh 2)) with
+      | Ok (Nfs.RGetattr a) -> check_bool "failed write adds no bytes" true (a.Nfs.size = 0L)
+      | _ -> Alcotest.fail "getattr after ENOSPC");
+      (* freeing space makes writes succeed again *)
+      (match call rig (Nfs.Remove (reg_fh 1, "f1")) with
+      | Ok _ -> ()
+      | Error st -> Alcotest.failf "remove: %s" (Nfs.status_name st));
+      match call rig (Nfs.Write (reg_fh 3, 0L, Nfs.Unstable, Nfs.Synthetic 4096)) with
+      | Ok _ -> ()
+      | Error st -> Alcotest.failf "write after remove: %s" (Nfs.status_name st))
+
 let suite =
   [
     ("physical size rounding", `Quick, physical_rounding);
@@ -161,4 +183,5 @@ let suite =
     ("stable write commits", `Quick, stable_write_commits);
     ("commit then read cached", `Quick, commit_then_read_cached);
     ("map block locality", `Quick, map_block_locality);
+    ("full disk is an error", `Quick, full_disk_is_an_error);
   ]
