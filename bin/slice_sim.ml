@@ -13,6 +13,34 @@ let scale_arg ~default =
   in
   Arg.(value & opt float default & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
 
+let trace_json_arg =
+  let doc =
+    "Force request tracing on for every simulation this command runs and write the collected \
+     span dumps (a JSON array, one entry per simulation in creation order) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
+
+(* Set the force flag once, before any engine exists, so tracing cannot
+   perturb determinism mid-run; collect whatever ensembles were built. *)
+let with_trace_dump trace_json f =
+  (match trace_json with Some _ -> Slice.Params.trace_force := true | None -> ());
+  f ();
+  match trace_json with
+  | None -> ()
+  | Some path ->
+      let dumps =
+        List.map Slice_trace.Trace.to_json (Slice.Ensemble.drain_traces ())
+      in
+      write_file path (Slice_util.Json.to_string (Arr dumps));
+      Printf.printf "wrote %s (%d trace dump%s)\n%!" path (List.length dumps)
+        (if List.length dumps = 1 then "" else "s")
+
 let run_table2 scale = E.Report.print (E.Table2.report ~scale ())
 let run_table3 scale = E.Report.print (E.Table3.report ~scale ())
 let run_fig3 scale = E.Report.print (E.Fig3.report ~scale ())
@@ -27,7 +55,8 @@ let points_arg =
   Arg.(value & opt int 4 & info [ "points" ] ~docv:"N" ~doc:"Load points per curve.")
 
 let cmd name ~default_scale ~doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg ~default:default_scale)
+  let run scale trace_json = with_trace_dump trace_json (fun () -> f scale) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_arg ~default:default_scale $ trace_json_arg)
 
 let table2_cmd = cmd "table2" ~default_scale:0.08 ~doc:"Table 2: bulk I/O bandwidth." run_table2
 
@@ -43,22 +72,22 @@ let fig5_cmd =
   Cmd.v
     (Cmd.info "fig5" ~doc:"Figure 5: SPECsfs97 delivered throughput.")
     Term.(
-      const (fun s p -> run_fig56 ~fig5:true ~fig6:false s p)
-      $ scale_arg ~default:0.01 $ points_arg)
+      const (fun s p tj -> with_trace_dump tj (fun () -> run_fig56 ~fig5:true ~fig6:false s p))
+      $ scale_arg ~default:0.01 $ points_arg $ trace_json_arg)
 
 let fig6_cmd =
   Cmd.v
     (Cmd.info "fig6" ~doc:"Figure 6: SPECsfs97 latency vs throughput.")
     Term.(
-      const (fun s p -> run_fig56 ~fig5:false ~fig6:true s p)
-      $ scale_arg ~default:0.01 $ points_arg)
+      const (fun s p tj -> with_trace_dump tj (fun () -> run_fig56 ~fig5:false ~fig6:true s p))
+      $ scale_arg ~default:0.01 $ points_arg $ trace_json_arg)
 
 let run_chaos () = E.Report.print (E.Chaos.report ())
 
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos" ~doc:"Fault injection: workloads under loss and node crashes.")
-    Term.(const run_chaos $ const ())
+    Term.(const (fun tj -> with_trace_dump tj run_chaos) $ trace_json_arg)
 
 let run_offload scale = E.Report.print (E.Offload.report ~scale ())
 
@@ -66,27 +95,51 @@ let offload_cmd =
   cmd "offload" ~default_scale:0.25
     ~doc:"Metadata offload: dir-server requests absorbed by the uproxy cache." run_offload
 
+let run_trace scale json =
+  let t = E.Tracing.compute ~scale () in
+  E.Report.print (E.Tracing.report_of t);
+  match json with
+  | None -> ()
+  | Some path ->
+      write_file path (Slice_util.Json.to_string (E.Tracing.json_of t));
+      Printf.printf "wrote %s\n%!" path
+
+let trace_cmd =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full trace report (hop rows, metrics registry, span dump) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Per-op-class latency by hop (proxy/network/server/disk) on the SPECsfs mix.")
+    Term.(const run_trace $ scale_arg ~default:0.25 $ json)
+
 let all_cmd =
-  let run fast =
-    let f = if fast then 0.5 else 1.0 in
-    run_table2 (0.08 *. f);
-    run_table3 0.05;
-    run_fig3 (0.04 *. f);
-    run_fig4 (0.03 *. f);
-    run_fig56 ~fig5:true ~fig6:true (0.01 *. f) (if fast then 3 else 4);
-    run_offload (0.25 *. f);
-    run_chaos ()
+  let run fast trace_json =
+    with_trace_dump trace_json (fun () ->
+        let f = if fast then 0.5 else 1.0 in
+        run_table2 (0.08 *. f);
+        run_table3 0.05;
+        run_fig3 (0.04 *. f);
+        run_fig4 (0.03 *. f);
+        run_fig56 ~fig5:true ~fig6:true (0.01 *. f) (if fast then 3 else 4);
+        run_offload (0.25 *. f);
+        run_trace (0.25 *. f) None;
+        run_chaos ())
   in
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Halve the default scales.") in
-  Cmd.v (Cmd.info "all" ~doc:"Every table and figure.") Term.(const run $ fast)
+  Cmd.v (Cmd.info "all" ~doc:"Every table and figure.") Term.(const run $ fast $ trace_json_arg)
 
 let main_cmd =
   let doc = "reproduce the evaluation of Slice (Interposed Request Routing, OSDI 2000)" in
   Cmd.group
     (Cmd.info "slice_sim" ~version:"1.0" ~doc)
     [
-      table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; offload_cmd; chaos_cmd;
-      all_cmd;
+      table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; offload_cmd; trace_cmd;
+      chaos_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -335,7 +335,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 512 * 1024 * 1024) ?per_op_cpu
   in
   (* install the exported volume root *)
   ignore (new_finfo t ~ftype:Fh.Dir ~fileid:root_fh.Fh.file_id);
-  Nfs_endpoint.serve host ~port ~cost:{ per_op; per_byte = 3e-9 } ~handler:(handle t) ();
+  Nfs_endpoint.serve host ~port ~cost:{ per_op; per_byte = 3e-9 } ~handler:(fun _span call -> handle t call) ();
   t
 
 let addr t = t.host.Host.addr

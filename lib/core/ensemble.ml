@@ -12,6 +12,8 @@ module Coordinator = Slice_storage.Coordinator
 module Smallfile = Slice_smallfile.Smallfile
 module Bcache = Slice_disk.Bcache
 module Dirserver = Slice_dir.Dirserver
+module Trace = Slice_trace.Trace
+module Metrics = Slice_util.Metrics
 
 type config = {
   seed : int;
@@ -48,6 +50,7 @@ type t = {
   cfg : config;
   eng : Engine.t;
   net_ : Net.t;
+  trace_ : Trace.t option;
   vaddr : Packet.addr;
   storage_ : Obsd.t array;
   storage_addrs : Packet.addr array;
@@ -150,9 +153,25 @@ let remote_backend eng rpc ~vaddr ~secure ~sf_idx ~stripe_unit =
    value works — the µproxies never see it. *)
 let cap_secret = "slice-ensemble-shared-secret"
 
+(* Tracers of every ensemble built so far, for the CLI's --trace-json
+   dump (exhibits build their ensembles internally and only hand back a
+   report). Creation order is deterministic; drained by the dumper. *)
+let trace_registry : Trace.t list ref = ref [] (* newest first *)
+
+let drain_traces () =
+  let l = List.rev !trace_registry in
+  trace_registry := [];
+  l
+
 let create cfg =
   let eng = Engine.create () in
   let net_ = Net.create eng ?params:cfg.net_params ~seed:cfg.seed () in
+  let trace_ =
+    if cfg.proxy_params.Params.trace_enabled || !Params.trace_force then
+      Some (Trace.create eng ~sample:cfg.proxy_params.Params.trace_sample ())
+    else None
+  in
+  (match trace_ with Some tr -> trace_registry := tr :: !trace_registry | None -> ());
   let vaddr = Net.add_node net_ ~name:"virtual-nfs" in
   (* storage nodes: 733 MHz Xeon-class, 8-arm arrays *)
   let storage_hosts =
@@ -165,13 +184,13 @@ let create cfg =
       (fun h ->
         Obsd.attach h ~cache_bytes:cfg.storage_cache
           ?cap_secret:(if cfg.secure_objects then Some cap_secret else None)
-          ())
+          ?trace:trace_ ())
       storage_hosts
   in
   let storage_addrs = Array.map (fun (h : Host.t) -> h.Host.addr) storage_hosts in
   let coord =
     if cfg.storage_nodes > 0 then
-      Some (Coordinator.attach storage_hosts.(0) ~map_sites:storage_addrs ())
+      Some (Coordinator.attach storage_hosts.(0) ~map_sites:storage_addrs ?trace:trace_ ())
     else None
   in
   let coord_of _fh =
@@ -228,7 +247,7 @@ let create cfg =
             also_owns = [];
           }
         in
-        Dirserver.attach dir_hosts.(i) ?costs:cfg.dir_costs config)
+        Dirserver.attach dir_hosts.(i) ?costs:cfg.dir_costs ?trace:trace_ config)
   in
   (* small-file servers attach last: their dataless backends route through
      their own storage-only µproxies *)
@@ -237,6 +256,7 @@ let create cfg =
       cfg;
       eng;
       net_;
+      trace_;
       vaddr;
       storage_;
       storage_addrs;
@@ -276,11 +296,11 @@ let create cfg =
               ~stripe_unit:cfg.proxy_params.Params.stripe_unit
           in
           Smallfile.attach host ~cache_bytes:cfg.smallfile_cache
-            ~threshold:cfg.proxy_params.Params.threshold ~backend ()
+            ~threshold:cfg.proxy_params.Params.threshold ~backend ?trace:trace_ ()
         end
         else
           Smallfile.attach host ~cache_bytes:cfg.smallfile_cache
-            ~threshold:cfg.proxy_params.Params.threshold ())
+            ~threshold:cfg.proxy_params.Params.threshold ?trace:trace_ ())
   in
   { t with smallfiles_ }
 
@@ -296,6 +316,7 @@ let add_client t ~name:client_name =
   in
   let proxy =
     Proxy.install host ~params:t.cfg.proxy_params ~seed:(t.cfg.seed + t.next_client)
+      ?trace:t.trace_
       {
         Proxy.virtual_addr = t.vaddr;
         dir_table = t.dir_tbl;
@@ -359,3 +380,70 @@ let meta_cache_totals t =
 
 let dir_ops_served t = Array.fold_left (fun acc d -> acc + Dirserver.ops_served d) 0 t.dirs_
 let run ?until t = Engine.run ?until t.eng
+
+let trace t = t.trace_
+
+(* One registry over every counter the ensemble's parts already keep:
+   gauges read the live values, so a single deterministic dump replaces
+   per-exhibit hand-rolled reporting. *)
+let metrics t =
+  let m = Metrics.create () in
+  let g name f = Metrics.gauge m name (fun () -> float_of_int (f ())) in
+  let sum_proxies f () = List.fold_left (fun acc px -> acc + f px) 0 t.client_proxies in
+  g "net.packets_sent" (fun () -> Net.packets_sent t.net_);
+  g "net.bytes_sent" (fun () -> Net.bytes_sent t.net_);
+  g "net.packets_dropped" (fun () -> Net.packets_dropped t.net_);
+  g "net.fault_drops" (fun () -> Net.fault_drops t.net_);
+  g "proxy.intercepted" (sum_proxies Proxy.packets_intercepted);
+  g "proxy.replies" (sum_proxies Proxy.replies_processed);
+  g "proxy.routed_storage" (sum_proxies Proxy.routed_to_storage);
+  g "proxy.routed_smallfile" (sum_proxies Proxy.routed_to_smallfile);
+  g "proxy.routed_dir" (sum_proxies Proxy.routed_to_dir);
+  g "proxy.mkdir_redirects" (sum_proxies Proxy.mkdir_redirects);
+  g "proxy.mirror_duplicates" (sum_proxies Proxy.mirror_duplicates);
+  g "proxy.attr_patches" (sum_proxies Proxy.attr_patches);
+  g "proxy.attr_writebacks" (sum_proxies Proxy.attr_writebacks);
+  g "proxy.commits" (sum_proxies Proxy.commits_orchestrated);
+  g "proxy.intents" (sum_proxies Proxy.intents_opened);
+  g "proxy.stale_bounces" (sum_proxies Proxy.stale_bounces);
+  g "proxy.map_fetches" (sum_proxies Proxy.map_fetches);
+  g "proxy.expired_pending" (sum_proxies Proxy.expired_pending);
+  g "proxy.meta_hits" (fun () -> (meta_cache_totals t).Proxy.hits);
+  g "proxy.meta_negative_hits" (fun () -> (meta_cache_totals t).Proxy.negative_hits);
+  g "proxy.meta_misses" (fun () -> (meta_cache_totals t).Proxy.misses);
+  g "proxy.meta_stale" (fun () -> (meta_cache_totals t).Proxy.stale);
+  g "proxy.meta_invalidations" (fun () -> (meta_cache_totals t).Proxy.invalidations);
+  g "storage.reads" (fun () -> Array.fold_left (fun a s -> a + Obsd.reads s) 0 t.storage_);
+  g "storage.writes" (fun () -> Array.fold_left (fun a s -> a + Obsd.writes s) 0 t.storage_);
+  g "storage.bytes_read" (fun () -> Array.fold_left (fun a s -> a + Obsd.bytes_read s) 0 t.storage_);
+  g "storage.bytes_written"
+    (fun () -> Array.fold_left (fun a s -> a + Obsd.bytes_written s) 0 t.storage_);
+  g "storage.cache_hits" (fun () -> Array.fold_left (fun a s -> a + Obsd.cache_hits s) 0 t.storage_);
+  g "storage.cache_misses"
+    (fun () -> Array.fold_left (fun a s -> a + Obsd.cache_misses s) 0 t.storage_);
+  (match t.coord with
+  | Some c ->
+      g "coordinator.intents_logged" (fun () -> Coordinator.intents_logged c);
+      g "coordinator.completions" (fun () -> Coordinator.completions c);
+      g "coordinator.redos" (fun () -> Coordinator.redos c);
+      g "coordinator.pending_intents" (fun () -> Coordinator.pending_intents c)
+  | None -> ());
+  g "dir.ops" (fun () -> dir_ops_served t);
+  g "dir.peer_ops" (fun () -> Array.fold_left (fun a d -> a + Dirserver.peer_ops_served d) 0 t.dirs_);
+  g "dir.cross_site_ops"
+    (fun () -> Array.fold_left (fun a d -> a + Dirserver.cross_site_ops d) 0 t.dirs_);
+  g "dir.log_bytes" (fun () -> Array.fold_left (fun a d -> a + Dirserver.log_bytes d) 0 t.dirs_);
+  g "smallfile.reads"
+    (fun () -> Array.fold_left (fun a s -> a + Smallfile.reads s) 0 t.smallfiles_);
+  g "smallfile.writes"
+    (fun () -> Array.fold_left (fun a s -> a + Smallfile.writes s) 0 t.smallfiles_);
+  g "smallfile.cache_hits"
+    (fun () -> Array.fold_left (fun a s -> a + Smallfile.cache_hits s) 0 t.smallfiles_);
+  g "smallfile.cache_misses"
+    (fun () -> Array.fold_left (fun a s -> a + Smallfile.cache_misses s) 0 t.smallfiles_);
+  (match t.trace_ with
+  | Some tr ->
+      g "trace.spans" (fun () -> Trace.count tr);
+      g "trace.dropped" (fun () -> Trace.dropped tr)
+  | None -> ());
+  m

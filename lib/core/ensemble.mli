@@ -84,5 +84,21 @@ val dir_ops_served : t -> int
 (** Name-space requests served, summed over the directory servers — the
     denominator of the metadata-offload exhibit. *)
 
+val trace : t -> Slice_trace.Trace.t option
+(** The ensemble-wide tracer, present when
+    [proxy_params.trace_enabled] (or {!Params.trace_force}); shared by
+    every µproxy and server. *)
+
+val drain_traces : unit -> Slice_trace.Trace.t list
+(** All tracers built since the last drain, in ensemble-creation order —
+    the CLI's [--trace-json] dump collects the traces of exhibits that
+    build their ensembles internally. *)
+
+val metrics : t -> Slice_util.Metrics.t
+(** A unified registry of gauges over every counter the ensemble's parts
+    keep (net, µproxies, storage, coordinator, directory and small-file
+    servers, tracer). [Slice_util.Metrics.dump] of the result is
+    deterministic across same-seed runs. *)
+
 val run : ?until:float -> t -> unit
 (** Convenience: run the underlying engine. *)

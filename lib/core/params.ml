@@ -21,6 +21,8 @@ type t = {
   pending_sweep_interval : float;
   pending_expiry : float;
   rpc_port : int;
+  trace_enabled : bool;
+  trace_sample : float;
 }
 
 let default =
@@ -44,4 +46,12 @@ let default =
     pending_sweep_interval = 1.0;
     pending_expiry = 10.0;
     rpc_port = 3001;
+    trace_enabled = false;
+    trace_sample = 1.0;
   }
+
+(* CLI override (slice_sim --trace-json): set once at process start,
+   before any simulation is built, never mutated mid-run — so per-run
+   determinism is unaffected. Consulted by Ensemble.create in addition to
+   the per-exhibit [trace_enabled] knob. *)
+let trace_force = ref false

@@ -58,6 +58,17 @@ type t = {
           sweep; must exceed the client's retransmit interval (a live
           client refreshes its record with every retransmission) *)
   rpc_port : int;  (** port of the µproxy's own endpoint on the client *)
+  trace_enabled : bool;
+      (** record per-request span trees (default false: the hot path
+          stays allocation-free — every span operation is a no-op) *)
+  trace_sample : float;
+      (** fraction of request roots recorded when tracing is on, drawn
+          from a deterministic per-tracer stream (default 1.0) *)
 }
 
 val default : t
+
+val trace_force : bool ref
+(** When true, every {!Ensemble.create} builds a tracer regardless of
+    [trace_enabled]. Set once by the CLI ([--trace-json]) before any
+    simulation exists; never toggle mid-run. *)

@@ -12,6 +12,7 @@ module Host = Slice_storage.Host
 module Ctrl = Slice_storage.Ctrl
 module Prng = Slice_util.Prng
 module Lru = Slice_util.Lru
+module Trace = Slice_trace.Trace
 
 type targets = {
   virtual_addr : Packet.addr;
@@ -44,6 +45,7 @@ type pending = {
                     invalidation must not (re)populate the metadata cache *)
   mutable p_mirror_left : int;
   mutable p_worst : int; (* worst NFS status seen across mirror acks *)
+  p_span : Trace.span; (* request root; finished when the reply leaves *)
 }
 
 type cached_attr = {
@@ -69,6 +71,7 @@ type t = {
   net : Net.t;
   eng : Engine.t;
   p : Params.t;
+  trace : Trace.t option;
   tg : targets;
   prng : Prng.t;
   rpc : Rpc.t;
@@ -121,7 +124,7 @@ let meta_enabled t = t.p.Params.meta_cache_enabled && t.p.Params.meta_cache_ttl 
    Phases accumulate into a per-packet cell, are charged to the client CPU
    in one booking, and the packet moves on when the booking completes. *)
 
-type cost = { mutable c_total : float }
+type cost = { mutable c_total : float; mutable c_span : Trace.span }
 
 let charge t (c : cost) phase amount =
   c.c_total <- c.c_total +. amount;
@@ -132,26 +135,32 @@ let charge t (c : cost) phase amount =
   | `Softstate -> t.t_softstate <- t.t_softstate +. amount
 
 let after_cpu t (c : cost) k =
+  let start = Engine.now t.eng in
   let finish = Host.cpu_async t.host c.c_total in
+  (* the booking covers queueing behind earlier packets plus this
+     packet's own phases *)
+  Trace.emit c.c_span ~hop:"proxy" ~site:(Host.name t.host) ~start ~stop:finish ();
   Engine.schedule_at t.eng finish k
 
 (* ---- outgoing calls from the µproxy itself ---- *)
 
-let nfs_call t (call : Nfs.call) ~dst =
+let nfs_call t ?(span = Trace.null) (call : Nfs.call) ~dst =
   let xid = Rpc.fresh_xid t.rpc in
   let payload = Codec.encode_call ~xid call in
   let reply =
-    Rpc.call t.rpc ~timeout:2.0 ~dst ~dport:2049
+    Rpc.call t.rpc ~span ~timeout:2.0 ~dst ~dport:2049
       ~extra_size:(Codec.extra_size_of_call call) payload
   in
   snd (Codec.decode_reply reply)
 
-let ctrl_call t msg =
+let ctrl_call t ?(span = Trace.null) msg =
   match t.tg.coordinator with
   | None -> Ctrl.Nack
   | Some (addr, port) ->
       let xid = Rpc.fresh_xid t.rpc in
-      let reply = Rpc.call t.rpc ~timeout:2.0 ~dst:addr ~dport:port (Ctrl.encode_msg ~xid msg) in
+      let reply =
+        Rpc.call t.rpc ~span ~timeout:2.0 ~dst:addr ~dport:port (Ctrl.encode_msg ~xid msg)
+      in
       snd (Ctrl.decode_reply reply)
 
 (* ---- attribute cache ---- *)
@@ -234,18 +243,27 @@ let rec arm_sweep t =
         let expired =
           Hashtbl.fold
             (fun xid pd acc ->
-              if now -. pd.p_born >= t.p.Params.pending_expiry then xid :: acc else acc)
+              if now -. pd.p_born >= t.p.Params.pending_expiry then (xid, pd) :: acc else acc)
             t.pending []
         in
         List.iter
-          (fun xid ->
+          (fun (xid, pd) ->
             Hashtbl.remove t.pending xid;
+            Trace.unbind_xid pd.p_span xid;
+            Trace.finish ~outcome:"expired" pd.p_span;
             t.n_expired <- t.n_expired + 1)
           expired;
         if Hashtbl.length t.pending > 0 then arm_sweep t)
   end
 
-let remember t (peek : Codec.peek) ~klass ~orig ~rd_site ~mirrors =
+let remember t (peek : Codec.peek) ~span ~klass ~orig ~rd_site ~mirrors =
+  (* a client retransmit replaces the record: close the superseded tree *)
+  (match Hashtbl.find_opt t.pending peek.Codec.xid with
+  | Some old ->
+      Trace.unbind_xid old.p_span peek.Codec.xid;
+      Trace.finish ~outcome:"superseded" old.p_span
+  | None -> ());
+  Trace.bind_xid span peek.Codec.xid;
   Hashtbl.replace t.pending peek.Codec.xid
     {
       p_klass = klass;
@@ -260,6 +278,7 @@ let remember t (peek : Codec.peek) ~klass ~orig ~rd_site ~mirrors =
       p_epoch = t.meta_epoch;
       p_mirror_left = mirrors;
       p_worst = 0;
+      p_span = span;
     };
   arm_sweep t
 
@@ -291,30 +310,31 @@ let smallfile_dst t (fh : Fh.t) =
   if t.p.Params.threshold <= 0 || Array.length t.sf_map = 0 then None
   else Some t.sf_map.(Routekey.file_site ~nsites:(Array.length t.sf_map) fh)
 
-let orchestrate_commit t (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
+let orchestrate_commit t ~span (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
   t.n_commits <- t.n_commits + 1;
   let client = pkt.Packet.src in
   let client_port = pkt.Packet.sport in
   Engine.spawn t.eng (fun () ->
       let jobs = ref [] in
       (match smallfile_dst t fh with
-      | Some dst -> jobs := (fun () -> ignore (nfs_call t (Nfs.Commit (fh, 0L, 0)) ~dst)) :: !jobs
+      | Some dst ->
+          jobs := (fun () -> ignore (nfs_call t ~span (Nfs.Commit (fh, 0L, 0)) ~dst)) :: !jobs
       | None -> ());
       let sites = storage_sites_of t fh in
       (match (sites, t.tg.coordinator) with
       | [], _ -> ()
       | sites, Some _ ->
-          jobs := (fun () -> ignore (ctrl_call t (Ctrl.Commit_file { fh; sites }))) :: !jobs
+          jobs := (fun () -> ignore (ctrl_call t ~span (Ctrl.Commit_file { fh; sites }))) :: !jobs
       | sites, None ->
           jobs :=
-            List.map (fun dst () -> ignore (nfs_call t (Nfs.Commit (fh, 0L, 0)) ~dst)) sites
+            List.map (fun dst () -> ignore (nfs_call t ~span (Nfs.Commit (fh, 0L, 0)) ~dst)) sites
             @ !jobs);
       Fiber.join_all t.eng !jobs;
       (* Close any open mirrored-write intention. *)
       (match Hashtbl.find_opt t.intents_open fh.Fh.file_id with
       | Some op_id ->
           Hashtbl.remove t.intents_open fh.Fh.file_id;
-          ignore (ctrl_call t (Ctrl.Complete { op_id }))
+          ignore (ctrl_call t ~span (Ctrl.Complete { op_id }))
       | None -> ());
       (* Push modified attributes to the directory server (the paper's
          µproxy generates a setattr on NFS V3 commit). *)
@@ -325,7 +345,8 @@ let orchestrate_commit t (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
       let reply =
         Packet.make ~src:t.tg.virtual_addr ~dst:client ~sport:2049 ~dport:client_port payload
       in
-      Net.dispatch t.net reply)
+      Net.dispatch t.net reply;
+      Trace.finish span)
 
 (* ---- mirrored-write intention (amortized across the file's writes) ---- *)
 
@@ -390,7 +411,7 @@ let route_name t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~or
   (if peek.Codec.proc = 16 && t.p.Params.name_policy = Params.Name_hashing then
      let local = Int64.logand (Option.value ~default:0L peek.Codec.offset) 0xFFFFFFFFL in
      patch_offset t c pkt peek local);
-  remember t peek ~klass:KName ~orig ~rd_site:site ~mirrors:1;
+  remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:site ~mirrors:1;
   forward t c pkt ~dst:(dir_phys t site)
 
 let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~orig =
@@ -398,14 +419,14 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
   match smallfile_dst t fh with
   | Some dst when Int64.compare off (Int64.of_int t.p.Params.threshold) < 0 ->
       t.n_smallfile <- t.n_smallfile + 1;
-      remember t peek ~klass:KSmallfile ~orig ~rd_site:0 ~mirrors:1;
+      remember t peek ~span:c.c_span ~klass:KSmallfile ~orig ~rd_site:0 ~mirrors:1;
       forward t c pkt ~dst
   | _ ->
       let n = Array.length t.tg.storage in
       if n = 0 then begin
         (* No storage class configured: let a directory server reject it. *)
         t.n_dir <- t.n_dir + 1;
-        remember t peek ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
+        remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
         forward t c pkt ~dst:(dir_phys t 0)
       end
       else if fh.Fh.mirrored then begin
@@ -415,7 +436,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
           (* mirrored read: alternate between the replicas to balance load *)
           let site = if chunk land 1 = 0 then r0 else r1 in
           t.n_storage <- t.n_storage + 1;
-          remember t peek ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
+          remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
           forward t c pkt ~dst:t.tg.storage.(site)
         end
         else begin
@@ -423,12 +444,12 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
           open_intent_if_needed t fh;
           t.n_storage <- t.n_storage + 1;
           t.n_mirror_dup <- t.n_mirror_dup + 1;
-          remember t peek ~klass:KStorage ~orig ~rd_site:0
+          remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0
             ~mirrors:(if r0 = r1 then 1 else 2);
           let copy = Packet.copy pkt in
           forward t c pkt ~dst:t.tg.storage.(r0);
           if r1 <> r0 then begin
-            let c2 = { c_total = 0.0 } in
+            let c2 = { c_total = 0.0; c_span = c.c_span } in
             (* duplicate emission: requeue + checksum share of the data *)
             charge t c2 `Rewrite
               (t.p.Params.rewrite_cost
@@ -445,7 +466,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
           let site = Routekey.stripe_site ~nsites:n ~stripe_unit:su fh off in
           patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
           t.n_storage <- t.n_storage + 1;
-          remember t peek ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
+          remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
           forward t c pkt ~dst:t.tg.storage.(site)
         in
         match t.p.Params.io_policy with
@@ -455,7 +476,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
             | Some (g, map) when g = fh.Fh.gen && chunk < Array.length map ->
                 patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
                 t.n_storage <- t.n_storage + 1;
-                remember t peek ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
+                remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
                 forward t c pkt ~dst:map.(chunk)
             | _ ->
                 (* Map-fragment miss (including a generation mismatch from
@@ -468,7 +489,8 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
                 after_cpu t c (fun () ->
                     Engine.spawn t.eng (fun () ->
                         (match
-                           ctrl_call t (Ctrl.Get_map { fh; first_block = 0; count = chunk + 64 })
+                           ctrl_call t ~span:c.c_span
+                             (Ctrl.Get_map { fh; first_block = 0; count = chunk + 64 })
                          with
                         | Ctrl.Map { first_block = _; sites } ->
                             Lru.add t.map_cache fh.Fh.file_id (fh.Fh.gen, sites)
@@ -478,7 +500,7 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
                               ( fh.Fh.gen,
                                 Array.init (chunk + 64) (fun b ->
                                     t.tg.storage.((Routekey.file_site ~nsites:n fh + b) mod n)) ));
-                        let c2 = { c_total = 0.0 } in
+                        let c2 = { c_total = 0.0; c_span = c.c_span } in
                         route_io t c2 pkt peek fh ~orig)))
       end
 
@@ -498,7 +520,9 @@ let synth_reply t (c : cost) (pkt : Packet.t) ~xid (resp : Nfs.response) =
     Packet.make ~src:t.tg.virtual_addr ~dst:pkt.Packet.src ~sport:2049 ~dport:pkt.Packet.sport
       payload
   in
-  after_cpu t c (fun () -> Net.dispatch t.net reply)
+  after_cpu t c (fun () ->
+      Net.dispatch t.net reply;
+      Trace.finish c.c_span)
 
 (* Returns true when the request was answered at the proxy. *)
 let try_meta_fast_path t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) =
@@ -625,15 +649,38 @@ let invalidate_meta t (peek : Codec.peek) (fh : Fh.t) =
       bump ()
   | _ -> ()
 
+(* RFC 1813 procedure numbers, as op-class labels for trace roots. *)
+let op_of_proc = function
+  | 0 -> "null"
+  | 1 -> "getattr"
+  | 2 -> "setattr"
+  | 3 -> "lookup"
+  | 4 -> "access"
+  | 5 -> "readlink"
+  | 6 -> "read"
+  | 7 -> "write"
+  | 8 -> "create"
+  | 9 -> "mkdir"
+  | 10 -> "symlink"
+  | 12 -> "remove"
+  | 13 -> "rmdir"
+  | 14 -> "rename"
+  | 15 -> "link"
+  | 16 -> "readdir"
+  | 18 -> "fsstat"
+  | 21 -> "commit"
+  | _ -> "other"
+
 let handle_request t (pkt : Packet.t) =
   t.n_intercepted <- t.n_intercepted + 1;
-  let c = { c_total = 0.0 } in
+  let c = { c_total = 0.0; c_span = Trace.null } in
   charge t c `Intercept t.p.Params.intercept_cost;
   match Codec.peek_call pkt.Packet.payload with
   | None ->
       (* not an NFS call: the virtual server has nothing else behind it *)
       charge t c `Decode t.p.Params.decode_cost_per_item
   | Some peek -> (
+      c.c_span <- Trace.root t.trace ~op:(op_of_proc peek.Codec.proc) ~site:(Host.name t.host);
       charge t c `Decode (t.p.Params.decode_cost_per_item *. float_of_int peek.Codec.items);
       (* Pristine copy before any in-place rewrite (offset/cookie patches):
          a bounce or failover retry must re-enter routing with the bytes
@@ -643,14 +690,14 @@ let handle_request t (pkt : Packet.t) =
       | None ->
           (* NULL: any directory server can answer *)
           t.n_dir <- t.n_dir + 1;
-          remember t peek ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
+          remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
           forward t c pkt ~dst:(dir_phys t 0)
       | Some fh -> (
           match peek.Codec.proc with
           | 6 | 7 when fh.Fh.ftype = Fh.Reg -> route_io t c pkt peek fh ~orig
           | 21 when fh.Fh.ftype = Fh.Reg ->
               charge t c `Softstate t.p.Params.softstate_cost;
-              after_cpu t c (fun () -> orchestrate_commit t pkt peek fh)
+              after_cpu t c (fun () -> orchestrate_commit t ~span:c.c_span pkt peek fh)
           | (1 | 3 | 4) when meta_enabled t ->
               if not (try_meta_fast_path t c pkt peek fh) then route_name t c pkt peek fh ~orig
           | _ ->
@@ -677,7 +724,9 @@ let retry_misdirected t (pd : pending) (client_pkt : Packet.t) =
    (site, cookie) pairs and splice sites together at EOF boundaries. *)
 let translate_readdir t (c : cost) (pd : pending) (pkt : Packet.t) =
   match Codec.decode_reply pkt.Packet.payload with
-  | _, Error _ -> Some pkt (* pass errors through *)
+  | _, Error _ ->
+      Trace.finish ~outcome:"error" pd.p_span;
+      Some pkt (* pass errors through *)
   | xid, Ok (Nfs.RReaddir (entries, cookie, eof)) ->
       charge t c `Decode
         (t.p.Params.decode_cost_per_item *. float_of_int (4 + (3 * List.length entries)));
@@ -698,9 +747,13 @@ let translate_readdir t (c : cost) (pd : pending) (pkt : Packet.t) =
         Packet.make ~src:t.tg.virtual_addr ~dst:pkt.Packet.dst ~sport:pkt.Packet.sport
           ~dport:pkt.Packet.dport payload
       in
-      after_cpu t c (fun () -> Net.dispatch t.net reply);
+      after_cpu t c (fun () ->
+          Net.dispatch t.net reply;
+          Trace.finish pd.p_span);
       None
-  | _, Ok _ -> Some pkt
+  | _, Ok _ ->
+      Trace.finish pd.p_span;
+      Some pkt
 
 let patch_reply_attrs t (c : cost) (pd : pending) (pkt : Packet.t) =
   match Codec.reply_attr_offset pkt.Packet.payload with
@@ -827,7 +880,7 @@ let learn_name t (pd : pending) (pkt : Packet.t) =
     | _ -> ()
 
 let handle_reply t (pkt : Packet.t) (pd : pending) =
-  let c = { c_total = 0.0 } in
+  let c = { c_total = 0.0; c_span = pd.p_span } in
   charge t c `Intercept t.p.Params.intercept_cost;
   charge t c `Softstate t.p.Params.softstate_cost;
   t.n_replies <- t.n_replies + 1;
@@ -847,7 +900,10 @@ let handle_reply t (pkt : Packet.t) (pd : pending) =
     if st = 20001 || pd.p_worst = 20001 then begin
       t.n_stale <- t.n_stale + 1;
       refresh_tables t;
-      after_cpu t c (fun () -> retry_misdirected t pd pkt);
+      after_cpu t c (fun () ->
+          (* the retry re-enters routing and opens a fresh root *)
+          Trace.finish ~outcome:"bounced" pd.p_span;
+          retry_misdirected t pd pkt);
       None
     end
     else if pd.p_worst > 0 && st = 0 then begin
@@ -864,7 +920,9 @@ let handle_reply t (pkt : Packet.t) (pd : pending) =
         Packet.make ~src:t.tg.virtual_addr ~dst:pkt.Packet.dst ~sport:pkt.Packet.sport
           ~dport:pkt.Packet.dport payload
       in
-      after_cpu t c (fun () -> Net.dispatch t.net reply);
+      after_cpu t c (fun () ->
+          Net.dispatch t.net reply;
+          Trace.finish ~outcome:"mirror_error" pd.p_span);
       None
     end
     else if pd.p_proc = 16 && t.p.Params.name_policy = Params.Name_hashing then
@@ -874,7 +932,9 @@ let handle_reply t (pkt : Packet.t) (pd : pending) =
       learn_name t pd pkt;
       charge t c `Rewrite t.p.Params.rewrite_cost;
       Cksum.rewrite_src pkt t.tg.virtual_addr;
-      after_cpu t c (fun () -> Net.dispatch t.net pkt);
+      after_cpu t c (fun () ->
+          Net.dispatch t.net pkt;
+          Trace.finish ~outcome:(if st = 0 then "ok" else "error") pd.p_span);
       None
     end
   end
@@ -895,7 +955,10 @@ let ingress_filter t (pkt : Packet.t) =
     match Hashtbl.find_opt t.pending xid with
     | None -> Some pkt
     | Some pd ->
-        if pd.p_mirror_left <= 1 then Hashtbl.remove t.pending xid;
+        if pd.p_mirror_left <= 1 then begin
+          Hashtbl.remove t.pending xid;
+          Trace.unbind_xid pd.p_span xid
+        end;
         handle_reply t pkt pd
   end
 
@@ -905,7 +968,7 @@ let rec writeback_tick t =
         writeback_dirty_attrs t;
         writeback_tick t)
 
-let install host ?(params = Params.default) ?(seed = 7) targets =
+let install host ?(params = Params.default) ?(seed = 7) ?trace targets =
   let net = host.Host.net in
   let dir_map, dir_version = Table.snapshot targets.dir_table in
   let sf_map, sf_version =
@@ -930,6 +993,7 @@ let install host ?(params = Params.default) ?(seed = 7) targets =
       net;
       eng = host.Host.eng;
       p = params;
+      trace;
       tg = targets;
       prng = Prng.create (seed + (host.Host.addr * 7919));
       rpc = Rpc.create net host.Host.addr ~port:params.Params.rpc_port;

@@ -48,9 +48,16 @@ type targets = {
 }
 
 val install :
-  Slice_storage.Host.t -> ?params:Params.t -> ?seed:int -> targets -> t
+  Slice_storage.Host.t ->
+  ?params:Params.t ->
+  ?seed:int ->
+  ?trace:Slice_trace.Trace.t ->
+  targets ->
+  t
 (** Interpose on all traffic of this host. [seed] drives the
-    mkdir-switching coin. *)
+    mkdir-switching coin. With [trace], every intercepted NFS call opens
+    a request-root span; proxy CPU bookings, outgoing RPCs and remote
+    server work attach under it. *)
 
 val params : t -> Params.t
 val refresh_tables : t -> unit

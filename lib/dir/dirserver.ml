@@ -10,6 +10,7 @@ module Nfs_endpoint = Slice_storage.Nfs_endpoint
 module Ctrl = Slice_storage.Ctrl
 module Enc = Slice_xdr.Xdr.Enc
 module Dec = Slice_xdr.Xdr.Dec
+module Trace = Slice_trace.Trace
 
 type policy = Mkdir_switching | Name_hashing
 
@@ -47,6 +48,7 @@ type t = {
   applied : (int64, unit) Hashtbl.t; (* peer-op dedup *)
   prepares : (int64, int * string) Hashtbl.t; (* op_id -> (site, msg) awaiting commit *)
   rpc : Rpc.t;
+  trace : Trace.t option;
   mutable owned : int list; (* logical sites this server currently hosts *)
   mutable wal : Wal.t;
   mutable next_file : int;
@@ -92,7 +94,7 @@ let payload_of enc =
 
 let log t rtype payload = ignore (Wal.append t.wal ~rtype payload)
 
-let sync_log t = Wal.sync t.wal
+let sync_log ?(span = Trace.null) t = Wal.sync ~span t.wal
 
 let log_cell t fid c = log t rt_set_cell (payload_of (fun e -> enc_cell e fid c))
 
@@ -172,18 +174,18 @@ let owns t site = List.mem site t.owned
 
 (* ---- peer communication ---- *)
 
-let peer_call t ~site msg =
+let peer_call ?(span = Trace.null) t ~site msg =
   t.peer_calls <- t.peer_calls + 1;
   let xid = Rpc.fresh_xid t.rpc in
   let payload = Peer.encode_msg ~xid msg in
   let dst = t.cfg.resolve site in
-  let reply = Rpc.call t.rpc ~dst ~dport:t.cfg.peer_port payload in
+  let reply = Rpc.call t.rpc ~span ~dst ~dport:t.cfg.peer_port payload in
   snd (Peer.decode_reply reply)
 
 (* Two-phase cross-site update: log the prepared message, apply it at the
    peer (which dedups and logs), then log the commit. Recovery re-sends
    prepared-but-uncommitted messages. *)
-let peer_update t ~site build =
+let peer_update ?(span = Trace.null) t ~site build =
   let op_id = fresh_op t in
   let msg = build op_id in
   let msg_bytes = Bytes.to_string (Peer.encode_msg ~xid:0 msg) in
@@ -193,8 +195,8 @@ let peer_update t ~site build =
          Enc.u64 e op_id;
          Enc.u32 e site;
          Enc.opaque e msg_bytes));
-  sync_log t;
-  let reply = peer_call t ~site msg in
+  sync_log ~span t;
+  let reply = peer_call ~span t ~site msg in
   Hashtbl.remove t.prepares op_id;
   log t rt_commit (payload_of (fun e -> Enc.u64 e op_id));
   reply
@@ -218,18 +220,18 @@ let remove_file_data t (fh : Fh.t) =
 
 (* ---- attribute access across sites ---- *)
 
-let child_attr t (fh : Fh.t) =
+let child_attr ?(span = Trace.null) t (fh : Fh.t) =
   if owns t fh.Fh.attr_site then
     match local_cell t fh.Fh.file_id with
     | Some c -> Ok (attr_of_cell c)
     | None -> Error Nfs.ERR_STALE
   else
-    match peer_call t ~site:fh.Fh.attr_site (Peer.Getattr fh) with
+    match peer_call ~span t ~site:fh.Fh.attr_site (Peer.Getattr fh) with
     | Peer.Rattr a -> Ok a
     | Peer.Rerr st -> Error st
     | _ -> Error Nfs.ERR_IO
 
-let bump_nlink t (fh : Fh.t) delta =
+let bump_nlink ?(span = Trace.null) t (fh : Fh.t) delta =
   if owns t fh.Fh.attr_site then
     match local_cell t fh.Fh.file_id with
     | None -> Error Nfs.ERR_STALE
@@ -241,15 +243,17 @@ let bump_nlink t (fh : Fh.t) delta =
           log_remove_cell t fh.Fh.file_id
         end
         else log_cell t fh.Fh.file_id c;
-        sync_log t;
+        sync_log ~span t;
         Ok attr
   else
-    match peer_update t ~site:fh.Fh.attr_site (fun op_id -> Peer.Nlink { op_id; fh; delta }) with
+    match
+      peer_update ~span t ~site:fh.Fh.attr_site (fun op_id -> Peer.Nlink { op_id; fh; delta })
+    with
     | Peer.Rattr a -> Ok a
     | Peer.Rerr st -> Error st
     | _ -> Error Nfs.ERR_IO
 
-let bump_parent t (dfh : Fh.t) delta =
+let bump_parent ?(span = Trace.null) t (dfh : Fh.t) delta =
   if owns t dfh.Fh.attr_site then begin
     match local_cell t dfh.Fh.file_id with
     | None -> ()
@@ -257,11 +261,11 @@ let bump_parent t (dfh : Fh.t) delta =
         c.entries <- c.entries + delta;
         c.attr <- { c.attr with mtime = now t; ctime = now t };
         log_cell t dfh.Fh.file_id c;
-        sync_log t
+        sync_log ~span t
   end
   else
     ignore
-      (peer_update t ~site:dfh.Fh.attr_site (fun op_id ->
+      (peer_update ~span t ~site:dfh.Fh.attr_site (fun op_id ->
            Peer.Entry_count { op_id; dir = dfh; delta; mtime = now t }))
 
 (* ---- NFS request handling ---- *)
@@ -271,7 +275,7 @@ let misdirected = Error Nfs.ERR_MISDIRECTED
 let check_entry_site t dfh name ok =
   if owns t (entry_site t dfh name) then ok () else misdirected
 
-let do_create t (dfh : Fh.t) name ~ftype ~symlink =
+let do_create ?(span = Trace.null) t (dfh : Fh.t) name ~ftype ~symlink =
   if dfh.Fh.ftype <> Fh.Dir then Error Nfs.ERR_NOTDIR
   else if Hashtbl.mem t.entries (dfh.Fh.file_id, name) then Error Nfs.ERR_EXIST
   else begin
@@ -283,64 +287,64 @@ let do_create t (dfh : Fh.t) name ~ftype ~symlink =
     apply_add_entry t dfh.Fh.file_id name fh;
     log_cell t fh.Fh.file_id c;
     log_add_entry t dfh.Fh.file_id name fh;
-    sync_log t;
-    bump_parent t dfh 1;
+    sync_log ~span t;
+    bump_parent ~span t dfh 1;
     Ok (fh, attr_of_cell c)
   end
 
 (* Redirected mkdir (mkdir switching): this site was chosen by the µproxy
    to host the orphaned directory; mint it here, then install the name
    entry at the parent's site as a two-phase peer update. *)
-let do_remote_mkdir t (dfh : Fh.t) name =
+let do_remote_mkdir ?(span = Trace.null) t (dfh : Fh.t) name =
   let fh = mint_fh t ~ftype:Fh.Dir ~mirrored:false in
   let attr = Nfs.default_attr ~ftype:Fh.Dir ~fileid:fh.Fh.file_id ~now:(now t) in
   let c = { attr; entries = 0; symlink = None } in
   Hashtbl.replace t.attrs fh.Fh.file_id c;
   log_cell t fh.Fh.file_id c;
-  sync_log t;
+  sync_log ~span t;
   match
-    peer_update t ~site:(entry_site t dfh name) (fun op_id ->
+    peer_update ~span t ~site:(entry_site t dfh name) (fun op_id ->
         Peer.Add_entry { op_id; dir = dfh; name; child = fh })
   with
   | Peer.Ack -> Ok (fh, attr_of_cell c)
   | Peer.Rerr st ->
       Hashtbl.remove t.attrs fh.Fh.file_id;
       log_remove_cell t fh.Fh.file_id;
-      sync_log t;
+      sync_log ~span t;
       Error st
   | _ -> Error Nfs.ERR_IO
 
-let add_entry_somewhere t (dfh : Fh.t) name child =
+let add_entry_somewhere ?(span = Trace.null) t (dfh : Fh.t) name child =
   if owns t (entry_site t dfh name) then begin
     if Hashtbl.mem t.entries (dfh.Fh.file_id, name) then Error Nfs.ERR_EXIST
     else begin
       apply_add_entry t dfh.Fh.file_id name child;
       log_add_entry t dfh.Fh.file_id name child;
-      sync_log t;
-      bump_parent t dfh 1;
+      sync_log ~span t;
+      bump_parent ~span t dfh 1;
       Ok ()
     end
   end
   else
     match
-      peer_update t ~site:(entry_site t dfh name) (fun op_id ->
+      peer_update ~span t ~site:(entry_site t dfh name) (fun op_id ->
           Peer.Add_entry { op_id; dir = dfh; name; child })
     with
     | Peer.Ack -> Ok ()
     | Peer.Rerr st -> Error st
     | _ -> Error Nfs.ERR_IO
 
-let remove_entry_here t (dfh : Fh.t) name =
+let remove_entry_here ?(span = Trace.null) t (dfh : Fh.t) name =
   match Hashtbl.find_opt t.entries (dfh.Fh.file_id, name) with
   | None -> Error Nfs.ERR_NOENT
   | Some child ->
       apply_remove_entry t dfh.Fh.file_id name;
       log_remove_entry t dfh.Fh.file_id name;
-      sync_log t;
-      bump_parent t dfh (-1);
+      sync_log ~span t;
+      bump_parent ~span t dfh (-1);
       Ok child
 
-let handle t (call : Nfs.call) : Nfs.response =
+let handle t span (call : Nfs.call) : Nfs.response =
   t.ops <- t.ops + 1;
   match call with
   | Nfs.Null -> Ok Nfs.RNull
@@ -359,7 +363,7 @@ let handle t (call : Nfs.call) : Nfs.response =
             let old_size = c.attr.Nfs.size in
             c.attr <- Nfs.apply_sattr c.attr s ~now:(now t);
             log_cell t fh.Fh.file_id c;
-            sync_log t;
+            sync_log ~span t;
             (match s.Nfs.set_size with
             | Some nsz when fh.Fh.ftype = Fh.Reg && Int64.compare nsz old_size < 0 ->
                 (* Shrinking truncate: multi-site data trim through the
@@ -374,7 +378,7 @@ let handle t (call : Nfs.call) : Nfs.response =
             match Hashtbl.find_opt t.entries (dfh.Fh.file_id, name) with
             | None -> Error Nfs.ERR_NOENT
             | Some child -> (
-                match child_attr t child with
+                match child_attr ~span t child with
                 | Ok a -> Ok (Nfs.RLookup (child, a))
                 | Error st -> Error st))
   | Nfs.Access (fh, mode) ->
@@ -392,23 +396,23 @@ let handle t (call : Nfs.call) : Nfs.response =
         | None -> Error Nfs.ERR_STALE)
   | Nfs.Create (dfh, name) ->
       check_entry_site t dfh name (fun () ->
-          match do_create t dfh name ~ftype:Fh.Reg ~symlink:None with
+          match do_create ~span t dfh name ~ftype:Fh.Reg ~symlink:None with
           | Ok (fh, a) -> Ok (Nfs.RCreate (fh, a))
           | Error st -> Error st)
   | Nfs.Mkdir (dfh, name) ->
       if dfh.Fh.ftype <> Fh.Dir then Error Nfs.ERR_NOTDIR
       else if owns t (entry_site t dfh name) then (
-        match do_create t dfh name ~ftype:Fh.Dir ~symlink:None with
+        match do_create ~span t dfh name ~ftype:Fh.Dir ~symlink:None with
         | Ok (fh, a) -> Ok (Nfs.RMkdir (fh, a))
         | Error st -> Error st)
       else (
         (* µproxy redirected this mkdir here on purpose. *)
-        match do_remote_mkdir t dfh name with
+        match do_remote_mkdir ~span t dfh name with
         | Ok (fh, a) -> Ok (Nfs.RMkdir (fh, a))
         | Error st -> Error st)
   | Nfs.Symlink (dfh, name, target) ->
       check_entry_site t dfh name (fun () ->
-          match do_create t dfh name ~ftype:Fh.Lnk ~symlink:(Some target) with
+          match do_create ~span t dfh name ~ftype:Fh.Lnk ~symlink:(Some target) with
           | Ok (fh, a) -> Ok (Nfs.RSymlink (fh, a))
           | Error st -> Error st)
   | Nfs.Remove (dfh, name) ->
@@ -417,10 +421,10 @@ let handle t (call : Nfs.call) : Nfs.response =
           | None -> Error Nfs.ERR_NOENT
           | Some child when child.Fh.ftype = Fh.Dir -> Error Nfs.ERR_ISDIR
           | Some child -> (
-              match remove_entry_here t dfh name with
+              match remove_entry_here ~span t dfh name with
               | Error st -> Error st
               | Ok _ -> (
-                  match bump_nlink t child (-1) with
+                  match bump_nlink ~span t child (-1) with
                   | Ok a ->
                       if a.Nfs.nlink <= 0 && child.Fh.ftype = Fh.Reg then
                         remove_file_data t child;
@@ -432,38 +436,38 @@ let handle t (call : Nfs.call) : Nfs.response =
           | None -> Error Nfs.ERR_NOENT
           | Some child when child.Fh.ftype <> Fh.Dir -> Error Nfs.ERR_NOTDIR
           | Some child -> (
-              match child_attr t child with
+              match child_attr ~span t child with
               | Error st -> Error st
               | Ok a ->
                   if Int64.compare a.Nfs.size 0L > 0 then Error Nfs.ERR_NOTEMPTY
                   else (
-                    match remove_entry_here t dfh name with
+                    match remove_entry_here ~span t dfh name with
                     | Error st -> Error st
                     | Ok _ ->
-                        ignore (bump_nlink t child (-a.Nfs.nlink));
+                        ignore (bump_nlink ~span t child (-a.Nfs.nlink));
                         Ok Nfs.RRmdir)))
   | Nfs.Rename (odfh, oname, ndfh, nname) ->
       check_entry_site t odfh oname (fun () ->
           match Hashtbl.find_opt t.entries (odfh.Fh.file_id, oname) with
           | None -> Error Nfs.ERR_NOENT
           | Some child -> (
-              match add_entry_somewhere t ndfh nname child with
+              match add_entry_somewhere ~span t ndfh nname child with
               | Error st -> Error st
               | Ok () -> (
-                  match remove_entry_here t odfh oname with
+                  match remove_entry_here ~span t odfh oname with
                   | Error st -> Error st
                   | Ok _ ->
                       (* ctime bump on the renamed object *)
-                      ignore (bump_nlink t child 0);
+                      ignore (bump_nlink ~span t child 0);
                       Ok Nfs.RRename)))
   | Nfs.Link (file, ndfh, nname) ->
       check_entry_site t ndfh nname (fun () ->
           if file.Fh.ftype = Fh.Dir then Error Nfs.ERR_ISDIR
           else
-            match add_entry_somewhere t ndfh nname file with
+            match add_entry_somewhere ~span t ndfh nname file with
             | Error st -> Error st
             | Ok () -> (
-                match bump_nlink t file 1 with
+                match bump_nlink ~span t file 1 with
                 | Ok a -> Ok (Nfs.RLink a)
                 | Error st -> Error st))
   | Nfs.Readdir (dfh, cookie, count) ->
@@ -606,8 +610,13 @@ let serve_peer t =
             match (try Some (Peer.decode_msg pkt.Packet.payload) with Peer.Malformed -> None) with
             | None -> ()
             | Some (xid, msg) ->
+                let span =
+                  Trace.child (Trace.span_of_xid t.trace xid) ~hop:"server"
+                    ~site:(Host.name t.host) ()
+                in
                 Host.cpu t.host t.costs.per_peer_op;
                 let reply = handle_peer t msg in
+                Trace.finish span;
                 Nfs_endpoint.reply_to t.host pkt (Peer.encode_reply ~xid reply)))
 
 let install_root t =
@@ -630,12 +639,13 @@ let make_wal (host : Host.t) =
   | Some disk -> Wal.create ~eng:host.Host.eng ~disk ~name:"dir.wal" ()
   | None -> Wal.create ~name:"dir.wal" ()
 
-let attach host ?(port = 2049) ?(costs = default_costs) cfg =
+let attach host ?(port = 2049) ?(costs = default_costs) ?trace cfg =
   let t =
     {
       host;
       cfg;
       costs;
+      trace;
       (* lint: bounded — attribute cells: dataless-manager state, WAL+checkpoint-backed (§3.4) *)
       attrs = Hashtbl.create 1024;
       (* lint: bounded — name entries: dataless-manager state, WAL+checkpoint-backed (§3.4) *)
@@ -660,7 +670,7 @@ let attach host ?(port = 2049) ?(costs = default_costs) cfg =
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = costs.per_op; per_byte = 0.0 }
     ~alive:(fun () -> t.up)
-    ~handler:(handle t) ();
+    ?trace ~handler:(handle t) ();
   serve_peer t;
   Engine.spawn host.Host.eng (fun () -> install_root t);
   t

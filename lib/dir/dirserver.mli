@@ -62,7 +62,13 @@ val default_costs : costs
 
 type t
 
-val attach : Slice_storage.Host.t -> ?port:int -> ?costs:costs -> config -> t
+val attach :
+  Slice_storage.Host.t ->
+  ?port:int ->
+  ?costs:costs ->
+  ?trace:Slice_trace.Trace.t ->
+  config ->
+  t
 (** Serve NFS on [port] (default 2049) and the peer protocol on
     [config.peer_port]. The volume root (fileID 1) is owned by logical
     site 0, which installs it at attach time. *)

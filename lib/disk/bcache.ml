@@ -13,7 +13,7 @@ let disk_backend eng disk =
   {
     demand_read =
       (fun ~obj:_ ~block:_ ~count ~sequential ->
-        Disk.read disk ~sequential ~bytes:(count * block_size));
+        Disk.read disk ~sequential ~bytes:(count * block_size) ());
     readahead =
       (fun ~obj:_ ~block:_ ~count ->
         ignore (Disk.read_async disk ~sequential:true ~bytes:(count * block_size)));

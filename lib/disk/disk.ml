@@ -1,5 +1,6 @@
 module Engine = Slice_sim.Engine
 module Resource = Slice_sim.Resource
+module Trace = Slice_trace.Trace
 
 type params = {
   avg_seek : float;
@@ -26,6 +27,7 @@ type t = {
   arms : Resource.t;
   channel : Resource.t;
   n_arms : int;
+  name : string;
   mutable ops : int;
   mutable bytes : int;
 }
@@ -37,6 +39,7 @@ let create eng ?(params = cheetah) ~arms ~name () =
     arms = Resource.create eng ~capacity:arms ~name:(name ^ ".arms") ();
     channel = Resource.create eng ~name:(name ^ ".chan") ();
     n_arms = arms;
+    name;
     ops = 0;
     bytes = 0;
   }
@@ -64,12 +67,19 @@ let book t ~is_read ~sequential ~bytes =
   let chan_done = Resource.reserve t.channel chan in
   Float.max arm_done chan_done
 
-let read t ~sequential ~bytes =
+let traced t span ~start finish =
+  Trace.emit span ~hop:"disk" ~site:t.name ~start ~stop:finish ()
+
+let read t ?(span = Trace.null) ~sequential ~bytes () =
+  let start = Engine.now t.eng in
   let finish = book t ~is_read:true ~sequential ~bytes in
+  traced t span ~start finish;
   Engine.sleep_until t.eng finish
 
-let write t ~sequential ~bytes =
+let write t ?(span = Trace.null) ~sequential ~bytes () =
+  let start = Engine.now t.eng in
   let finish = book t ~is_read:false ~sequential ~bytes in
+  traced t span ~start finish;
   Engine.sleep_until t.eng finish
 
 let read_async t ~sequential ~bytes = book t ~is_read:true ~sequential ~bytes

@@ -29,10 +29,11 @@ type t
 
 val create : Slice_sim.Engine.t -> ?params:params -> arms:int -> name:string -> unit -> t
 
-val read : t -> sequential:bool -> bytes:int -> unit
-(** Fiber: performs a read, waiting for arm and channel. *)
+val read : t -> ?span:Slice_trace.Trace.span -> sequential:bool -> bytes:int -> unit -> unit
+(** Fiber: performs a read, waiting for arm and channel.  A live [span]
+    gets a completed ["disk"] child covering the device busy interval. *)
 
-val write : t -> sequential:bool -> bytes:int -> unit
+val write : t -> ?span:Slice_trace.Trace.span -> sequential:bool -> bytes:int -> unit -> unit
 
 val read_async : t -> sequential:bool -> bytes:int -> float
 (** Books the work and returns its absolute completion time without

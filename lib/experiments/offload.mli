@@ -16,6 +16,28 @@ type point = {
   meta : Slice.Proxy.meta_cache_stats;
 }
 
+type fileset
+(** Per-process SPECsfs file set (directories, files, symlinks). *)
+
+val build_fileset :
+  Slice_workload.Client.t ->
+  root:Slice_nfs.Fh.t ->
+  proc:int ->
+  files:int ->
+  fileset
+(** Build process [proc]'s file set under [root]; all traffic this
+    generates is setup, not measured-mix. *)
+
+val one_op :
+  Slice_workload.Client.t ->
+  Slice_util.Prng.t ->
+  fileset ->
+  fresh:int ref ->
+  unit
+(** Issue one operation drawn from the SFS97 mix with the 80/20 hot-set
+    skew ([fresh] numbers throwaway create/remove names). Shared with the
+    tracing exhibit so both replay the same workload. *)
+
 val compute : ?scale:float -> ?sweep:bool -> unit -> point list
 (** [scale] multiplies file-set size and op count (default 1.0; tests use
     a fraction). The first point is the cache-off baseline, the second the

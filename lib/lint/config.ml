@@ -25,8 +25,12 @@ let repo =
        everything else must go through them. *)
     d1_allow = any_prefix [ "lib/util/prng."; "lib/sim/" ];
     (* Modules whose hash-table iteration feeds reports, stats
-       aggregation or BENCH_*.json artifacts. *)
-    d2_scope = (fun f -> any_prefix [ "lib/experiments/"; "bench/"; "examples/" ] f || f = "lib/util/stats.ml");
+       aggregation or BENCH_*.json artifacts — including the tracer and
+       metrics registry, whose dumps must be byte-stable across runs. *)
+    d2_scope =
+      (fun f ->
+        any_prefix [ "lib/experiments/"; "bench/"; "examples/"; "lib/trace/" ] f
+        || List.mem f [ "lib/util/stats.ml"; "lib/util/metrics.ml" ]);
     (* Long-lived proxy/server modules: state here survives across
        requests, so every Hashtbl needs a bound or a bounded pragma. *)
     r1_scope =
@@ -44,6 +48,8 @@ let repo =
             "lib/storage/nfs_endpoint.ml";
             "lib/smallfile/smallfile.ml";
             "lib/util/lru.ml";
+            "lib/util/metrics.ml";
+            "lib/trace/trace.ml";
           ]);
     (* Routing and cache paths where a stray polymorphic compare on a
        file handle or route key silently disagrees with keyed equality. *)

@@ -42,6 +42,7 @@ type t = {
   mutable sent : int;
   mutable bytes : int;
   mutable dropped : int;
+  mutable xid_counter : int;
   (* fault schedule *)
   mutable link_faults : link_fault list;
   mutable partition : (Packet.addr -> int) option;
@@ -61,6 +62,7 @@ let create eng ?(params = default_params) ?(seed = 1) () =
     sent = 0;
     bytes = 0;
     dropped = 0;
+    xid_counter = 0;
     link_faults = [];
     partition = None;
     f_node_drops = 0;
@@ -71,6 +73,10 @@ let create eng ?(params = default_params) ?(seed = 1) () =
 
 let engine t = t.eng
 let params t = t.p
+
+let fresh_xid t =
+  t.xid_counter <- t.xid_counter + 1;
+  t.xid_counter land 0xFFFFFFFF
 
 let add_node t ~name =
   let node =

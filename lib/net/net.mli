@@ -26,6 +26,12 @@ val create : Slice_sim.Engine.t -> ?params:params -> ?seed:int -> unit -> t
 val engine : t -> Slice_sim.Engine.t
 val params : t -> params
 
+val fresh_xid : t -> int
+(** Next transaction id from this network's private counter (32-bit
+    wrap).  One stream per simulated network keeps xids unique across
+    all its endpoints while staying deterministic even when several
+    simulations run in one process. *)
+
 val add_node : t -> name:string -> Packet.addr
 (** Attach a host; allocates its NIC resources. Addresses are dense
     small ints. *)

@@ -1,13 +1,10 @@
 module Engine = Slice_sim.Engine
 
+module Trace = Slice_trace.Trace
+
 exception Timeout
 
 type outcome = Reply of bytes | Timed_out
-
-(* XIDs are drawn from a single process-wide counter so no two endpoints
-   in a simulation ever collide, which lets an interposed filter key its
-   soft state on the XID alone. *)
-let xid_counter = ref 0
 
 type ep = { mutable ep_calls : int; mutable ep_retransmits : int; mutable ep_timeouts : int }
 
@@ -69,20 +66,24 @@ let ep_of t dst =
 
 let addr t = t.addr
 
-let fresh_xid _t =
-  incr xid_counter;
-  !xid_counter land 0xFFFFFFFF
+(* XIDs come from the network's private counter so no two endpoints in a
+   simulation ever collide (an interposed filter can key its soft state
+   on the XID alone) and the stream stays deterministic even when
+   several simulations run in one process. *)
+let fresh_xid t = Net.fresh_xid t.net
 
 (* Fraction of the current timeout added as uniform jitter, so a fleet of
    endpoints that lost packets together does not retransmit in lockstep. *)
 let jitter_frac = 0.1
 
-let call t ?(timeout = 0.1) ?(retries = 8) ?(backoff = 2.0) ?(max_timeout = 2.0) ~dst ~dport
-    ?(extra_size = 0) payload =
+let call t ?(timeout = 0.1) ?(retries = 8) ?(backoff = 2.0) ?(max_timeout = 2.0)
+    ?(span = Trace.null) ~dst ~dport ?(extra_size = 0) payload =
   let xid = Int32.to_int (Bytes.get_int32_be payload 0) land 0xFFFFFFFF in
   let cap = if timeout > max_timeout then timeout else max_timeout in
   let ep = ep_of t dst in
   ep.ep_calls <- ep.ep_calls + 1;
+  let sp = Trace.child span ~hop:"rpc" ~site:(Net.node_name t.net t.addr) () in
+  Trace.bind_xid sp xid;
   let outcome =
     Engine.suspend (fun wake ->
         Hashtbl.replace t.pending xid wake;
@@ -116,7 +117,14 @@ let call t ?(timeout = 0.1) ?(retries = 8) ?(backoff = 2.0) ?(max_timeout = 2.0)
         in
         attempt 0 timeout)
   in
-  match outcome with Reply b -> b | Timed_out -> raise Timeout
+  Trace.unbind_xid sp xid;
+  match outcome with
+  | Reply b ->
+      Trace.finish sp;
+      b
+  | Timed_out ->
+      Trace.finish ~outcome:"timeout" sp;
+      raise Timeout
 
 let retransmissions t = t.retransmits
 let timeouts t = t.timeouts

@@ -18,8 +18,9 @@ val create : Net.t -> Packet.addr -> port:int -> t
 val addr : t -> Packet.addr
 
 val fresh_xid : t -> int
-(** Allocate the next XID (callers that build their own payloads must
-    place it in the first word). *)
+(** Allocate the next XID from the network's per-simulation counter
+    (callers that build their own payloads must place it in the first
+    word).  Equal to {!Net.fresh_xid} on the endpoint's network. *)
 
 val call :
   t ->
@@ -27,6 +28,7 @@ val call :
   ?retries:int ->
   ?backoff:float ->
   ?max_timeout:float ->
+  ?span:Slice_trace.Trace.span ->
   dst:Packet.addr ->
   dport:int ->
   ?extra_size:int ->
@@ -41,7 +43,10 @@ val call :
     larger), with up to 10 % additive jitter from a deterministic
     per-endpoint stream — exponential backoff stops the fixed-interval
     retransmit storm under sustained loss while jitter decorrelates
-    clients that lost packets together. Returns the reply payload. *)
+    clients that lost packets together. Returns the reply payload.
+    When [span] is live, an ["rpc"] child span covers the call and is
+    bound to the xid while outstanding, so server-side spans for this
+    request attach under it. *)
 
 val retransmissions : t -> int
 (** Total timeout-triggered resends across all calls. *)

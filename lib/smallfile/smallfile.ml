@@ -4,6 +4,7 @@ module Bcache = Slice_disk.Bcache
 module Ffs = Slice_disk.Ffs
 module Host = Slice_storage.Host
 module Nfs_endpoint = Slice_storage.Nfs_endpoint
+module Trace = Slice_trace.Trace
 
 let block_size = Bcache.block_size
 
@@ -144,7 +145,10 @@ let store_real fr ~off data =
   in
   Bytes.blit_string data 0 buf off len
 
-let handle t (call : Nfs.call) : Nfs.response =
+let handle t span (call : Nfs.call) : Nfs.response =
+  (* Map/extent cache touches are the synchronous disk work of this
+     server; async write-behind stays untraced. *)
+  let disk_timed f = Trace.timed span ~hop:"disk" ~site:(Host.name t.host) f in
   match call with
   | Nfs.Null -> Ok Nfs.RNull
   | Nfs.Getattr fh ->
@@ -154,14 +158,17 @@ let handle t (call : Nfs.call) : Nfs.response =
       let fr = filerec_of t fh.Fh.file_id in
       let off = Int64.to_int off64 in
       let count = max 0 (min count (fr.size - off)) in
-      touch_map t fh.Fh.file_id ~write:false;
       t.reads <- t.reads + 1;
       let first = off / block_size in
       let last = if count = 0 then first - 1 else (off + count - 1) / block_size in
-      for b = first to last do
-        if b < Array.length fr.blocks then
-          match fr.blocks.(b) with Some ext -> touch_extent t ext ~write:false | None -> ()
-      done;
+      disk_timed (fun () ->
+          touch_map t fh.Fh.file_id ~write:false;
+          for b = first to last do
+            if b < Array.length fr.blocks then
+              match fr.blocks.(b) with
+              | Some ext -> touch_extent t ext ~write:false
+              | None -> ()
+          done);
       let eof = off + count >= fr.size in
       let data =
         if count = 0 then Nfs.Data ""
@@ -180,17 +187,18 @@ let handle t (call : Nfs.call) : Nfs.response =
       let first = off / block_size in
       let last = if len = 0 then first - 1 else (fin - 1) / block_size in
       ensure_blocks fr (last + 1);
-      touch_map t fh.Fh.file_id ~write:true;
       let nospc = ref false in
-      for b = first to last do
-        (* Bytes of this logical block that will exist after the write. *)
-        let blk_end = min (max fin fr.size) ((b + 1) * block_size) in
-        let needed = blk_end - (b * block_size) in
-        if not !nospc then
-          match place_block t fr b ~needed with
-          | Some ext -> touch_extent t ext ~write:true
-          | None -> nospc := true
-      done;
+      disk_timed (fun () ->
+          touch_map t fh.Fh.file_id ~write:true;
+          for b = first to last do
+            (* Bytes of this logical block that will exist after the write. *)
+            let blk_end = min (max fin fr.size) ((b + 1) * block_size) in
+            let needed = blk_end - (b * block_size) in
+            if not !nospc then
+              match place_block t fr b ~needed with
+              | Some ext -> touch_extent t ext ~write:true
+              | None -> nospc := true
+          done);
       if !nospc then
         (* Blocks placed before the allocator ran dry stay placed (a
            partially-applied write, like a real server); the size is not
@@ -205,16 +213,17 @@ let handle t (call : Nfs.call) : Nfs.response =
         fr.size <- fin
       end;
       t.writes <- t.writes + 1;
-      if stable <> Nfs.Unstable then begin
-        Bcache.commit t.cache ~obj:data_obj;
-        Bcache.commit t.cache ~obj:map_obj
-      end;
+      if stable <> Nfs.Unstable then
+        disk_timed (fun () ->
+            Bcache.commit t.cache ~obj:data_obj;
+            Bcache.commit t.cache ~obj:map_obj);
       Ok (Nfs.RWrite (len, stable, attr_of fh fr))
       end
   | Nfs.Commit (fh, _, _) ->
       let fr = filerec_of t fh.Fh.file_id in
-      Bcache.commit t.cache ~obj:data_obj;
-      Bcache.commit t.cache ~obj:map_obj;
+      disk_timed (fun () ->
+          Bcache.commit t.cache ~obj:data_obj;
+          Bcache.commit t.cache ~obj:map_obj);
       Ok (Nfs.RCommit (attr_of fh fr))
   | Nfs.Remove (fh, _) ->
       (match Hashtbl.find_opt t.files fh.Fh.file_id with
@@ -257,7 +266,7 @@ let handle t (call : Nfs.call) : Nfs.response =
       Error Nfs.ERR_BADHANDLE
 
 let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
-    ?(backing_bytes = 68_719_476_736L) ?(threshold = 65536) ?backend () =
+    ?(backing_bytes = 68_719_476_736L) ?(threshold = 65536) ?backend ?trace () =
   let backend =
     match backend with
     | Some b -> b
@@ -281,7 +290,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = 70e-6; per_byte = 4e-9 }
     ~alive:(fun () -> t.up)
-    ~handler:(handle t) ();
+    ?trace ~handler:(handle t) ();
   t
 
 let crash t =

@@ -20,6 +20,7 @@ val attach :
   ?backing_bytes:int64 ->
   ?threshold:int ->
   ?backend:Slice_disk.Bcache.backend ->
+  ?trace:Slice_trace.Trace.t ->
   unit ->
   t
 (** Default port 2049, cache 1 GB (the SPECsfs configuration), backing

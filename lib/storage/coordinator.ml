@@ -7,6 +7,7 @@ module Nfs = Slice_nfs.Nfs
 module Codec = Slice_nfs.Codec
 module Fh = Slice_nfs.Fh
 module Wal = Slice_wal.Wal
+module Trace = Slice_trace.Trace
 
 type intent = {
   kind : Ctrl.kind;
@@ -22,6 +23,7 @@ type t = {
   host : Host.t;
   ctrl_port : int;
   rpc : Rpc.t;
+  trace : Trace.t option;
   probe_timeout : float;
   map_sites : int array;
   mutable wal : Wal.t;
@@ -36,14 +38,14 @@ type t = {
 
 let cpu_cost = 25e-6
 
-let log_intent t op_id (i : intent) =
+let log_intent ?(span = Trace.null) t op_id (i : intent) =
   let payload =
     Bytes.to_string
       (Ctrl.encode_msg ~xid:0
          (Ctrl.Intent { op_id; kind = i.kind; fh = i.fh; participants = i.participants }))
   in
   ignore (Wal.append t.wal ~rtype:rt_intent payload);
-  Wal.sync t.wal;
+  Wal.sync ~span t.wal;
   t.logged <- t.logged + 1
 
 let log_complete t op_id =
@@ -59,14 +61,22 @@ let nfs_call_for_redo (i : intent) : Nfs.call =
   | Ctrl.K_remove | Ctrl.K_truncate -> Nfs.Remove (i.fh, "")
   | Ctrl.K_commit | Ctrl.K_mirror_write -> Nfs.Commit (i.fh, 0L, 0)
 
-let fan_out t (call : Nfs.call) sites =
+(* Push the call to every participant; true only when all of them acked.
+   A participant timing out must not raise out of the join (that would
+   abandon the sibling fibers) nor count as done — the caller keeps the
+   intent and probes again. *)
+let fan_out ?(span = Trace.null) t (call : Nfs.call) sites =
+  let ok = ref true in
   Fiber.join_all t.host.Host.eng
     (List.map
        (fun site () ->
          let xid = Rpc.fresh_xid t.rpc in
          let payload = Codec.encode_call ~xid call in
-         ignore (Rpc.call t.rpc ~timeout:2.0 ~dst:site ~dport:2049 payload))
-       sites)
+         match Rpc.call t.rpc ~span ~timeout:2.0 ~dst:site ~dport:2049 payload with
+         | (_ : bytes) -> ()
+         | exception Rpc.Timeout -> ok := false)
+       sites);
+  !ok
 
 (* Completion retires the intent from the in-memory table — the log
    already carries the completion record, so the table only ever holds
@@ -77,14 +87,17 @@ let retire t op_id (i : intent) =
   log_complete t op_id;
   Hashtbl.remove t.intents op_id
 
-let redo t op_id (i : intent) =
+(* Retire only when every participant acked the redo; otherwise keep the
+   intent and re-arm the probe — a partitioned participant must still see
+   its redo once the partition heals. *)
+let rec redo t op_id (i : intent) =
   if not i.completed then begin
     t.redo_count <- t.redo_count + 1;
-    fan_out t (nfs_call_for_redo i) i.participants;
-    retire t op_id i
+    if fan_out t (nfs_call_for_redo i) i.participants then retire t op_id i
+    else schedule_probe t op_id
   end
 
-let schedule_probe t op_id =
+and schedule_probe t op_id =
   Engine.schedule t.host.Host.eng t.probe_timeout (fun () ->
       if t.up then
         match Hashtbl.find_opt t.intents op_id with
@@ -127,14 +140,21 @@ let handle_msg t (pkt : Packet.t) =
         match (try Some (Ctrl.decode_msg pkt.payload) with Ctrl.Malformed -> None) with
         | None -> ()
         | Some (xid, msg) ->
+            let span =
+              Trace.child (Trace.span_of_xid t.trace xid) ~hop:"server"
+                ~site:(Host.name t.host) ()
+            in
             Host.cpu t.host cpu_cost;
-            let reply r = Nfs_endpoint.reply_to t.host pkt (Ctrl.encode_reply ~xid r) in
+            let reply r =
+              Trace.finish span;
+              Nfs_endpoint.reply_to t.host pkt (Ctrl.encode_reply ~xid r)
+            in
             (match msg with
             | Ctrl.Intent { op_id; kind; fh; participants } ->
                 let i = { kind; fh; participants; completed = false } in
                 Hashtbl.replace t.intents op_id i;
-                log_intent t op_id i;
-                Wal.sync t.wal;
+                log_intent ~span t op_id i;
+                Wal.sync ~span t.wal;
                 schedule_probe t op_id;
                 reply Ctrl.Ack
             | Ctrl.Complete { op_id } ->
@@ -146,17 +166,19 @@ let handle_msg t (pkt : Packet.t) =
                 let op_id = fresh_op t in
                 let i = { kind = Ctrl.K_remove; fh; participants = sites; completed = false } in
                 Hashtbl.replace t.intents op_id i;
-                log_intent t op_id i;
-                fan_out t (Nfs.Remove (fh, "")) sites;
-                retire t op_id i;
+                log_intent ~span t op_id i;
+                (* The intent is durable, so ack either way: a participant
+                   that missed the remove gets it from the probe/redo path. *)
+                if fan_out ~span t (Nfs.Remove (fh, "")) sites then retire t op_id i
+                else schedule_probe t op_id;
                 reply Ctrl.Ack
             | Ctrl.Commit_file { fh; sites } ->
                 let op_id = fresh_op t in
                 let i = { kind = Ctrl.K_commit; fh; participants = sites; completed = false } in
                 Hashtbl.replace t.intents op_id i;
-                log_intent t op_id i;
-                fan_out t (Nfs.Commit (fh, 0L, 0)) sites;
-                retire t op_id i;
+                log_intent ~span t op_id i;
+                if fan_out ~span t (Nfs.Commit (fh, 0L, 0)) sites then retire t op_id i
+                else schedule_probe t op_id;
                 reply Ctrl.Ack
             | Ctrl.Get_map { fh; first_block; count } -> (
                 match sites_for t fh (first_block + count - 1) with
@@ -170,7 +192,8 @@ let handle_msg t (pkt : Packet.t) =
                     in
                     reply (Ctrl.Map { first_block; sites }))))
 
-let attach host ?(port = 2050) ?(rpc_port = 2052) ?(probe_timeout = 0.5) ?(map_sites = [||]) () =
+let attach host ?(port = 2050) ?(rpc_port = 2052) ?(probe_timeout = 0.5) ?(map_sites = [||])
+    ?trace () =
   let wal =
     match host.Host.disk with
     | Some disk -> Wal.create ~eng:host.Host.eng ~disk ~name:"coord.wal" ()
@@ -181,6 +204,7 @@ let attach host ?(port = 2050) ?(rpc_port = 2052) ?(probe_timeout = 0.5) ?(map_s
       host;
       ctrl_port = port;
       rpc = Rpc.create host.Host.net host.Host.addr ~port:rpc_port;
+      trace;
       probe_timeout;
       map_sites;
       wal;

@@ -25,11 +25,13 @@ val attach :
   ?rpc_port:int ->
   ?probe_timeout:float ->
   ?map_sites:int array ->
+  ?trace:Slice_trace.Trace.t ->
   unit ->
   t
 (** [map_sites] are the storage-node addresses used when minting block-map
     entries (default: empty — Get_map then returns Nack). Default control
-    port 2050, probe timeout 0.5 s. *)
+    port 2050, probe timeout 0.5 s. With [trace], control messages whose
+    xid is bound to a request span record a ["server"] hop here. *)
 
 val addr : t -> Slice_net.Packet.addr
 val port : t -> int

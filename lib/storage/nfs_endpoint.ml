@@ -3,6 +3,7 @@ module Packet = Slice_net.Packet
 module Net = Slice_net.Net
 module Nfs = Slice_nfs.Nfs
 module Codec = Slice_nfs.Codec
+module Trace = Slice_trace.Trace
 
 type cost = { per_op : float; per_byte : float }
 
@@ -19,7 +20,7 @@ let request_data_bytes (call : Nfs.call) =
 let response_data_bytes (resp : Nfs.response) =
   match resp with Ok (Nfs.RRead (d, _, _)) -> Nfs.wdata_length d | _ -> 0
 
-let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ~handler () =
+let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ?trace ~handler () =
   (* Duplicate request cache: a retransmitted non-idempotent call (create,
      remove, rename, ...) whose reply was lost must get the cached reply,
      not a re-execution. Keyed by XID (globally unique here). *)
@@ -44,12 +45,20 @@ let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ~handler () =
                       (* a retransmission racing the original execution is
                          dropped; the eventual reply satisfies both *)
                       Hashtbl.replace in_flight xid ();
+                      let span =
+                        Trace.child (Trace.span_of_xid trace xid)
+                          ~op:(Nfs.call_name call) ~hop:"server" ~site:(Host.name host) ()
+                      in
                       let in_bytes = request_data_bytes call in
                       Host.cpu host (cost.per_op +. (cost.per_byte *. float_of_int in_bytes));
-                      let resp = handler call in
+                      let resp = handler span call in
                       let out_bytes = response_data_bytes resp in
                       if out_bytes > 0 then
                         Host.cpu host (cost.per_byte *. float_of_int out_bytes);
+                      let outcome =
+                        match resp with Ok _ -> "ok" | Error e -> Nfs.status_name e
+                      in
+                      Trace.finish ~outcome span;
                       let payload = Codec.encode_reply ~xid resp in
                       let extra_size = Codec.extra_size_of_response resp in
                       Hashtbl.remove in_flight xid;

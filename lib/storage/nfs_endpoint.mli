@@ -12,14 +12,22 @@ val serve :
   port:int ->
   cost:cost ->
   ?alive:(unit -> bool) ->
-  handler:(Slice_nfs.Nfs.call -> Slice_nfs.Nfs.response) ->
+  ?trace:Slice_trace.Trace.t ->
+  handler:(Slice_trace.Trace.span -> Slice_nfs.Nfs.call -> Slice_nfs.Nfs.response) ->
   unit ->
   unit
 (** The handler runs in a fiber and may use storage/cache/RPC operations
     that park. Malformed packets are dropped (the client retransmits).
     While [alive] (default: always) returns [false] the endpoint is
     silent — packets are swallowed without decode or reply, modeling a
-    crashed service whose clients recover by retransmission. *)
+    crashed service whose clients recover by retransmission.
+
+    With [trace], each executed request gets a ["server"] span covering
+    CPU charge + handler + reply encode, parented under the span bound
+    to the request's xid (see {!Slice_net.Rpc.call} and the µproxy);
+    its outcome is the NFS status. The span is handed to the handler so
+    deeper hops (disk, WAL) can nest under it; handlers get
+    {!Slice_trace.Trace.null} when tracing is off. *)
 
 val serve_raw :
   Host.t ->

@@ -1,6 +1,7 @@
 module Nfs = Slice_nfs.Nfs
 module Fh = Slice_nfs.Fh
 module Bcache = Slice_disk.Bcache
+module Trace = Slice_trace.Trace
 
 let block_size = Bcache.block_size
 
@@ -105,7 +106,11 @@ let authorized t (call : Nfs.call) =
           Slice_nfs.Cap.verify ~secret fh
       | _ -> true (* misdirected classes are rejected below anyway *))
 
-let handle t (call : Nfs.call) : Nfs.response =
+let handle t span (call : Nfs.call) : Nfs.response =
+  (* Synchronous cache/disk work records as a "disk" hop; asynchronous
+     readahead and write-behind stay untraced (they complete after the
+     request span closes). *)
+  let disk_timed f = Trace.timed span ~hop:"disk" ~site:(Host.name t.host) f in
   if not (authorized t call) then Error Nfs.ERR_PERM
   else
   match call with
@@ -121,9 +126,10 @@ let handle t (call : Nfs.call) : Nfs.response =
         if Int64.compare avail 0L <= 0 then 0 else min count (Int64.to_int (min avail (Int64.of_int count)))
       in
       let first, last = block_range ~off ~count in
-      for b = first to last do
-        Bcache.read t.cache ~obj:oid ~block:b
-      done;
+      disk_timed (fun () ->
+          for b = first to last do
+            Bcache.read t.cache ~obj:oid ~block:b
+          done);
       t.reads <- t.reads + 1;
       t.bytes_read <- t.bytes_read + count;
       let eof = Int64.compare (Int64.add off (Int64.of_int count)) o.size >= 0 in
@@ -140,20 +146,21 @@ let handle t (call : Nfs.call) : Nfs.response =
       let o = get_obj t oid in
       let len = Nfs.wdata_length data in
       let first, last = block_range ~off ~count:len in
-      for b = first to last do
-        Bcache.write t.cache ~obj:oid ~block:b
-      done;
+      disk_timed (fun () ->
+          for b = first to last do
+            Bcache.write t.cache ~obj:oid ~block:b
+          done);
       (match data with Nfs.Data s -> store_data o ~off s | Nfs.Synthetic _ -> ());
       let fin = Int64.add off (Int64.of_int len) in
       if Int64.compare fin o.size > 0 then o.size <- fin;
       t.writes <- t.writes + 1;
       t.bytes_written <- t.bytes_written + len;
-      if stable <> Nfs.Unstable then Bcache.commit t.cache ~obj:oid;
+      if stable <> Nfs.Unstable then disk_timed (fun () -> Bcache.commit t.cache ~obj:oid);
       Ok (Nfs.RWrite (len, stable, attr_of t fh o))
   | Nfs.Commit (fh, _off, _count) ->
       let oid = object_id_of_fh fh in
       let o = get_obj t oid in
-      Bcache.commit t.cache ~obj:oid;
+      disk_timed (fun () -> Bcache.commit t.cache ~obj:oid);
       Ok (Nfs.RCommit (attr_of t fh o))
   | Nfs.Remove (fh, _name) ->
       (* Object remove: the coordinator names the object by handle; the
@@ -179,7 +186,7 @@ let handle t (call : Nfs.call) : Nfs.response =
   | Nfs.Fsstat _ ->
       Error Nfs.ERR_NOTDIR
 
-let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret () =
+let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ?trace () =
   let disk = Host.disk_exn host in
   let t =
     {
@@ -204,7 +211,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ()
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = 40e-6; per_byte = 2.5e-9 }
     ~alive:(fun () -> t.up)
-    ~handler:(handle t) ();
+    ?trace ~handler:(handle t) ();
   t
 
 let crash t =

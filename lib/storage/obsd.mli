@@ -13,7 +13,9 @@
 
 type t
 
-val attach : Host.t -> ?port:int -> ?cache_bytes:int -> ?cap_secret:string -> unit -> t
+val attach :
+  Host.t -> ?port:int -> ?cache_bytes:int -> ?cap_secret:string ->
+  ?trace:Slice_trace.Trace.t -> unit -> t
 (** Attach the service to a host with a disk array. Default port 2049,
     default cache 256 MB (the paper's storage nodes had 256 MB RAM).
     With [cap_secret], every request's handle must carry a valid

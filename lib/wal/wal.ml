@@ -1,4 +1,5 @@
 module Engine = Slice_sim.Engine
+module Trace = Slice_trace.Trace
 
 let record_magic = 0x57414C52l (* "WALR" *)
 
@@ -9,6 +10,7 @@ type sink =
 
 type t = {
   sink : sink;
+  name : string;
   stable : Buffer.t; (* synced image *)
   pending : Buffer.t; (* appended but not yet synced *)
   mutable lsn : int64;
@@ -19,9 +21,10 @@ type t = {
   mutable sync_waiters : (unit -> unit) list;
 }
 
-let make sink =
+let make name sink =
   {
     sink;
+    name;
     stable = Buffer.create 4096;
     pending = Buffer.create 1024;
     lsn = 0L;
@@ -32,12 +35,15 @@ let make sink =
     sync_waiters = [];
   }
 
-let create ?eng ?disk ?sync_fn ~name:_ () =
+let create ?eng ?disk ?sync_fn ~name () =
   match (eng, disk, sync_fn) with
-  | Some eng, Some disk, None -> make (Disk (eng, disk))
-  | Some eng, None, Some fn -> make (Fn (eng, fn))
-  | None, None, None -> make Immediate
-  | Some _, None, None -> make Immediate
+  | Some eng, Some disk, None -> make name (Disk (eng, disk))
+  | Some eng, None, Some fn -> make name (Fn (eng, fn))
+  | None, None, None -> make name Immediate
+  | Some _, None, None ->
+      (* Silently dropping the engine here used to skip group commit
+         entirely — an engine only makes sense with a sink to drive. *)
+      invalid_arg "Wal.create: an engine needs a disk or a sync_fn"
   | _ -> invalid_arg "Wal.create: give a disk or a sync_fn, not both"
 
 (* Record: magic(4) lsn(8) rtype(4) len(4) payload crc(4); crc covers
@@ -75,7 +81,7 @@ let wake_waiters t =
    fibers arriving mid-round wait and (if anything new is pending) lead
    the next round. A record is stable exactly when [sync] returns to the
    fiber that appended it. *)
-let rec sync t =
+let rec sync ?(span = Trace.null) t =
   match t.sink with
   | Immediate ->
       if Buffer.length t.pending > 0 then begin
@@ -84,20 +90,24 @@ let rec sync t =
         t.synced <- t.lsn;
         t.syncs <- t.syncs + 1
       end
-  | Disk (eng, disk) -> sync_round t eng (fun n -> Slice_disk.Disk.write disk ~sequential:true ~bytes:n)
-  | Fn (eng, fn) -> sync_round t eng fn
+  | Disk (eng, disk) ->
+      sync_round t eng span (fun sp n ->
+          Slice_disk.Disk.write disk ~span:sp ~sequential:true ~bytes:n ())
+  | Fn (eng, fn) -> sync_round t eng span (fun _sp n -> fn n)
 
-and sync_round t eng write =
+and sync_round t eng span write =
   if t.sync_inflight then begin
     wait_round t eng;
-    sync t
+    sync ~span t
   end
   else if Buffer.length t.pending > 0 then begin
     t.sync_inflight <- true;
     let data = Buffer.contents t.pending in
     let covered_lsn = t.lsn in
     Buffer.clear t.pending;
-    write (String.length data);
+    let sp = Trace.child span ~hop:"wal" ~site:t.name () in
+    write sp (String.length data);
+    Trace.finish sp;
     Buffer.add_string t.stable data;
     if Int64.compare covered_lsn t.synced > 0 then t.synced <- covered_lsn;
     t.syncs <- t.syncs + 1;

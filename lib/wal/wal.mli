@@ -24,16 +24,22 @@ val create :
     sequential disk write of the unsynced bytes and parks the calling
     fiber. With [eng] and [sync_fn], sync calls [sync_fn byte_count] from
     a fiber — the hook dataless managers use to journal onto the network
-    storage array. Either way syncs are {e group commits}: one fiber leads
-    a round covering all pending records; concurrent callers wait for the
-    round that covers theirs. *)
+    storage array. [eng] without a disk or sync_fn is [invalid_arg]: an
+    engine only makes sense with a sink to drive (this combination used
+    to silently fall back to the instant log, skipping group commit).
+    Either way syncs are {e group commits}: one fiber leads a round
+    covering all pending records; concurrent callers wait for the round
+    that covers theirs. *)
 
 val append : t -> rtype:int -> string -> int64
 (** [append t ~rtype payload] buffers a record, returning its LSN.
     Not stable until {!sync}. *)
 
-val sync : t -> unit
-(** Fiber (when disk-backed): force buffered records stable. *)
+val sync : ?span:Slice_trace.Trace.span -> t -> unit
+(** Fiber (when disk-backed): force buffered records stable.  A live
+    [span] gets a ["wal"] child covering the commit round this caller
+    led (fibers that join an in-flight round record the round they then
+    lead, if any). *)
 
 val synced_lsn : t -> int64
 (** Highest LSN guaranteed stable. 0 when nothing is synced. *)

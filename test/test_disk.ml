@@ -12,7 +12,7 @@ let random_access_time () =
   run_fiber (fun eng ->
       let d = mk_disk eng () in
       let t0 = Engine.now eng in
-      Disk.read d ~sequential:false ~bytes:8192;
+      Disk.read d ~sequential:false ~bytes:8192 ();
       let dt = Engine.now eng -. t0 in
       (* seek + rotation + controller + media + channel: ~9.7ms; the
          calibration that gives ~104 random IOPS per arm *)
@@ -22,7 +22,7 @@ let sequential_access_cheap () =
   run_fiber (fun eng ->
       let d = mk_disk eng () in
       let t0 = Engine.now eng in
-      Disk.read d ~sequential:true ~bytes:8192;
+      Disk.read d ~sequential:true ~bytes:8192 ();
       let dt = Engine.now eng -. t0 in
       (* media + channel only: ~0.4 ms *)
       check_bool "sequential 8K < 1ms" true (dt < 1e-3))
@@ -33,7 +33,7 @@ let arms_in_parallel () =
   let done_at = ref 0.0 in
   for _ = 1 to 4 do
     Engine.spawn eng (fun () ->
-        Disk.read d ~sequential:false ~bytes:8192;
+        Disk.read d ~sequential:false ~bytes:8192 ();
         done_at := Float.max !done_at (Engine.now eng))
   done;
   Engine.run eng;
@@ -49,7 +49,7 @@ let channel_caps_bandwidth () =
   (* 16 MB of sequential reads: channel at 55 MB/s is the bottleneck *)
   Engine.spawn eng (fun () ->
       for _ = 1 to 64 do
-        Disk.read d ~sequential:true ~bytes:(256 * 1024)
+        Disk.read d ~sequential:true ~bytes:(256 * 1024) ()
       done;
       done_at := Engine.now eng);
   Engine.run eng;

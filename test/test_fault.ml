@@ -294,6 +294,62 @@ let specsfs_with_node_crash () =
   check_bool "crash actually bit" true (r.Chaos.fault_drops > 0);
   check_bool "recovery by retransmission" true (r.Chaos.retransmissions > 0)
 
+(* regression: a coordinator redo whose fan-out times out used to retire
+   the intent anyway after the first probe — a participant behind a
+   partition never saw its redo. The redo must re-arm the probe and only
+   retire once every participant acks. *)
+let coordinator_redo_waits_for_partition_heal () =
+  let module Coordinator = Slice_storage.Coordinator in
+  let module Ctrl = Slice_storage.Ctrl in
+  let eng = Engine.create () in
+  let net = Net.create eng () in
+  let hosts =
+    Array.init 2 (fun i ->
+        Host.create net ~name:(Printf.sprintf "cs%d" i) ~cpu_scale:1.6 ~disks:8 ())
+  in
+  let obsds = Array.map (fun h -> Obsd.attach h ()) hosts in
+  let coord =
+    Coordinator.attach hosts.(0) ~probe_timeout:0.2
+      ~map_sites:(Array.map (fun (h : Host.t) -> h.Host.addr) hosts)
+      ()
+  in
+  let client = Host.create net ~name:"cl" () in
+  let rpc = Rpc.create net client.Host.addr ~port:1000 in
+  let victim = hosts.(1).Host.addr in
+  let fh =
+    { Fh.file_id = 42L; gen = 1; ftype = Fh.Reg; mirrored = false; attr_site = 0; cap = 0L }
+  in
+  run_on eng (fun () ->
+      (* seed the object on the victim, then cut it off *)
+      let xid = Rpc.fresh_xid rpc in
+      ignore
+        (Rpc.call rpc ~dst:victim ~dport:2049
+           (Codec.encode_call ~xid (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Data "zz"))));
+      Net.set_partition net (fun n -> if n = victim then 1 else 0);
+      (* log a remove intent whose completion never arrives *)
+      let xid = Rpc.fresh_xid rpc in
+      (match
+         snd
+           (Ctrl.decode_reply
+              (Rpc.call rpc ~timeout:2.0 ~dst:(Coordinator.addr coord)
+                 ~dport:(Coordinator.port coord)
+                 (Ctrl.encode_msg ~xid
+                    (Ctrl.Intent
+                       { op_id = 99L; kind = Ctrl.K_remove; fh; participants = [ victim ] }))))
+       with
+      | Ctrl.Ack -> ()
+      | _ -> Alcotest.fail "intent not acked");
+      Engine.sleep eng 1.0;
+      (* the first probe fired into the partition: it must keep the intent *)
+      check_bool "redo attempted" true (Coordinator.redos coord >= 1);
+      check_int "intent survives failed redo" 1 (Coordinator.pending_intents coord);
+      check_bool "victim untouched behind partition" true
+        (Obsd.object_size obsds.(1) fh <> None);
+      Net.clear_partition net;
+      Engine.sleep eng 6.0;
+      check_int "intent retired after heal" 0 (Coordinator.pending_intents coord);
+      check_bool "remove reached the participant" true (Obsd.object_size obsds.(1) fh = None))
+
 let chaos_deterministic () =
   let cfg = { Chaos.default_config with crash_node = Some (Chaos.Dir 0) } in
   let r1 = Chaos.run_untar ~cfg () in
@@ -315,6 +371,7 @@ let suite =
     ("mirror failure not masked", `Quick, mirror_failure_not_masked);
     ("chaos: clean run is quiet", `Slow, clean_run_is_quiet);
     ("chaos: untar under loss", `Slow, untar_under_loss);
+    ("coordinator redo waits for partition heal", `Quick, coordinator_redo_waits_for_partition_heal);
     ("chaos: untar with node crash", `Slow, untar_with_node_crash);
     ("chaos: specsfs with node crash", `Slow, specsfs_with_node_crash);
     ("chaos: deterministic", `Slow, chaos_deterministic);

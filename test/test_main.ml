@@ -15,6 +15,7 @@ let () =
       ("proxy", Test_proxy.suite);
       ("metacache", Test_metacache.suite);
       ("fault", Test_fault.suite);
+      ("trace", Test_trace.suite);
       ("workload", Test_workload.suite);
       ("baseline", Test_baseline.suite);
       ("experiments", Test_experiments.suite);

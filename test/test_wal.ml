@@ -100,6 +100,14 @@ let group_commit () =
   check_int "all synced" 20 !done_count;
   check_bool "group commit batches" true (Wal.sync_count w < 20)
 
+let engine_without_sink_rejected () =
+  (* regression: ~eng with neither ~disk nor ~sync_fn used to be accepted
+     and silently dropped the engine, skipping group commit entirely *)
+  let eng = Engine.create () in
+  Alcotest.check_raises "engine needs a sink"
+    (Invalid_argument "Wal.create: an engine needs a disk or a sync_fn") (fun () ->
+      ignore (Wal.create ~eng ~name:"t" ()))
+
 let sync_fn_hook () =
   let eng = Engine.create () in
   let written = ref 0 in
@@ -118,5 +126,6 @@ let suite =
     ("checkpoint truncates", `Quick, checkpoint_truncates);
     ("disk-backed sync takes time", `Quick, disk_backed_sync_takes_time);
     ("group commit", `Quick, group_commit);
+    ("engine without sink rejected", `Quick, engine_without_sink_rejected);
     ("sync_fn hook", `Quick, sync_fn_hook);
   ]
