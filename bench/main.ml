@@ -193,6 +193,84 @@ let read_file path =
   close_in ic;
   s
 
+(* ---- scale-out perf artifact (BENCH_PR5.json): delivered throughput
+   before/after adding one server of each class under live load ---- *)
+
+let bench_pr5_path = "BENCH_PR5.json"
+
+let scale_bench_json (t : E.Scale.t) =
+  Json.Obj
+    [
+      ("schema_version", Json.Num 1.0);
+      ( "phases",
+        Json.Arr
+          (List.map
+             (fun (p : E.Scale.phase) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str p.E.Scale.ph_label);
+                   ("ops", Json.Num (float_of_int p.E.Scale.ph_ops));
+                   ("ops_per_sec", Json.Num p.E.Scale.ph_ops_s);
+                 ])
+             t.E.Scale.phases) );
+      ("sites_moved", Json.Num (float_of_int t.E.Scale.sites_moved));
+      ("bytes_copied", Json.Num (Int64.to_float t.E.Scale.bytes_copied));
+      ("audit_lost", Json.Num (float_of_int t.E.Scale.audit.E.Scale.aud_lost));
+      ( "audit_ownership_violations",
+        Json.Num
+          (float_of_int t.E.Scale.audit.E.Scale.aud_ownership_violations) );
+    ]
+
+(* Same re-parse-and-gate discipline as BENCH_PR2.json, plus the
+   substantive checks: the audit must be clean and throughput must rise
+   after every server addition. *)
+let validate_scale_json txt =
+  let problem = ref None in
+  let fail msg = problem := Some msg in
+  let num k o = match Json.member k o with Some (Json.Num v) -> Some v | _ -> None in
+  let is_str k o = match Json.member k o with Some (Json.Str _) -> true | _ -> false in
+  (match Json.of_string txt with
+  | exception Json.Parse_error m -> fail ("parse error: " ^ m)
+  | j -> (
+      match (Json.member "schema_version" j, Json.member "phases" j) with
+      | Some (Json.Num _), Some (Json.Arr phases) ->
+          if List.length phases < 2 then fail "want at least 2 phases";
+          List.iter
+            (fun p ->
+              if not (is_str "name" p && num "ops" p <> None && num "ops_per_sec" p <> None)
+              then fail "bad phase row: want {name, ops, ops_per_sec}")
+            phases;
+          (match (num "audit_lost" j, num "audit_ownership_violations" j) with
+          | Some 0.0, Some 0.0 -> ()
+          | Some _, Some _ -> fail "audit not clean: updates lost or duplicated"
+          | _ -> fail "missing audit keys");
+          (match num "sites_moved" j with
+          | Some v when v > 0.0 -> ()
+          | Some _ -> fail "no sites moved"
+          | None -> fail "missing sites_moved");
+          if num "bytes_copied" j = None then fail "missing bytes_copied";
+          let rates = List.filter_map (num "ops_per_sec") phases in
+          let rec monotone = function
+            | a :: (b :: _ as rest) -> a < b && monotone rest
+            | _ -> true
+          in
+          if not (monotone rates) then
+            fail "throughput did not rise after every server addition"
+      | _ -> fail "missing top-level keys {schema_version, phases}"));
+  match !problem with
+  | None -> true
+  | Some msg ->
+      Printf.eprintf "%s: validation failed: %s\n" bench_pr5_path msg;
+      false
+
+let write_scale_json t =
+  let oc = open_out bench_pr5_path in
+  output_string oc (Json.to_string (scale_bench_json t));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d phases)\n" bench_pr5_path
+    (List.length t.E.Scale.phases)
+
 (* ---- ablations ---- *)
 
 let hash_balance_ablation () =
@@ -327,6 +405,20 @@ let run_smoke () =
   write_bench_json ~micro ~exhibits;
   if validate_bench_json (read_file bench_json_path) then
     print_endline "bench smoke: BENCH_PR2.json schema OK"
+  else exit 1;
+  print_endline "bench smoke: scale-out (scale 0.1)";
+  let sc = E.Scale.compute ~scale:0.1 () in
+  (match sc.E.Scale.phases with
+  | first :: _ ->
+      let last = List.nth sc.E.Scale.phases (List.length sc.E.Scale.phases - 1) in
+      Printf.printf "  scale smoke: %.0f -> %.0f ops/s over %d phases, %d sites moved\n"
+        first.E.Scale.ph_ops_s last.E.Scale.ph_ops_s
+        (List.length sc.E.Scale.phases)
+        sc.E.Scale.sites_moved
+  | [] -> ());
+  write_scale_json sc;
+  if validate_scale_json (read_file bench_pr5_path) then
+    print_endline "bench smoke: BENCH_PR5.json OK"
   else exit 1
 
 let () =

@@ -117,18 +117,64 @@ let trace_cmd =
        ~doc:"Per-op-class latency by hop (proxy/network/server/disk) on the SPECsfs mix.")
     Term.(const run_trace $ scale_arg ~default:0.25 $ json)
 
+let run_scale scale json =
+  let t = E.Scale.compute ~scale () in
+  E.Report.print (E.Scale.report_of t);
+  match json with
+  | None -> ()
+  | Some path ->
+      write_file path (Slice_util.Json.to_string (E.Scale.json_of t));
+      Printf.printf "wrote %s\n%!" path
+
+let scale_cmd =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the scale-out report (phase throughput/latency, migration counts, post-run \
+             audit, reconfig metrics) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Online reconfiguration: add a server of each class under live load.")
+    Term.(
+      const (fun s j tj -> with_trace_dump tj (fun () -> run_scale s j))
+      $ scale_arg ~default:0.2 $ json $ trace_json_arg)
+
+(* Every exhibit in one table: its subcommand plus what `all` runs for it
+   ([None] = covered by another row — fig6 rides with fig5). Both the
+   CLI's command list and `all` derive from here, so a new exhibit shows
+   up in both by construction. *)
+let exhibits : (unit Cmd.t * (fast:float -> fast_points:int -> unit) option) list =
+  [
+    (table2_cmd, Some (fun ~fast ~fast_points:_ -> run_table2 (0.08 *. fast)));
+    (table3_cmd, Some (fun ~fast:_ ~fast_points:_ -> run_table3 0.05));
+    (fig3_cmd, Some (fun ~fast ~fast_points:_ -> run_fig3 (0.04 *. fast)));
+    (fig4_cmd, Some (fun ~fast ~fast_points:_ -> run_fig4 (0.03 *. fast)));
+    ( fig5_cmd,
+      Some
+        (fun ~fast ~fast_points ->
+          run_fig56 ~fig5:true ~fig6:true (0.01 *. fast) fast_points) );
+    (fig6_cmd, None);
+    (offload_cmd, Some (fun ~fast ~fast_points:_ -> run_offload (0.25 *. fast)));
+    (trace_cmd, Some (fun ~fast ~fast_points:_ -> run_trace (0.25 *. fast) None));
+    (scale_cmd, Some (fun ~fast ~fast_points:_ -> run_scale (0.2 *. fast) None));
+    (chaos_cmd, Some (fun ~fast:_ ~fast_points:_ -> run_chaos ()));
+  ]
+
 let all_cmd =
   let run fast trace_json =
     with_trace_dump trace_json (fun () ->
         let f = if fast then 0.5 else 1.0 in
-        run_table2 (0.08 *. f);
-        run_table3 0.05;
-        run_fig3 (0.04 *. f);
-        run_fig4 (0.03 *. f);
-        run_fig56 ~fig5:true ~fig6:true (0.01 *. f) (if fast then 3 else 4);
-        run_offload (0.25 *. f);
-        run_trace (0.25 *. f) None;
-        run_chaos ())
+        let points = if fast then 3 else 4 in
+        List.iter
+          (fun (_, action) ->
+            match action with
+            | Some g -> g ~fast:f ~fast_points:points
+            | None -> ())
+          exhibits)
   in
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Halve the default scales.") in
   Cmd.v (Cmd.info "all" ~doc:"Every table and figure.") Term.(const run $ fast $ trace_json_arg)
@@ -137,9 +183,6 @@ let main_cmd =
   let doc = "reproduce the evaluation of Slice (Interposed Request Routing, OSDI 2000)" in
   Cmd.group
     (Cmd.info "slice_sim" ~version:"1.0" ~doc)
-    [
-      table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; offload_cmd; trace_cmd;
-      chaos_cmd; all_cmd;
-    ]
+    (List.map fst exhibits @ [ all_cmd ])
 
 let () = exit (Cmd.eval main_cmd)

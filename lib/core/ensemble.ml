@@ -28,6 +28,14 @@ type config = {
   dir_costs : Dirserver.costs option;
   mirror_new_files : bool;
   secure_objects : bool;
+  dir_sites : int;
+  smallfile_sites : int;
+  storage_sites : int;
+      (** logical site counts per class — the rebalancing granularity,
+          fixed for the volume's lifetime (routing hashes are mod the
+          site count). 0 means one site per initial server, the
+          pre-reconfiguration identity mapping. Run more sites than
+          servers to leave headroom for {!add_dir_server} & co. *)
 }
 
 let default_config =
@@ -44,6 +52,9 @@ let default_config =
     dir_costs = None;
     mirror_new_files = false;
     secure_objects = false;
+    dir_sites = 0;
+    smallfile_sites = 0;
+    storage_sites = 0;
   }
 
 type t = {
@@ -52,11 +63,12 @@ type t = {
   net_ : Net.t;
   trace_ : Trace.t option;
   vaddr : Packet.addr;
-  storage_ : Obsd.t array;
-  storage_addrs : Packet.addr array;
+  mutable storage_ : Obsd.t array;
+  mutable storage_addrs : Packet.addr array;
+  st_tbl : Table.t option; (* logical storage site -> physical node *)
   coord : Coordinator.t option;
-  dirs_ : Dirserver.t array;
-  smallfiles_ : Smallfile.t array;
+  mutable dirs_ : Dirserver.t array;
+  mutable smallfiles_ : Smallfile.t array;
   dir_tbl : Table.t;
   sf_tbl : Table.t option;
   mutable next_client : int;
@@ -163,6 +175,90 @@ let drain_traces () =
   trace_registry := [];
   l
 
+(* Logical sites [0..sites), dealt round-robin over [servers]: server [i]
+   initially hosts every site congruent to it. With sites = servers this
+   is the identity mapping — the pre-reconfiguration deployments. *)
+let sites_owned_by ~servers ~sites i =
+  List.filter (fun j -> j mod servers = i) (List.init sites (fun k -> k))
+
+let coord_endpoint t _fh =
+  match t.coord with Some c -> Some (Coordinator.addr c, Coordinator.port c) | None -> None
+
+(* Physical storage nodes that may hold data of [fh], resolved through
+   the current storage table (distinct: several logical sites may live
+   on one node). *)
+let data_sites_of t (fh : Fh.t) =
+  match t.st_tbl with
+  | None -> []
+  | Some tbl ->
+      let l = Table.nsites tbl in
+      if fh.Fh.mirrored then begin
+        let r0, r1 = Routekey.mirror_sites ~nsites:l fh in
+        let a0 = Table.lookup tbl r0 and a1 = Table.lookup tbl r1 in
+        if a0 = a1 then [ a0 ] else [ a0; a1 ]
+      end
+      else List.sort_uniq Int.compare (Array.to_list (fst (Table.snapshot tbl)))
+
+let smallfile_site_of t (fh : Fh.t) =
+  match t.sf_tbl with
+  | Some tbl when t.cfg.proxy_params.Params.threshold > 0 ->
+      Some (Table.lookup tbl (Routekey.file_site ~nsites:(Table.nsites tbl) fh))
+  | _ -> None
+
+let attach_dir t ~idx ~host ~also_owns =
+  let l_dir = Table.nsites t.dir_tbl in
+  let config =
+    {
+      Dirserver.logical_id = idx;
+      nsites = l_dir;
+      policy = dir_policy t.cfg.proxy_params;
+      resolve = (fun logical -> Table.lookup t.dir_tbl (logical mod l_dir));
+      peer_port = 2051;
+      data_sites = data_sites_of t;
+      smallfile_site = smallfile_site_of t;
+      coordinator = coord_endpoint t;
+      mirror_new_files = t.cfg.mirror_new_files;
+      cap_secret = (if t.cfg.secure_objects then Some cap_secret else None);
+      also_owns;
+    }
+  in
+  Dirserver.attach host ?costs:t.cfg.dir_costs ?trace:t.trace_ config
+
+let smallfile_host t idx =
+  if Array.length t.storage_ > 0 then
+    Host.create t.net_ ~name:(Printf.sprintf "smallfile%d" idx) ()
+  else
+    (* standalone (no storage array): local disks stand in *)
+    Host.create t.net_ ~name:(Printf.sprintf "smallfile%d" idx) ~disks:t.cfg.disks_per_node ()
+
+(* Small-file servers are dataless managers: their backends route through
+   a storage-only µproxy on the manager's own host. *)
+let attach_smallfile t ~idx ~host ~sites =
+  let nsites = match t.sf_tbl with Some tbl -> Table.nsites tbl | None -> 1 in
+  if Array.length t.storage_ > 0 then begin
+    let storage_only = { t.cfg.proxy_params with Params.threshold = 0 } in
+    let _px : Proxy.t =
+      Proxy.install host ~params:storage_only ~seed:(t.cfg.seed + 100 + idx)
+        {
+          Proxy.virtual_addr = t.vaddr;
+          dir_table = t.dir_tbl;
+          smallfile_table = None;
+          storage = t.st_tbl;
+          coordinator = coord_endpoint t Fh.root;
+        }
+    in
+    let rpc = Rpc.create t.net_ host.Host.addr ~port:1900 in
+    let backend =
+      remote_backend t.eng rpc ~vaddr:t.vaddr ~secure:t.cfg.secure_objects ~sf_idx:idx
+        ~stripe_unit:t.cfg.proxy_params.Params.stripe_unit
+    in
+    Smallfile.attach host ~cache_bytes:t.cfg.smallfile_cache
+      ~threshold:t.cfg.proxy_params.Params.threshold ~nsites ~sites ~backend ?trace:t.trace_ ()
+  end
+  else
+    Smallfile.attach host ~cache_bytes:t.cfg.smallfile_cache
+      ~threshold:t.cfg.proxy_params.Params.threshold ~nsites ~sites ?trace:t.trace_ ()
+
 let create cfg =
   let eng = Engine.create () in
   let net_ = Net.create eng ?params:cfg.net_params ~seed:cfg.seed () in
@@ -173,6 +269,9 @@ let create cfg =
   in
   (match trace_ with Some tr -> trace_registry := tr :: !trace_registry | None -> ());
   let vaddr = Net.add_node net_ ~name:"virtual-nfs" in
+  let l_st = if cfg.storage_sites > 0 then cfg.storage_sites else cfg.storage_nodes in
+  let l_dir = if cfg.dir_sites > 0 then cfg.dir_sites else cfg.dir_servers in
+  let l_sf = if cfg.smallfile_sites > 0 then cfg.smallfile_sites else cfg.smallfile_servers in
   (* storage nodes: 733 MHz Xeon-class, 8-arm arrays *)
   let storage_hosts =
     Array.init cfg.storage_nodes (fun i ->
@@ -180,28 +279,38 @@ let create cfg =
           ~disks:cfg.disks_per_node ())
   in
   let storage_ =
-    Array.map
-      (fun h ->
+    Array.mapi
+      (fun i h ->
         Obsd.attach h ~cache_bytes:cfg.storage_cache
           ?cap_secret:(if cfg.secure_objects then Some cap_secret else None)
+          ~sites:(sites_owned_by ~servers:cfg.storage_nodes ~sites:l_st i)
           ?trace:trace_ ())
       storage_hosts
   in
   let storage_addrs = Array.map (fun (h : Host.t) -> h.Host.addr) storage_hosts in
-  let coord =
+  let st_tbl =
     if cfg.storage_nodes > 0 then
-      Some (Coordinator.attach storage_hosts.(0) ~map_sites:storage_addrs ?trace:trace_ ())
+      Some (Table.create (Array.init l_st (fun j -> storage_addrs.(j mod cfg.storage_nodes))))
     else None
   in
-  let coord_of _fh =
-    match coord with Some c -> Some (Coordinator.addr c, Coordinator.port c) | None -> None
+  let coord =
+    if cfg.storage_nodes > 0 then
+      (* the coordinator's block maps place chunks on logical sites; the
+         µproxies bind them to nodes through the storage table *)
+      Some
+        (Coordinator.attach storage_hosts.(0)
+           ~map_sites:(Array.init l_st (fun j -> j))
+           ?trace:trace_ ())
+    else None
   in
   (* directory servers: PC-class with a dedicated sequential log disk *)
   let dir_hosts =
     Array.init cfg.dir_servers (fun i ->
         Host.create net_ ~name:(Printf.sprintf "dir%d" i) ~disks:1 ())
   in
-  let dir_tbl = Table.create (Array.map (fun (h : Host.t) -> h.Host.addr) dir_hosts) in
+  let dir_tbl =
+    Table.create (Array.init l_dir (fun j -> (dir_hosts.(j mod cfg.dir_servers)).Host.addr))
+  in
   (* small-file servers *)
   let sf_hosts =
     Array.init cfg.smallfile_servers (fun i ->
@@ -213,41 +322,10 @@ let create cfg =
   in
   let sf_tbl =
     if cfg.smallfile_servers > 0 then
-      Some (Table.create (Array.map (fun (h : Host.t) -> h.Host.addr) sf_hosts))
+      Some
+        (Table.create
+           (Array.init l_sf (fun j -> (sf_hosts.(j mod cfg.smallfile_servers)).Host.addr)))
     else None
-  in
-  let sf_addrs = Array.map (fun (h : Host.t) -> h.Host.addr) sf_hosts in
-  let smallfile_site fh =
-    if Array.length sf_addrs = 0 || cfg.proxy_params.Params.threshold <= 0 then None
-    else Some sf_addrs.(Routekey.file_site ~nsites:(Array.length sf_addrs) fh)
-  in
-  let data_sites (fh : Fh.t) =
-    let n = Array.length storage_addrs in
-    if n = 0 then []
-    else if fh.Fh.mirrored then begin
-      let r0, r1 = Routekey.mirror_sites ~nsites:n fh in
-      if r0 = r1 then [ storage_addrs.(r0) ] else [ storage_addrs.(r0); storage_addrs.(r1) ]
-    end
-    else Array.to_list storage_addrs
-  in
-  let dirs_ =
-    Array.init cfg.dir_servers (fun i ->
-        let config =
-          {
-            Dirserver.logical_id = i;
-            nsites = cfg.dir_servers;
-            policy = dir_policy cfg.proxy_params;
-            resolve = (fun logical -> Table.lookup dir_tbl (logical mod cfg.dir_servers));
-            peer_port = 2051;
-            data_sites;
-            smallfile_site;
-            coordinator = coord_of;
-            mirror_new_files = cfg.mirror_new_files;
-            cap_secret = (if cfg.secure_objects then Some cap_secret else None);
-            also_owns = [];
-          }
-        in
-        Dirserver.attach dir_hosts.(i) ?costs:cfg.dir_costs ?trace:trace_ config)
   in
   (* small-file servers attach last: their dataless backends route through
      their own storage-only µproxies *)
@@ -260,8 +338,9 @@ let create cfg =
       vaddr;
       storage_;
       storage_addrs;
+      st_tbl;
       coord;
-      dirs_;
+      dirs_ = [||];
       smallfiles_ = [||];
       dir_tbl;
       sf_tbl;
@@ -269,40 +348,17 @@ let create cfg =
       client_proxies = [];
     }
   in
-  let smallfiles_ =
+  t.dirs_ <-
+    Array.init cfg.dir_servers (fun i ->
+        attach_dir t ~idx:i ~host:dir_hosts.(i)
+          ~also_owns:
+            (List.filter (fun j -> j <> i)
+               (sites_owned_by ~servers:cfg.dir_servers ~sites:l_dir i)));
+  t.smallfiles_ <-
     Array.init cfg.smallfile_servers (fun i ->
-        let host = sf_hosts.(i) in
-        if cfg.storage_nodes > 0 then begin
-          let storage_only =
-            {
-              cfg.proxy_params with
-              Params.threshold = 0;
-              name_policy = cfg.proxy_params.Params.name_policy;
-            }
-          in
-          let _px : Proxy.t =
-            Proxy.install host ~params:storage_only ~seed:(cfg.seed + 100 + i)
-              {
-                Proxy.virtual_addr = vaddr;
-                dir_table = dir_tbl;
-                smallfile_table = None;
-                storage = storage_addrs;
-                coordinator = coord_of Fh.root;
-              }
-          in
-          let rpc = Rpc.create net_ host.Host.addr ~port:1900 in
-          let backend =
-            remote_backend eng rpc ~vaddr ~secure:cfg.secure_objects ~sf_idx:i
-              ~stripe_unit:cfg.proxy_params.Params.stripe_unit
-          in
-          Smallfile.attach host ~cache_bytes:cfg.smallfile_cache
-            ~threshold:cfg.proxy_params.Params.threshold ~backend ?trace:trace_ ()
-        end
-        else
-          Smallfile.attach host ~cache_bytes:cfg.smallfile_cache
-            ~threshold:cfg.proxy_params.Params.threshold ?trace:trace_ ())
-  in
-  { t with smallfiles_ }
+        attach_smallfile t ~idx:i ~host:sf_hosts.(i)
+          ~sites:(sites_owned_by ~servers:cfg.smallfile_servers ~sites:l_sf i));
+  t
 
 let engine t = t.eng
 let net t = t.net_
@@ -321,7 +377,7 @@ let add_client t ~name:client_name =
         Proxy.virtual_addr = t.vaddr;
         dir_table = t.dir_tbl;
         smallfile_table = t.sf_tbl;
-        storage = t.storage_addrs;
+        storage = t.st_tbl;
         coordinator;
       }
   in
@@ -355,12 +411,50 @@ let recover_dir t i =
   Net.set_node_up t.net_ (Dirserver.addr t.dirs_.(i)) true;
   Dirserver.recover t.dirs_.(i)
 
+(* ---- elastic scaling ----
+   New servers join owning no logical sites; the reconfiguration control
+   plane ([Slice_reconfig]) migrates sites onto them and republishes the
+   routing tables. Indices returned are stable (arrays only grow). *)
+
+let add_storage_node t =
+  let i = Array.length t.storage_ in
+  let host =
+    Host.create t.net_ ~name:(Printf.sprintf "storage%d" i) ~cpu_scale:1.6
+      ~disks:t.cfg.disks_per_node ()
+  in
+  let s =
+    Obsd.attach host ~cache_bytes:t.cfg.storage_cache
+      ?cap_secret:(if t.cfg.secure_objects then Some cap_secret else None)
+      ~sites:[] ?trace:t.trace_ ()
+  in
+  t.storage_ <- Array.append t.storage_ [| s |];
+  t.storage_addrs <- Array.append t.storage_addrs [| host.Host.addr |];
+  i
+
+let add_dir_server t =
+  let i = Array.length t.dirs_ in
+  let host = Host.create t.net_ ~name:(Printf.sprintf "dir%d" i) ~disks:1 () in
+  let d = attach_dir t ~idx:i ~host ~also_owns:[] in
+  (* attach claims the server's namesake site; a late joiner starts
+     empty-handed instead — sites arrive by migration *)
+  Dirserver.disown_site d i;
+  t.dirs_ <- Array.append t.dirs_ [| d |];
+  i
+
+let add_smallfile_server t =
+  let i = Array.length t.smallfiles_ in
+  let host = smallfile_host t i in
+  let s = attach_smallfile t ~idx:i ~host ~sites:[] in
+  t.smallfiles_ <- Array.append t.smallfiles_ [| s |];
+  i
+
 let storage t = t.storage_
 let coordinator t = t.coord
 let dirs t = t.dirs_
 let smallfiles t = t.smallfiles_
 let dir_table t = t.dir_tbl
 let smallfile_table t = t.sf_tbl
+let storage_table t = t.st_tbl
 let config t = t.cfg
 let client_proxies t = List.rev t.client_proxies
 

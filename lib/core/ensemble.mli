@@ -30,6 +30,14 @@ type config = {
       (** seal NASD-style capability tags into minted handles and make the
           storage nodes verify them (the µproxy stays outside the trust
           boundary; see {!Slice_nfs.Cap}) *)
+  dir_sites : int;
+  smallfile_sites : int;
+  storage_sites : int;
+      (** logical site counts per class — the rebalancing granularity,
+          fixed for the volume's lifetime. 0 (the default) means one site
+          per initial server; run more sites than servers to leave
+          headroom for elastic scaling ({!add_dir_server} & co. plus
+          [Slice_reconfig]). *)
 }
 
 val default_config : config
@@ -71,7 +79,22 @@ val dirs : t -> Slice_dir.Dirserver.t array
 val smallfiles : t -> Slice_smallfile.Smallfile.t array
 val dir_table : t -> Table.t
 val smallfile_table : t -> Table.t option
+
+val storage_table : t -> Table.t option
+(** Logical storage site -> physical node binding shared with every
+    µproxy; [None] when the ensemble has no storage class. *)
+
 val config : t -> config
+
+(** {2 Elastic scaling}
+
+    New servers join owning no logical sites: the reconfiguration control
+    plane ({!Slice_reconfig}) migrates sites onto them and republishes
+    the routing tables. Each returns the new server's index. *)
+
+val add_storage_node : t -> int
+val add_dir_server : t -> int
+val add_smallfile_server : t -> int
 
 val client_proxies : t -> Proxy.t list
 (** µproxies installed by {!add_client}, in creation order (the

@@ -18,7 +18,7 @@ type targets = {
   virtual_addr : Packet.addr;
   dir_table : Table.t;
   smallfile_table : Table.t option;
-  storage : Packet.addr array;
+  storage : Table.t option;
   coordinator : (Packet.addr * int) option;
 }
 
@@ -43,6 +43,11 @@ type pending = {
   p_born : float; (* arrival time; refreshed by each client retransmit *)
   p_epoch : int; (* meta_epoch at forward time: replies from before an
                     invalidation must not (re)populate the metadata cache *)
+  p_tblv : int * int * int; (* (dir, smallfile, storage) table versions at
+                               forward time: a bounce with unchanged
+                               versions means the move has not committed
+                               yet, so the retry must back off *)
+  p_retries : int; (* misdirect retries already spent on this request *)
   mutable p_mirror_left : int;
   mutable p_worst : int; (* worst NFS status seen across mirror acks *)
   p_span : Trace.span; (* request root; finished when the reply leaves *)
@@ -79,9 +84,11 @@ type t = {
   attrs : (int64, cached_attr) Lru.t;
   name_cache : (int64 * string, Fh.t option) Lru.t;
       (* (dir file-id, component) -> handle; None is a negative entry *)
-  map_cache : (int64, int * Packet.addr array) Lru.t;
-      (* file-id -> (generation, per-chunk placement); the generation
-         guards against a recycled file-id routing I/O to old sites *)
+  map_cache : (int64, int * int array) Lru.t;
+      (* file-id -> (generation, per-chunk logical storage site); the
+         generation guards against a recycled file-id routing I/O to old
+         sites. Entries are logical, so a migration never invalidates
+         them — the site is bound to a physical node at forward time. *)
   intents_open : (int64, int64) Hashtbl.t;
   mutable meta_epoch : int;
   (* private snapshots (hints) of the routing tables *)
@@ -89,6 +96,8 @@ type t = {
   mutable dir_version : int;
   mutable sf_map : Packet.addr array;
   mutable sf_version : int;
+  mutable st_map : Packet.addr array;
+  mutable st_version : int;
   (* Table 3 phase accounting *)
   mutable t_intercept : float;
   mutable t_decode : float;
@@ -217,12 +226,20 @@ let refresh_tables t =
   let m, v = Table.snapshot t.tg.dir_table in
   t.dir_map <- m;
   t.dir_version <- v;
-  match t.tg.smallfile_table with
+  (match t.tg.smallfile_table with
   | Some tbl ->
       let m, v = Table.snapshot tbl in
       t.sf_map <- m;
       t.sf_version <- v
+  | None -> ());
+  match t.tg.storage with
+  | Some tbl ->
+      let m, v = Table.snapshot tbl in
+      t.st_map <- m;
+      t.st_version <- v
   | None -> ()
+
+let table_versions t = (t.dir_version, t.sf_version, t.st_version)
 
 (* ---- forwarding ---- *)
 
@@ -256,7 +273,7 @@ let rec arm_sweep t =
         if Hashtbl.length t.pending > 0 then arm_sweep t)
   end
 
-let remember t (peek : Codec.peek) ~span ~klass ~orig ~rd_site ~mirrors =
+let remember t (peek : Codec.peek) ~span ~klass ~orig ~rd_site ~mirrors ~retries =
   (* a client retransmit replaces the record: close the superseded tree *)
   (match Hashtbl.find_opt t.pending peek.Codec.xid with
   | Some old ->
@@ -276,6 +293,8 @@ let remember t (peek : Codec.peek) ~span ~klass ~orig ~rd_site ~mirrors =
       p_rd_site = rd_site;
       p_born = Engine.now t.eng;
       p_epoch = t.meta_epoch;
+      p_tblv = table_versions t;
+      p_retries = retries;
       p_mirror_left = mirrors;
       p_worst = 0;
       p_span = span;
@@ -297,14 +316,18 @@ let patch_offset t (c : cost) (pkt : Packet.t) (peek : Codec.peek) v =
 
 (* ---- commit orchestration ---- *)
 
+(* Physical storage nodes that may hold data of [fh], resolved through
+   the current table snapshot (distinct: several logical sites can live
+   on one node). *)
 let storage_sites_of t (fh : Fh.t) =
-  let n = Array.length t.tg.storage in
+  let n = Array.length t.st_map in
   if n = 0 then []
   else if fh.Fh.mirrored then begin
     let r0, r1 = Routekey.mirror_sites ~nsites:n fh in
-    if r0 = r1 then [ t.tg.storage.(r0) ] else [ t.tg.storage.(r0); t.tg.storage.(r1) ]
+    let a0 = t.st_map.(r0) and a1 = t.st_map.(r1) in
+    if a0 = a1 then [ a0 ] else [ a0; a1 ]
   end
-  else Array.to_list t.tg.storage
+  else List.sort_uniq Int.compare (Array.to_list t.st_map)
 
 let smallfile_dst t (fh : Fh.t) =
   if t.p.Params.threshold <= 0 || Array.length t.sf_map = 0 then None
@@ -402,31 +425,34 @@ let name_logical t (peek : Codec.peek) (fh : Fh.t) =
           mod nsites)
   | _ -> fh.Fh.attr_site mod nsites
 
-let route_name t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~orig =
+let route_name t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~orig ~retries =
   let site = name_logical t peek fh in
   t.n_dir <- t.n_dir + 1;
   if site < Array.length t.dir_hist then t.dir_hist.(site) <- t.dir_hist.(site) + 1;
-  (* readdir under name hashing: strip the site from the cookie before
-     forwarding. *)
-  (if peek.Codec.proc = 16 && t.p.Params.name_policy = Params.Name_hashing then
-     let local = Int64.logand (Option.value ~default:0L peek.Codec.offset) 0xFFFFFFFFL in
-     patch_offset t c pkt peek local);
-  remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:site ~mirrors:1;
+  (* readdir cookies travel tagged: the directory server decodes the
+     (site, local-cookie) pair itself and owns-gates the site, so a
+     server hosting several logical sites iterates the right one. *)
+  remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:site ~mirrors:1 ~retries;
   forward t c pkt ~dst:(dir_phys t site)
 
-let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~orig =
+(* Bulk I/O routing. Storage placement is logical-site based: the chosen
+   logical site is encoded into the wire offset's high bits
+   ([Routekey.site_offset]) so a node hosting several logical sites keeps
+   their extents apart, then bound to a physical node through the current
+   table snapshot. *)
+let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~orig ~retries =
   let off = Option.value ~default:0L peek.Codec.offset in
   match smallfile_dst t fh with
   | Some dst when Int64.compare off (Int64.of_int t.p.Params.threshold) < 0 ->
       t.n_smallfile <- t.n_smallfile + 1;
-      remember t peek ~span:c.c_span ~klass:KSmallfile ~orig ~rd_site:0 ~mirrors:1;
+      remember t peek ~span:c.c_span ~klass:KSmallfile ~orig ~rd_site:0 ~mirrors:1 ~retries;
       forward t c pkt ~dst
   | _ ->
-      let n = Array.length t.tg.storage in
+      let n = Array.length t.st_map in
       if n = 0 then begin
         (* No storage class configured: let a directory server reject it. *)
         t.n_dir <- t.n_dir + 1;
-        remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
+        remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:0 ~mirrors:1 ~retries;
         forward t c pkt ~dst:(dir_phys t 0)
       end
       else if fh.Fh.mirrored then begin
@@ -435,9 +461,10 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
         if peek.Codec.proc = 6 then begin
           (* mirrored read: alternate between the replicas to balance load *)
           let site = if chunk land 1 = 0 then r0 else r1 in
+          patch_offset t c pkt peek (Routekey.site_offset ~site off);
           t.n_storage <- t.n_storage + 1;
-          remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
-          forward t c pkt ~dst:t.tg.storage.(site)
+          remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1 ~retries;
+          forward t c pkt ~dst:t.st_map.(site)
         end
         else begin
           (* mirrored write: duplicate to both replicas *)
@@ -445,9 +472,10 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
           t.n_storage <- t.n_storage + 1;
           t.n_mirror_dup <- t.n_mirror_dup + 1;
           remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0
-            ~mirrors:(if r0 = r1 then 1 else 2);
+            ~mirrors:(if r0 = r1 then 1 else 2) ~retries;
           let copy = Packet.copy pkt in
-          forward t c pkt ~dst:t.tg.storage.(r0);
+          patch_offset t c pkt peek (Routekey.site_offset ~site:r0 off);
+          forward t c pkt ~dst:t.st_map.(r0);
           if r1 <> r0 then begin
             let c2 = { c_total = 0.0; c_span = c.c_span } in
             (* duplicate emission: requeue + checksum share of the data *)
@@ -455,7 +483,8 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
               (t.p.Params.rewrite_cost
               +. (t.p.Params.mirror_dup_cost_per_byte
                  *. float_of_int (Option.value ~default:0 peek.Codec.count)));
-            forward t c2 copy ~dst:t.tg.storage.(r1)
+            patch_offset t c2 copy peek (Routekey.site_offset ~site:r1 off);
+            forward t c2 copy ~dst:t.st_map.(r1)
           end
         end
       end
@@ -464,26 +493,31 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
         let chunk = Routekey.chunk_of_offset ~stripe_unit:su off in
         let static_route () =
           let site = Routekey.stripe_site ~nsites:n ~stripe_unit:su fh off in
-          patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
+          patch_offset t c pkt peek
+            (Routekey.site_offset ~site (Routekey.local_offset ~nsites:n ~stripe_unit:su off));
           t.n_storage <- t.n_storage + 1;
-          remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
-          forward t c pkt ~dst:t.tg.storage.(site)
+          remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1 ~retries;
+          forward t c pkt ~dst:t.st_map.(site)
         in
         match t.p.Params.io_policy with
         | Params.Static_striping -> static_route ()
         | Params.Block_map -> (
             match Lru.find t.map_cache fh.Fh.file_id with
             | Some (g, map) when g = fh.Fh.gen && chunk < Array.length map ->
-                patch_offset t c pkt peek (Routekey.local_offset ~nsites:n ~stripe_unit:su off);
+                let site = map.(chunk) mod n in
+                patch_offset t c pkt peek
+                  (Routekey.site_offset ~site
+                     (Routekey.local_offset ~nsites:n ~stripe_unit:su off));
                 t.n_storage <- t.n_storage + 1;
-                remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1;
-                forward t c pkt ~dst:map.(chunk)
+                remember t peek ~span:c.c_span ~klass:KStorage ~orig ~rd_site:0 ~mirrors:1
+                  ~retries;
+                forward t c pkt ~dst:t.st_map.(site)
             | _ ->
                 (* Map-fragment miss (including a generation mismatch from
                    a recycled file-id): fetch from the coordinator, then
                    re-route the absorbed request (the µproxy "interacts
                    with the coordinators to fetch and cache fragments of
-                   the block maps"). *)
+                   the block maps"). Map entries are logical sites. *)
                 t.n_map_fetch <- t.n_map_fetch + 1;
                 charge t c `Softstate t.p.Params.softstate_cost;
                 after_cpu t c (fun () ->
@@ -499,9 +533,9 @@ let rec route_io t (c : cost) (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) ~
                             Lru.add t.map_cache fh.Fh.file_id
                               ( fh.Fh.gen,
                                 Array.init (chunk + 64) (fun b ->
-                                    t.tg.storage.((Routekey.file_site ~nsites:n fh + b) mod n)) ));
+                                    (Routekey.file_site ~nsites:n fh + b) mod n) ));
                         let c2 = { c_total = 0.0; c_span = c.c_span } in
-                        route_io t c2 pkt peek fh ~orig)))
+                        route_io t c2 pkt peek fh ~orig ~retries)))
       end
 
 (* ---- metadata fast path ----
@@ -671,7 +705,7 @@ let op_of_proc = function
   | 21 -> "commit"
   | _ -> "other"
 
-let handle_request t (pkt : Packet.t) =
+let handle_request ?(retries = 0) t (pkt : Packet.t) =
   t.n_intercepted <- t.n_intercepted + 1;
   let c = { c_total = 0.0; c_span = Trace.null } in
   charge t c `Intercept t.p.Params.intercept_cost;
@@ -690,19 +724,20 @@ let handle_request t (pkt : Packet.t) =
       | None ->
           (* NULL: any directory server can answer *)
           t.n_dir <- t.n_dir + 1;
-          remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:0 ~mirrors:1;
+          remember t peek ~span:c.c_span ~klass:KName ~orig ~rd_site:0 ~mirrors:1 ~retries;
           forward t c pkt ~dst:(dir_phys t 0)
       | Some fh -> (
           match peek.Codec.proc with
-          | 6 | 7 when fh.Fh.ftype = Fh.Reg -> route_io t c pkt peek fh ~orig
+          | 6 | 7 when fh.Fh.ftype = Fh.Reg -> route_io t c pkt peek fh ~orig ~retries
           | 21 when fh.Fh.ftype = Fh.Reg ->
               charge t c `Softstate t.p.Params.softstate_cost;
               after_cpu t c (fun () -> orchestrate_commit t ~span:c.c_span pkt peek fh)
           | (1 | 3 | 4) when meta_enabled t ->
-              if not (try_meta_fast_path t c pkt peek fh) then route_name t c pkt peek fh ~orig
+              if not (try_meta_fast_path t c pkt peek fh) then
+                route_name t c pkt peek fh ~orig ~retries
           | _ ->
               invalidate_meta t peek fh;
-              route_name t c pkt peek fh ~orig))
+              route_name t c pkt peek fh ~orig ~retries))
 
 (* ---- reply handling ---- *)
 
@@ -713,12 +748,20 @@ let reply_status (payload : bytes) =
 (* Retry a bounced request after refreshing the routing tables. Every
    request class keeps its pristine payload, so any bounce can be
    re-routed instead of silently swallowed. *)
-let retry_misdirected t (pd : pending) (client_pkt : Packet.t) =
+let retry_misdirected ?(retries = 0) t (pd : pending) (client_pkt : Packet.t) =
   let pkt =
     Packet.make ~src:client_pkt.Packet.dst ~dst:t.tg.virtual_addr ~sport:client_pkt.Packet.dport
       ~dport:2049 (Bytes.copy pd.p_orig)
   in
-  handle_request t pkt
+  handle_request ~retries t pkt
+
+(* A bounce that a refresh could not explain (the table versions did not
+   change) means a migration is mid-drain: the move has not committed
+   yet, so an immediate retry would bounce right back. Back off a little
+   and retry; after the budget is spent, drop the request and let the
+   client's own RPC retransmission drive the next attempt. *)
+let misdirect_retry_limit = 8
+let misdirect_retry_delay = 0.01
 
 (* readdir iteration across hash sites: translate local cookies into
    (site, cookie) pairs and splice sites together at EOF boundaries. *)
@@ -899,11 +942,21 @@ let handle_reply t (pkt : Packet.t) (pd : pending) =
     let st = reply_status pkt.Packet.payload in
     if st = 20001 || pd.p_worst = 20001 then begin
       t.n_stale <- t.n_stale + 1;
+      (* a bounced storage request may have been routed by a stale block
+         map fragment: refetch it on the retry *)
+      (match (pd.p_klass, pd.p_fh) with
+      | KStorage, Some fh -> Lru.remove t.map_cache fh.Fh.file_id
+      | _ -> ());
       refresh_tables t;
+      let moved = table_versions t <> pd.p_tblv in
       after_cpu t c (fun () ->
           (* the retry re-enters routing and opens a fresh root *)
           Trace.finish ~outcome:"bounced" pd.p_span;
-          retry_misdirected t pd pkt);
+          if moved then retry_misdirected t pd pkt
+          else if pd.p_retries < misdirect_retry_limit then
+            Engine.schedule t.eng
+              (misdirect_retry_delay *. float_of_int (pd.p_retries + 1))
+              (fun () -> retry_misdirected ~retries:(pd.p_retries + 1) t pd pkt));
       None
     end
     else if pd.p_worst > 0 && st = 0 then begin
@@ -974,6 +1027,9 @@ let install host ?(params = Params.default) ?(seed = 7) ?trace targets =
   let sf_map, sf_version =
     match targets.smallfile_table with Some tbl -> Table.snapshot tbl | None -> ([||], 0)
   in
+  let st_map, st_version =
+    match targets.storage with Some tbl -> Table.snapshot tbl | None -> ([||], 0)
+  in
   (* Evicted dirty attributes must be pushed back to their directory
      server; the eviction hook needs the proxy record, which needs the
      cache — tie the knot through a forward reference. *)
@@ -1009,6 +1065,8 @@ let install host ?(params = Params.default) ?(seed = 7) ?trace targets =
       dir_version;
       sf_map;
       sf_version;
+      st_map;
+      st_version;
       t_intercept = 0.0;
       t_decode = 0.0;
       t_rewrite = 0.0;

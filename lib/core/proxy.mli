@@ -43,7 +43,9 @@ type targets = {
   virtual_addr : Slice_net.Packet.addr;
   dir_table : Table.t;
   smallfile_table : Table.t option;
-  storage : Slice_net.Packet.addr array;
+  storage : Table.t option;
+      (** logical storage site -> physical node; [None] when the ensemble
+          runs without a storage class *)
   coordinator : (Slice_net.Packet.addr * int) option;
 }
 

@@ -12,10 +12,23 @@ let lookup t i =
 
 let version t = t.version
 
+(* The logical site count is fixed at creation by design, not accident:
+   it is the rebalancing granularity.  Reconfiguration moves load by
+   rebinding logical sites to different physical servers; growing the
+   site count would change every routing hash (name_site/file_site are
+   [mod nsites]) and thus the home of every existing entry.  Deployments
+   therefore create more logical sites than servers and scale by
+   remapping (Section 3.3.1: "multiple logical sites may map to the same
+   physical server, leaving flexibility for reconfiguration"). *)
 let update t map =
   if Array.length map <> Array.length t.map then
     invalid_arg "Table.update: logical site count is fixed";
-  t.map <- Array.copy map;
-  t.version <- t.version + 1
+  (* Idempotent commits are a no-op: re-publishing an unchanged mapping
+     must not bump the version, or every µproxy bounce would trigger a
+     spurious refresh storm after each control-plane pass. *)
+  if map <> t.map then begin
+    t.map <- Array.copy map;
+    t.version <- t.version + 1
+  end
 
 let snapshot t = (Array.copy t.map, t.version)

@@ -21,9 +21,15 @@ val lookup : t -> int -> Slice_net.Packet.addr
 val version : t -> int
 
 val update : t -> Slice_net.Packet.addr array -> unit
-(** Reconfiguration: rebind logical sites to physical servers. Must keep
-    the same number of logical sites.
-    @raise Invalid_argument otherwise. *)
+(** Reconfiguration: rebind logical sites to physical servers, bumping
+    the version so stale µproxy snapshots refresh on their next bounce.
+    Publishing a mapping identical to the current one is a no-op (no
+    version bump): idempotent control-plane commits must not cause
+    refresh storms. Must keep the same number of logical sites — the
+    site count is the rebalancing granularity, fixed at creation because
+    the routing hashes are [mod nsites] (growing it would rehome every
+    entry); deployments run more logical sites than servers instead.
+    @raise Invalid_argument on a length change. *)
 
 val snapshot : t -> Slice_net.Packet.addr array * int
 (** Copy of the mapping plus its version, for a µproxy's private hint. *)

@@ -50,12 +50,16 @@ type t = {
   rpc : Rpc.t;
   trace : Trace.t option;
   mutable owned : int list; (* logical sites this server currently hosts *)
+  draining : (int, unit) Hashtbl.t; (* sites mid-migration: reads ok, updates bounce *)
+  site_ops : (int, int ref) Hashtbl.t; (* per-site request load, for rebalancing *)
   mutable wal : Wal.t;
   mutable next_file : int;
   mutable next_op : int64;
   mutable ops : int;
   mutable peer_ops : int;
   mutable peer_calls : int;
+  mutable drain_bounces : int;
+  mutable misdirect_bounces : int;
   mutable up : bool;
 }
 
@@ -69,6 +73,11 @@ let rt_prepare = 5
 let rt_commit = 6
 let rt_applied = 7
 let rt_snapshot = 8
+
+(* A snapshot imported from another server's journal (site migration):
+   applied as a merge into this server's cells, never as a reset — a
+   receiver's own state must survive replaying an adopted journal. *)
+let rt_merge_snapshot = 9
 
 let enc_cell e fid (c : cell) =
   Enc.u64 e fid;
@@ -142,7 +151,11 @@ let fresh_op t =
   t.next_op <- Int64.add t.next_op 1L;
   t.next_op
 
-let mint_fh t ~ftype ~mirrored =
+(* [attr_site] must be a logical site this server currently owns (and is
+   not draining), or the minted handle's attribute ops would bounce.  The
+   fileID keeps the server's own id as residue so ids stay volume-unique
+   no matter how sites move. *)
+let mint_fh t ~ftype ~mirrored ~attr_site =
   t.next_file <- t.next_file + 1;
   let fh =
     {
@@ -150,13 +163,24 @@ let mint_fh t ~ftype ~mirrored =
       gen = 1;
       ftype;
       mirrored;
-      attr_site = t.cfg.logical_id;
+      attr_site;
       cap = 0L;
     }
   in
   match t.cfg.cap_secret with
   | Some secret -> Slice_nfs.Cap.seal ~secret fh
   | None -> fh
+
+(* Preferred site for cells not tied to an entry site: the server's own
+   primary when it still owns it (the pre-reconfiguration behavior),
+   otherwise its lowest owned non-draining site. *)
+let mint_site t =
+  let usable s = List.mem s t.owned && not (Hashtbl.mem t.draining s) in
+  if usable t.cfg.logical_id then t.cfg.logical_id
+  else
+    match List.sort compare (List.filter (fun s -> not (Hashtbl.mem t.draining s)) t.owned) with
+    | s :: _ -> s
+    | [] -> t.cfg.logical_id
 
 let attr_of_cell (c : cell) =
   match c.attr.Nfs.ftype with
@@ -171,6 +195,18 @@ let entry_site t (dfh : Fh.t) name =
 let local_cell t fid = Hashtbl.find_opt t.attrs fid
 
 let owns t site = List.mem site t.owned
+let is_draining t site = Hashtbl.mem t.draining site
+
+let note_site t site =
+  let r =
+    match Hashtbl.find_opt t.site_ops site with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.site_ops site r;
+        r
+  in
+  incr r
 
 (* ---- peer communication ---- *)
 
@@ -272,15 +308,40 @@ let bump_parent ?(span = Trace.null) t (dfh : Fh.t) delta =
 
 let misdirected = Error Nfs.ERR_MISDIRECTED
 
-let check_entry_site t dfh name ok =
-  if owns t (entry_site t dfh name) then ok () else misdirected
+let bounce t site =
+  if owns t site && is_draining t site then t.drain_bounces <- t.drain_bounces + 1
+  else t.misdirect_bounces <- t.misdirect_bounces + 1;
+  misdirected
+
+(* Read path: a draining site keeps answering. *)
+let check_read_site t site ok =
+  if owns t site then begin
+    note_site t site;
+    ok ()
+  end
+  else bounce t site
+
+(* Update path: a draining site bounces so no name-space update can land
+   behind a migration's back; the µproxy retries after the move commits
+   or aborts. *)
+let check_write_site t site ok =
+  if owns t site && not (is_draining t site) then begin
+    note_site t site;
+    ok ()
+  end
+  else bounce t site
+
+let check_entry_site t dfh name ok = check_read_site t (entry_site t dfh name) ok
+let check_entry_site_w t dfh name ok = check_write_site t (entry_site t dfh name) ok
 
 let do_create ?(span = Trace.null) t (dfh : Fh.t) name ~ftype ~symlink =
   if dfh.Fh.ftype <> Fh.Dir then Error Nfs.ERR_NOTDIR
   else if Hashtbl.mem t.entries (dfh.Fh.file_id, name) then Error Nfs.ERR_EXIST
   else begin
     let mirrored = ftype = Fh.Reg && t.cfg.mirror_new_files in
-    let fh = mint_fh t ~ftype ~mirrored in
+    (* The attribute cell lives on the entry's own site, so a migration
+       of that site carries entry and attrs together. *)
+    let fh = mint_fh t ~ftype ~mirrored ~attr_site:(entry_site t dfh name) in
     let attr = Nfs.default_attr ~ftype ~fileid:fh.Fh.file_id ~now:(now t) in
     let c = { attr; entries = 0; symlink } in
     Hashtbl.replace t.attrs fh.Fh.file_id c;
@@ -296,7 +357,7 @@ let do_create ?(span = Trace.null) t (dfh : Fh.t) name ~ftype ~symlink =
    to host the orphaned directory; mint it here, then install the name
    entry at the parent's site as a two-phase peer update. *)
 let do_remote_mkdir ?(span = Trace.null) t (dfh : Fh.t) name =
-  let fh = mint_fh t ~ftype:Fh.Dir ~mirrored:false in
+  let fh = mint_fh t ~ftype:Fh.Dir ~mirrored:false ~attr_site:(mint_site t) in
   let attr = Nfs.default_attr ~ftype:Fh.Dir ~fileid:fh.Fh.file_id ~now:(now t) in
   let c = { attr; entries = 0; symlink = None } in
   Hashtbl.replace t.attrs fh.Fh.file_id c;
@@ -349,14 +410,12 @@ let handle t span (call : Nfs.call) : Nfs.response =
   match call with
   | Nfs.Null -> Ok Nfs.RNull
   | Nfs.Getattr fh ->
-      if not (owns t fh.Fh.attr_site) then misdirected
-      else (
+      check_read_site t fh.Fh.attr_site (fun () ->
         match local_cell t fh.Fh.file_id with
         | Some c -> Ok (Nfs.RGetattr (attr_of_cell c))
         | None -> Error Nfs.ERR_STALE)
   | Nfs.Setattr (fh, s) ->
-      if not (owns t fh.Fh.attr_site) then misdirected
-      else (
+      check_write_site t fh.Fh.attr_site (fun () ->
         match local_cell t fh.Fh.file_id with
         | None -> Error Nfs.ERR_STALE
         | Some c ->
@@ -382,41 +441,46 @@ let handle t span (call : Nfs.call) : Nfs.response =
                 | Ok a -> Ok (Nfs.RLookup (child, a))
                 | Error st -> Error st))
   | Nfs.Access (fh, mode) ->
-      if not (owns t fh.Fh.attr_site) then misdirected
-      else (
+      check_read_site t fh.Fh.attr_site (fun () ->
         match local_cell t fh.Fh.file_id with
         | Some c -> Ok (Nfs.RAccess (mode, attr_of_cell c))
         | None -> Error Nfs.ERR_STALE)
   | Nfs.Readlink fh ->
-      if not (owns t fh.Fh.attr_site) then misdirected
-      else (
+      check_read_site t fh.Fh.attr_site (fun () ->
         match local_cell t fh.Fh.file_id with
         | Some ({ symlink = Some target; _ } as c) -> Ok (Nfs.RReadlink (target, attr_of_cell c))
         | Some _ -> Error Nfs.ERR_IO
         | None -> Error Nfs.ERR_STALE)
   | Nfs.Create (dfh, name) ->
-      check_entry_site t dfh name (fun () ->
+      check_entry_site_w t dfh name (fun () ->
           match do_create ~span t dfh name ~ftype:Fh.Reg ~symlink:None with
           | Ok (fh, a) -> Ok (Nfs.RCreate (fh, a))
           | Error st -> Error st)
   | Nfs.Mkdir (dfh, name) ->
       if dfh.Fh.ftype <> Fh.Dir then Error Nfs.ERR_NOTDIR
-      else if owns t (entry_site t dfh name) then (
-        match do_create ~span t dfh name ~ftype:Fh.Dir ~symlink:None with
-        | Ok (fh, a) -> Ok (Nfs.RMkdir (fh, a))
-        | Error st -> Error st)
-      else (
-        (* µproxy redirected this mkdir here on purpose. *)
-        match do_remote_mkdir ~span t dfh name with
-        | Ok (fh, a) -> Ok (Nfs.RMkdir (fh, a))
-        | Error st -> Error st)
+      else begin
+        let es = entry_site t dfh name in
+        if owns t es then
+          if is_draining t es then bounce t es
+          else begin
+            note_site t es;
+            match do_create ~span t dfh name ~ftype:Fh.Dir ~symlink:None with
+            | Ok (fh, a) -> Ok (Nfs.RMkdir (fh, a))
+            | Error st -> Error st
+          end
+        else (
+          (* µproxy redirected this mkdir here on purpose. *)
+          match do_remote_mkdir ~span t dfh name with
+          | Ok (fh, a) -> Ok (Nfs.RMkdir (fh, a))
+          | Error st -> Error st)
+      end
   | Nfs.Symlink (dfh, name, target) ->
-      check_entry_site t dfh name (fun () ->
+      check_entry_site_w t dfh name (fun () ->
           match do_create ~span t dfh name ~ftype:Fh.Lnk ~symlink:(Some target) with
           | Ok (fh, a) -> Ok (Nfs.RSymlink (fh, a))
           | Error st -> Error st)
   | Nfs.Remove (dfh, name) ->
-      check_entry_site t dfh name (fun () ->
+      check_entry_site_w t dfh name (fun () ->
           match Hashtbl.find_opt t.entries (dfh.Fh.file_id, name) with
           | None -> Error Nfs.ERR_NOENT
           | Some child when child.Fh.ftype = Fh.Dir -> Error Nfs.ERR_ISDIR
@@ -431,7 +495,7 @@ let handle t span (call : Nfs.call) : Nfs.response =
                       Ok Nfs.RRemove
                   | Error _ -> Ok Nfs.RRemove)))
   | Nfs.Rmdir (dfh, name) ->
-      check_entry_site t dfh name (fun () ->
+      check_entry_site_w t dfh name (fun () ->
           match Hashtbl.find_opt t.entries (dfh.Fh.file_id, name) with
           | None -> Error Nfs.ERR_NOENT
           | Some child when child.Fh.ftype <> Fh.Dir -> Error Nfs.ERR_NOTDIR
@@ -447,7 +511,7 @@ let handle t span (call : Nfs.call) : Nfs.response =
                         ignore (bump_nlink ~span t child (-a.Nfs.nlink));
                         Ok Nfs.RRmdir)))
   | Nfs.Rename (odfh, oname, ndfh, nname) ->
-      check_entry_site t odfh oname (fun () ->
+      check_entry_site_w t odfh oname (fun () ->
           match Hashtbl.find_opt t.entries (odfh.Fh.file_id, oname) with
           | None -> Error Nfs.ERR_NOENT
           | Some child -> (
@@ -461,7 +525,7 @@ let handle t span (call : Nfs.call) : Nfs.response =
                       ignore (bump_nlink ~span t child 0);
                       Ok Nfs.RRename)))
   | Nfs.Link (file, ndfh, nname) ->
-      check_entry_site t ndfh nname (fun () ->
+      check_entry_site_w t ndfh nname (fun () ->
           if file.Fh.ftype = Fh.Dir then Error Nfs.ERR_ISDIR
           else
             match add_entry_somewhere ~span t ndfh nname file with
@@ -473,13 +537,34 @@ let handle t span (call : Nfs.call) : Nfs.response =
   | Nfs.Readdir (dfh, cookie, count) ->
       if dfh.Fh.ftype <> Fh.Dir then Error Nfs.ERR_NOTDIR
       else begin
+        (* Under name hashing the µproxy iterates the directory site by
+           site, tagging the requested site into the cookie's high bits;
+           decode it, serve only that site's entries (one server may own
+           several sites) and answer with the site-local cookie — the
+           µproxy re-tags it. Under mkdir switching all of a directory's
+           entries live at its attribute site. *)
+        let site, start =
+          match t.cfg.policy with
+          | Mkdir_switching -> (dfh.Fh.attr_site, Int64.to_int cookie)
+          | Name_hashing ->
+              ( Int64.to_int (Int64.shift_right_logical cookie 32) mod t.cfg.nsites,
+                Int64.to_int (Int64.logand cookie 0xFFFF_FFFFL) )
+        in
+        if not (owns t site) then bounce t site
+        else begin
+        note_site t site;
         let names =
           match Hashtbl.find_opt t.dir_index dfh.Fh.file_id with
           | None -> []
           | Some tbl -> List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
         in
+        let names =
+          match t.cfg.policy with
+          | Mkdir_switching -> names
+          | Name_hashing ->
+              List.filter (fun (name, _) -> entry_site t dfh name = site) names
+        in
         let total = List.length names in
-        let start = Int64.to_int cookie in
         let rec take i acc = function
           | [] -> List.rev acc
           | _ when i >= start + count -> List.rev acc
@@ -496,6 +581,7 @@ let handle t span (call : Nfs.call) : Nfs.response =
         let entries = take 0 [] names in
         let next = min total (start + count) in
         Ok (Nfs.RReaddir (entries, Int64.of_int next, next >= total))
+        end
       end
   | Nfs.Fsstat _ ->
       Ok
@@ -658,12 +744,18 @@ let attach host ?(port = 2049) ?(costs = default_costs) ?trace cfg =
       prepares = Hashtbl.create 16;
       rpc = Rpc.create host.Host.net host.Host.addr ~port:2053;
       owned = cfg.logical_id :: cfg.also_owns;
+      (* lint: bounded — sites mid-migration; cleared on commit/abort/crash *)
+      draining = Hashtbl.create 4;
+      (* lint: bounded — one row per logical directory site *)
+      site_ops = Hashtbl.create 4;
       wal = make_wal host;
       next_file = 1;
       next_op = Int64.of_int (cfg.logical_id * 100_000_000);
       ops = 0;
       peer_ops = 0;
       peer_calls = 0;
+      drain_bounces = 0;
+      misdirect_bounces = 0;
       up = true;
     }
   in
@@ -700,6 +792,9 @@ let reset_volatile t =
 
 let crash t =
   t.up <- false;
+  (* A drain in progress is volatile control-plane state: the migration
+     aborts and the recovered server serves the site normally again. *)
+  Hashtbl.reset t.draining;
   let image = Wal.image t.wal in
   reset_volatile t;
   let wal = make_wal t.host in
@@ -736,8 +831,11 @@ let apply_record t ~rtype payload =
   end
   else if rtype = rt_commit then Hashtbl.remove t.prepares (Dec.u64 d)
   else if rtype = rt_applied then Hashtbl.replace t.applied (Dec.u64 d) ()
-  else if rtype = rt_snapshot then begin
-    reset_volatile t;
+  else if rtype = rt_snapshot || rtype = rt_merge_snapshot then begin
+    (* A server's own snapshot replaces its state wholesale; a snapshot
+       imported from another server's journal merges into it (the
+       receiver's own sites must survive the replay). *)
+    if rtype = rt_snapshot then reset_volatile t;
     let n_cells = Dec.u32 d in
     for _ = 1 to n_cells do
       let fid, c = dec_cell d in
@@ -778,18 +876,56 @@ let recover t =
 
 let log_image t = Wal.image t.wal
 
+(* Replay another server's journal into this one, journaling every
+   imported record locally so this server's own log stays self-contained
+   (no checkpoint needed before a later crash). Snapshot records are
+   downgraded to merge-snapshots: an import must never reset the
+   receiver's own cells, here or on any later replay of its log.
+   [skip] resumes a previous import: the first [skip] records of [log]
+   are assumed already imported (journals are append-only, so a second
+   pass over a fresher image of the same journal applies exactly the
+   delta). Returns the record count consumed, to pass as the next
+   [skip]. Does not sync — callers decide when to harden. *)
+let import_log ?(skip = 0) t ~log:image =
+  let seen = ref 0 in
+  ignore
+    (Wal.replay image (fun ~lsn:_ ~rtype payload ->
+         let n = !seen in
+         incr seen;
+         if n >= skip then begin
+           let rtype = if rtype = rt_snapshot then rt_merge_snapshot else rtype in
+           log t rtype payload;
+           try apply_record t ~rtype payload with Slice_xdr.Xdr.Truncated -> ()
+         end));
+  !seen
+
+let sync_journal t = sync_log t
+
+let own_site t site = if not (List.mem site t.owned) then t.owned <- site :: t.owned
+
+let disown_site t site =
+  t.owned <- List.filter (fun s -> s <> site) t.owned;
+  Hashtbl.remove t.draining site
+
+let begin_drain t site = Hashtbl.replace t.draining site ()
+let end_drain t site = Hashtbl.remove t.draining site
+
+let site_load t site =
+  match Hashtbl.find_opt t.site_ops site with Some r -> !r | None -> 0
+
+let drain_bounces t = t.drain_bounces
+let misdirect_bounces t = t.misdirect_bounces
+
 (* Failover (Section 2.3): "a surviving site assumes the role of a failed
    server, recovering its state from shared storage". [adopt_site] replays
    the failed server's surviving journal into this server's cells and
    starts answering for its logical site; the external routing table is
    then rebound to this server. *)
 let adopt_site t ~site ~log =
-  ignore
-    (Wal.replay log (fun ~lsn:_ ~rtype payload ->
-         try apply_record t ~rtype payload with Slice_xdr.Xdr.Truncated -> ()));
-  if not (List.mem site t.owned) then t.owned <- site :: t.owned
-  (* the caller checkpoints afterwards, folding the adopted state into
-     this server's own journal so a later crash recovers both sites *)
+  ignore (import_log t ~log);
+  own_site t site
+  (* the caller may checkpoint afterwards to compact the imported records
+     into a single snapshot of this server's journal *)
 
 let checkpoint t =
   let payload =

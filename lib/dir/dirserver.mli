@@ -100,10 +100,39 @@ val log_image : t -> string
 val adopt_site : t -> site:int -> log:string -> unit
 (** Failover: replay a failed peer's journal into this server and begin
     serving its logical site as well. Rebind the routing table to this
-    server afterwards; call {!checkpoint} to fold the adopted state into
-    this server's own journal. *)
+    server afterwards. Equivalent to {!import_log} + {!own_site}. *)
+
+val import_log : ?skip:int -> t -> log:string -> int
+(** Replay another server's journal image into this server, journaling
+    every imported record locally (snapshot records are downgraded to
+    merge-snapshots so the import can never reset this server's own
+    cells, now or on a later replay). [skip] resumes a previous import of
+    the same append-only journal: the first [skip] records are assumed
+    already applied, so a second pass over a fresher image applies
+    exactly the delta — how a migration catches up, atomically in sim
+    time, after its bulk transfer. Returns the records consumed (the
+    next [skip]). Does not sync; see {!sync_journal}. *)
+
+val sync_journal : t -> unit
+(** Force the journal stable (parks the calling fiber when disk-backed). *)
 
 val owned_sites : t -> int list
+val own_site : t -> int -> unit
+val disown_site : t -> int -> unit
+
+val begin_drain : t -> int -> unit
+(** Enter the drain phase for a moving site: reads keep being answered,
+    name-space updates bounce with [SLICE_MISDIRECTED]. Draining is
+    volatile: {!crash} clears it, so an aborted migration's donor serves
+    the site again after recovery. *)
+
+val end_drain : t -> int -> unit
+
+val site_load : t -> int -> int
+(** Requests served for the site since attach (rebalancing signal). *)
+
+val drain_bounces : t -> int
+val misdirect_bounces : t -> int
 
 val crash : t -> unit
 (** Drop all volatile state; only synced log records survive. *)

@@ -1,0 +1,47 @@
+(** Scale-out exhibit: elastic scaling under live load. A running
+    SPECsfs-style mix keeps issuing while the reconfiguration control
+    plane ({!Slice_reconfig.Reconfig}) adds one server of each class and
+    rebalances logical sites onto it; measurement windows bracket each
+    addition, and a post-run audit proves no update was lost or
+    duplicated. Same seed, byte-identical {!json_of} output. *)
+
+type phase = {
+  ph_label : string;
+  ph_ops : int;
+  ph_ops_s : float;
+  ph_lat : Slice_util.Stats.t array;
+      (** per request class: name, smallfile, storage *)
+  ph_stale : int;  (** µproxy bounce-refreshes during the window *)
+  ph_drain : int;  (** donor drain bounces during the window *)
+}
+
+type audit = {
+  aud_checked : int;  (** names and byte ranges re-verified *)
+  aud_lost : int;  (** failed or short — must be 0 *)
+  aud_ownership_violations : int;
+      (** logical sites without exactly one owner backing the published
+          table entry — must be 0 *)
+}
+
+type t = {
+  phases : phase list;
+  trans_ops : int;  (** ops completed while a migration was in flight *)
+  migrations : int;
+  sites_moved : int;
+  aborted : int;
+  bytes_copied : int64;
+  drain_bounces : int;
+  audit : audit;
+  rc_metrics : Slice_util.Json.t;
+}
+
+val compute : ?scale:float -> ?seed:int -> unit -> t
+(** [scale] multiplies file-set sizes and window lengths (default 1.0;
+    tests use a fraction). *)
+
+val report_of : t -> Report.t
+val json_of : t -> Slice_util.Json.t
+(** Deterministic rendering (sorted keys, run-order phases) — the
+    [scale-report.json] artifact CI diffs across same-seed runs. *)
+
+val report : ?scale:float -> unit -> Report.t

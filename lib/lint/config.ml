@@ -29,7 +29,10 @@ let repo =
        metrics registry, whose dumps must be byte-stable across runs. *)
     d2_scope =
       (fun f ->
-        any_prefix [ "lib/experiments/"; "bench/"; "examples/"; "lib/trace/" ] f
+        any_prefix
+          [ "lib/experiments/"; "bench/"; "examples/"; "lib/trace/";
+            "lib/reconfig/" ]
+          f
         || List.mem f [ "lib/util/stats.ml"; "lib/util/metrics.ml" ]);
     (* Long-lived proxy/server modules: state here survives across
        requests, so every Hashtbl needs a bound or a bounded pragma. *)
@@ -47,6 +50,7 @@ let repo =
             "lib/storage/obsd.ml";
             "lib/storage/nfs_endpoint.ml";
             "lib/smallfile/smallfile.ml";
+            "lib/reconfig/reconfig.ml";
             "lib/util/lru.ml";
             "lib/util/metrics.ml";
             "lib/trace/trace.ml";

@@ -20,3 +20,17 @@ let mirror_sites ~nsites fh =
   let r0 = file_site ~nsites fh in
   if nsites < 2 then (r0, r0)
   else (r0, (r0 + 1 + ((nsites - 1) / 2)) mod nsites)
+
+(* Logical sites can outnumber storage nodes, and reconfiguration may
+   bind several sites to one node.  The wire offset therefore carries the
+   logical site in its high bits: the node decodes it to keep each site's
+   subobject separate (so co-located or migrating sites never collide in
+   one object's offset space) while the low bits stay the dense node-local
+   sequence the prefetcher wants. *)
+let site_stride = 1_099_511_627_776L (* 2^40: far above any object size *)
+
+let site_offset ~site local =
+  Int64.add (Int64.mul (Int64.of_int site) site_stride) local
+
+let offset_site off = Int64.to_int (Int64.div off site_stride)
+let offset_local off = Int64.rem off site_stride

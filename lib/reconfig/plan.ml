@@ -1,0 +1,19 @@
+type klass = Dir | Smallfile | Storage
+
+type t = Add_server of klass | Remove_server of klass * int | Rebalance
+
+let klass_name = function
+  | Dir -> "dir"
+  | Smallfile -> "smallfile"
+  | Storage -> "storage"
+
+let klass_of_name = function
+  | "dir" -> Some Dir
+  | "smallfile" -> Some Smallfile
+  | "storage" -> Some Storage
+  | _ -> None
+
+let describe = function
+  | Add_server k -> Printf.sprintf "add %s server" (klass_name k)
+  | Remove_server (k, i) -> Printf.sprintf "remove %s server %d" (klass_name k) i
+  | Rebalance -> "rebalance all classes"

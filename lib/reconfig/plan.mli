@@ -1,0 +1,33 @@
+(** Reconfiguration plans: the operator-facing vocabulary of the online
+    control plane. A plan names {e intent} ("grow the storage class");
+    {!Reconfig.execute} turns it into a deterministic sequence of
+    logical-site migrations. *)
+
+type klass = Dir | Smallfile | Storage
+(** The three request classes of the Slice ensemble, each with its own
+    routing table and logical-site space. *)
+
+type t =
+  | Add_server of klass
+      (** Provision one more server of the class and rebalance the
+          class's logical sites onto it. The new server joins owning no
+          sites; everything it serves arrives by migration. *)
+  | Remove_server of klass * int
+      (** Decommission server [idx] of the class: migrate every logical
+          site it owns to the remaining servers, leaving it empty. The
+          host stays in the ensemble but receives no further traffic
+          once the routing table stops naming it. *)
+  | Rebalance
+      (** Re-spread the logical sites of every class by observed
+          per-site load (least-loaded-bucket greedy with a
+          keep-in-place tie-break, so a balanced ensemble is a fixed
+          point and repeated rebalances are idempotent). *)
+
+val klass_name : klass -> string
+(** ["dir"], ["smallfile"] or ["storage"] — used in metric names, trace
+    spans and the intent log. *)
+
+val klass_of_name : string -> klass option
+
+val describe : t -> string
+(** One-line human-readable rendering for reports and logs. *)

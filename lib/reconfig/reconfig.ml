@@ -1,0 +1,423 @@
+(* Online reconfiguration: migrate logical sites between live servers
+   and republish the routing tables. See reconfig.mli for the state
+   machine and crash matrix; the short version is
+
+     intend (log Begin) -> drain (donor bounces writes) ->
+     copy (modelled transfer occupies simulated time) ->
+     commit (atomic: replay delta, flip ownership, rebind table, log
+     Commit)  |  abort (lift drain, log Abort, table untouched).
+
+   All state transfer happens inside the atomic commit step, so a crash
+   anywhere leaves the site wholly on one side. *)
+
+module Engine = Slice_sim.Engine
+module Net = Slice_net.Net
+module Packet = Slice_net.Packet
+module Metrics = Slice_util.Metrics
+module Trace = Slice_trace.Trace
+module Wal = Slice_wal.Wal
+module Ensemble = Slice.Ensemble
+module Table = Slice.Table
+module Dirserver = Slice_dir.Dirserver
+module Smallfile = Slice_smallfile.Smallfile
+module Obsd = Slice_storage.Obsd
+
+exception Abandoned
+
+(* Intent-log record types. *)
+let rt_begin = 1
+let rt_commit = 2
+let rt_abort = 3
+
+(* Fixed per-migration setup cost (control messages, drain install), so
+   even an empty site's move occupies simulated time. *)
+let setup_latency = 0.0005
+
+(* One vocabulary over the three server classes: everything migrate
+   needs, closed over the ensemble so elastic growth (which replaces the
+   server arrays) is always visible. [prepare] runs at drain time and
+   returns an opaque cookie for [copy_commit] (the directory class
+   snapshots the donor journal there for the two-pass replay);
+   [copy_commit] runs inside the atomic commit step and returns the
+   bytes streamed. *)
+type class_ops = {
+  kname : string;
+  table : Table.t;
+  nservers : unit -> int;
+  addr : int -> Packet.addr;
+  begin_drain : int -> int -> unit;
+  end_drain : int -> int -> unit;
+  own : int -> int -> unit;
+  disown : int -> int -> unit;
+  drop : int -> int -> unit;
+  site_load : int -> int -> int;
+  drain_bounces : unit -> int;
+  add_server : unit -> int;
+  prepare : donor:int -> site:int -> string;
+  copy_bytes : donor:int -> site:int -> cookie:string -> int64;
+  copy_commit : donor:int -> recv:int -> site:int -> cookie:string -> int64;
+}
+
+type t = {
+  ens : Ensemble.t;
+  eng : Engine.t;
+  net : Net.t;
+  trace : Trace.t option;
+  wal : Wal.t;  (* migration intent log (coordinator stable storage) *)
+  reg : Metrics.t;
+  bandwidth : float;  (* modelled copy rate, bytes per simulated second *)
+  dir_ops : class_ops;
+  sf_ops : class_ops option;
+  st_ops : class_ops option;
+  mutable next_op : int;
+  mutable n_migrations : int;
+  mutable n_moved : int;
+  mutable n_aborted : int;
+  mutable n_bytes : int64;
+}
+
+let load_key kname site = Printf.sprintf "reconfig.load.%s.%03d" kname site
+
+(* Physical owner (server index) of a logical site, resolved through the
+   authoritative table. *)
+let owner_of ops site =
+  let a = Table.lookup ops.table site in
+  let n = ops.nservers () in
+  let rec go i = if i >= n then -1 else if ops.addr i = a then i else go (i + 1) in
+  go 0
+
+(* Rebind one site; idempotent commits publish nothing (Table.update
+   skips the version bump on an identical mapping). *)
+let set_site ops site addr =
+  let map, _v = Table.snapshot ops.table in
+  if map.(site) <> addr then begin
+    map.(site) <- addr;
+    Table.update ops.table map
+  end
+
+let dir_class ens =
+  let servers () = Ensemble.dirs ens in
+  {
+    kname = "dir";
+    table = Ensemble.dir_table ens;
+    nservers = (fun () -> Array.length (servers ()));
+    addr = (fun i -> Dirserver.addr (servers ()).(i));
+    begin_drain = (fun i s -> Dirserver.begin_drain (servers ()).(i) s);
+    end_drain = (fun i s -> Dirserver.end_drain (servers ()).(i) s);
+    own = (fun i s -> Dirserver.own_site (servers ()).(i) s);
+    disown = (fun i s -> Dirserver.disown_site (servers ()).(i) s);
+    drop = (fun _ _ -> ());
+    (* cells replayed into a receiver that never commits are inert:
+       ownership gating keeps them unreachable *)
+    site_load = (fun i s -> Dirserver.site_load (servers ()).(i) s);
+    drain_bounces =
+      (fun () ->
+        Array.fold_left (fun a d -> a + Dirserver.drain_bounces d) 0 (servers ()));
+    add_server = (fun () -> Ensemble.add_dir_server ens);
+    prepare = (fun ~donor ~site:_ -> Dirserver.log_image (servers ()).(donor));
+    copy_bytes =
+      (fun ~donor:_ ~site:_ ~cookie -> Int64.of_int (String.length cookie));
+    copy_commit =
+      (fun ~donor ~recv ~site:_ ~cookie ->
+        (* Two-pass journal replay: the bulk image snapshotted at drain
+           time, then exactly the delta the donor admitted (for its
+           other sites — the moving one was draining) during the copy. *)
+        let d = (servers ()).(donor) and r = (servers ()).(recv) in
+        let consumed = Dirserver.import_log r ~log:cookie in
+        let img = Dirserver.log_image d in
+        ignore (Dirserver.import_log ~skip:consumed r ~log:img);
+        Int64.of_int (String.length img));
+  }
+
+let sf_class ens =
+  match Ensemble.smallfile_table ens with
+  | None -> None
+  | Some table ->
+      let servers () = Ensemble.smallfiles ens in
+      Some
+        {
+          kname = "smallfile";
+          table;
+          nservers = (fun () -> Array.length (servers ()));
+          addr = (fun i -> Smallfile.addr (servers ()).(i));
+          begin_drain = (fun i s -> Smallfile.begin_drain (servers ()).(i) s);
+          end_drain = (fun i s -> Smallfile.end_drain (servers ()).(i) s);
+          own = (fun i s -> Smallfile.own_site (servers ()).(i) s);
+          disown = (fun i s -> Smallfile.disown_site (servers ()).(i) s);
+          drop = (fun i s -> Smallfile.drop_site (servers ()).(i) s);
+          site_load = (fun i s -> Smallfile.site_load (servers ()).(i) s);
+          drain_bounces =
+            (fun () ->
+              Array.fold_left
+                (fun a d -> a + Smallfile.drain_bounces d)
+                0 (servers ()));
+          add_server = (fun () -> Ensemble.add_smallfile_server ens);
+          prepare = (fun ~donor:_ ~site:_ -> "");
+          copy_bytes =
+            (fun ~donor ~site ~cookie:_ ->
+              Smallfile.site_bytes (servers ()).(donor) site);
+          copy_commit =
+            (fun ~donor ~recv ~site ~cookie:_ ->
+              let img = Smallfile.export_site (servers ()).(donor) site in
+              Smallfile.import_site (servers ()).(recv) site img;
+              Smallfile.image_bytes img);
+        }
+
+let st_class ens =
+  match Ensemble.storage_table ens with
+  | None -> None
+  | Some table ->
+      let servers () = Ensemble.storage ens in
+      Some
+        {
+          kname = "storage";
+          table;
+          nservers = (fun () -> Array.length (servers ()));
+          addr = (fun i -> Obsd.addr (servers ()).(i));
+          begin_drain = (fun i s -> Obsd.begin_drain (servers ()).(i) s);
+          end_drain = (fun i s -> Obsd.end_drain (servers ()).(i) s);
+          own = (fun i s -> Obsd.own_site (servers ()).(i) s);
+          disown = (fun i s -> Obsd.disown_site (servers ()).(i) s);
+          drop = (fun i s -> Obsd.drop_site (servers ()).(i) s);
+          site_load = (fun i s -> Obsd.site_load (servers ()).(i) s);
+          drain_bounces =
+            (fun () ->
+              Array.fold_left (fun a d -> a + Obsd.drain_bounces d) 0 (servers ()));
+          add_server = (fun () -> Ensemble.add_storage_node ens);
+          prepare = (fun ~donor:_ ~site:_ -> "");
+          copy_bytes =
+            (fun ~donor ~site ~cookie:_ ->
+              Obsd.site_bytes (servers ()).(donor) site);
+          copy_commit =
+            (fun ~donor ~recv ~site ~cookie:_ ->
+              let img = Obsd.export_site (servers ()).(donor) site in
+              Obsd.import_site (servers ()).(recv) site img;
+              Obsd.image_bytes img);
+        }
+
+let class_list t =
+  t.dir_ops :: List.filter_map Fun.id [ t.sf_ops; t.st_ops ]
+
+let attach ?(bandwidth = 50e6) ?trace ens =
+  let reg = Metrics.create () in
+  let t =
+    {
+      ens;
+      eng = Ensemble.engine ens;
+      net = Ensemble.net ens;
+      trace;
+      wal = Wal.create ~name:"reconfig.intents" ();
+      reg;
+      bandwidth;
+      dir_ops = dir_class ens;
+      sf_ops = sf_class ens;
+      st_ops = st_class ens;
+      next_op = 1;
+      n_migrations = 0;
+      n_moved = 0;
+      n_aborted = 0;
+      n_bytes = 0L;
+    }
+  in
+  Metrics.gauge reg "reconfig.migrations" (fun () ->
+      float_of_int t.n_migrations);
+  Metrics.gauge reg "reconfig.sites_moved" (fun () -> float_of_int t.n_moved);
+  Metrics.gauge reg "reconfig.aborted" (fun () -> float_of_int t.n_aborted);
+  Metrics.gauge reg "reconfig.bytes_copied" (fun () -> Int64.to_float t.n_bytes);
+  Metrics.gauge reg "reconfig.drain_bounces" (fun () ->
+      float_of_int
+        (List.fold_left (fun a o -> a + o.drain_bounces ()) 0 (class_list t)));
+  List.iter
+    (fun ops ->
+      for j = 0 to Table.nsites ops.table - 1 do
+        Metrics.gauge reg (load_key ops.kname j) (fun () ->
+            let o = owner_of ops j in
+            if o < 0 then 0.0 else float_of_int (ops.site_load o j))
+      done)
+    (class_list t);
+  t
+
+let metrics t = t.reg
+let migrations t = t.n_migrations
+let sites_moved t = t.n_moved
+let aborted t = t.n_aborted
+let bytes_copied t = t.n_bytes
+let log_image t = Wal.image t.wal
+
+let drain_bounces t =
+  List.fold_left (fun a o -> a + o.drain_bounces ()) 0 (class_list t)
+
+(* One site move, intend -> drain -> copy -> commit/abort. Runs in the
+   caller's fiber; only the copy sleep gives up the simulated clock. *)
+let migrate ?abandon t ops ~site ~donor ~recv =
+  let span =
+    Trace.root t.trace
+      ~op:("migrate." ^ ops.kname)
+      ~site:(string_of_int site)
+  in
+  let op_id = t.next_op in
+  t.next_op <- op_id + 1;
+  t.n_migrations <- t.n_migrations + 1;
+  ignore
+    (Wal.append t.wal ~rtype:rt_begin
+       (Printf.sprintf "%d %s %d %d %d" op_id ops.kname site donor recv));
+  Wal.sync t.wal;
+  ops.begin_drain donor site;
+  (match abandon with Some `After_begin -> raise Abandoned | None -> ());
+  let cookie = ops.prepare ~donor ~site in
+  let est = ops.copy_bytes ~donor ~site ~cookie in
+  Engine.sleep t.eng (setup_latency +. (Int64.to_float est /. t.bandwidth));
+  (* commit step: atomic in simulated time from here to the end *)
+  if Net.node_up t.net (ops.addr donor) && Net.node_up t.net (ops.addr recv)
+  then begin
+    let bytes = ops.copy_commit ~donor ~recv ~site ~cookie in
+    ops.own recv site;
+    ops.end_drain donor site;
+    ops.disown donor site;
+    ops.drop donor site;
+    set_site ops site (ops.addr recv);
+    ignore (Wal.append t.wal ~rtype:rt_commit (string_of_int op_id));
+    Wal.sync t.wal;
+    t.n_moved <- t.n_moved + 1;
+    t.n_bytes <- Int64.add t.n_bytes bytes;
+    Trace.finish ~outcome:"committed" span
+  end
+  else begin
+    (* donor or receiver is down: the site stays wholly on the donor
+       (a donor crash already cleared its volatile drain mark) *)
+    ops.end_drain donor site;
+    ignore (Wal.append t.wal ~rtype:rt_abort (string_of_int op_id));
+    Wal.sync t.wal;
+    t.n_aborted <- t.n_aborted + 1;
+    Trace.finish ~outcome:"aborted" span
+  end
+
+(* Load-driven placement: heaviest site first into the least-loaded
+   bucket, with two deterministic refinements — equal buckets break
+   toward fewer assigned sites (so an unloaded ensemble spreads
+   round-robin instead of piling onto server 0), and an exact tie that
+   includes the current owner keeps the site in place (so a balanced
+   ensemble is a fixed point and rebalancing is idempotent). *)
+let rebalance_class ?abandon ?exclude t ops =
+  let nsites = Table.nsites ops.table in
+  let n = ops.nservers () in
+  let eligible i = match exclude with Some e -> i <> e | None -> true in
+  let load =
+    Array.init nsites (fun j -> Metrics.value t.reg (load_key ops.kname j))
+  in
+  let owner = Array.init nsites (fun j -> owner_of ops j) in
+  let order =
+    List.sort
+      (fun a b ->
+        match Float.compare load.(b) load.(a) with
+        | 0 -> Int.compare a b
+        | c -> c)
+      (List.init nsites Fun.id)
+  in
+  let bload = Array.make n 0.0 in
+  let bn = Array.make n 0 in
+  let target = Array.make nsites (-1) in
+  List.iter
+    (fun j ->
+      let better i best =
+        match Float.compare bload.(i) bload.(best) with
+        | 0 -> bn.(i) < bn.(best)
+        | c -> c < 0
+      in
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if eligible i && (!best < 0 || better i !best) then best := i
+      done;
+      if !best >= 0 then begin
+        let o = owner.(j) in
+        if
+          o >= 0 && eligible o && o <> !best
+          && Float.compare bload.(o) bload.(!best) = 0
+          && bn.(o) = bn.(!best)
+        then best := o;
+        target.(j) <- !best;
+        bload.(!best) <- bload.(!best) +. load.(j);
+        bn.(!best) <- bn.(!best) + 1
+      end)
+    order;
+  for j = 0 to nsites - 1 do
+    if target.(j) >= 0 && owner.(j) >= 0 && target.(j) <> owner.(j) then
+      migrate ?abandon t ops ~site:j ~donor:owner.(j) ~recv:target.(j)
+  done
+
+let class_ops t = function
+  | Plan.Dir -> Some t.dir_ops
+  | Plan.Smallfile -> t.sf_ops
+  | Plan.Storage -> t.st_ops
+
+let require t k =
+  match class_ops t k with
+  | Some o -> o
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Reconfig: ensemble runs no %s class"
+           (Plan.klass_name k))
+
+let execute ?abandon t plan =
+  try
+    match plan with
+    | Plan.Rebalance ->
+        List.iter
+          (fun k ->
+            match class_ops t k with
+            | Some ops -> rebalance_class ?abandon t ops
+            | None -> ())
+          [ Plan.Dir; Plan.Smallfile; Plan.Storage ]
+    | Plan.Add_server k ->
+        let ops = require t k in
+        ignore (ops.add_server ());
+        rebalance_class ?abandon t ops
+    | Plan.Remove_server (k, idx) ->
+        let ops = require t k in
+        let n = ops.nservers () in
+        if idx < 0 || idx >= n then
+          invalid_arg "Reconfig: server index out of range";
+        if n <= 1 then
+          invalid_arg "Reconfig: cannot remove the last server of a class";
+        rebalance_class ?abandon ~exclude:idx t ops
+  with Abandoned -> ()
+
+let recover t =
+  (* lint: bounded — one entry per unsealed migration intent *)
+  let opens = Hashtbl.create 8 in
+  let order = ref [] in
+  ignore
+    (Wal.replay (Wal.image t.wal) (fun ~lsn:_ ~rtype payload ->
+         if rtype = rt_begin then (
+           try
+             Scanf.sscanf payload "%d %s %d %d %d"
+               (fun id k site donor recv ->
+                 Hashtbl.replace opens id (k, site, donor, recv);
+                 order := id :: !order)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+         else
+           match int_of_string_opt (String.trim payload) with
+           | Some id -> Hashtbl.remove opens id
+           | None -> ()));
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt opens id with
+      | None -> ()
+      | Some (k, site, donor, recv) ->
+          (match Option.bind (Plan.klass_of_name k) (class_ops t) with
+          | None -> ()
+          | Some ops ->
+              let n = ops.nservers () in
+              if donor >= 0 && donor < n then begin
+                ops.end_drain donor site;
+                ops.own donor site;
+                set_site ops site (ops.addr donor)
+              end;
+              if recv >= 0 && recv < n && recv <> donor then begin
+                ops.disown recv site;
+                ops.drop recv site
+              end);
+          t.n_aborted <- t.n_aborted + 1;
+          ignore (Wal.append t.wal ~rtype:rt_abort (string_of_int id));
+          Wal.sync t.wal)
+    (List.rev !order)

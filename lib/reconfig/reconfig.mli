@@ -1,0 +1,119 @@
+(** Online reconfiguration control plane: elastic scaling,
+    logical-site migration and load-driven rebalancing.
+
+    The Slice routing tables map many {e logical sites} to few physical
+    servers precisely so that reconfiguration is a table edit rather
+    than a rehash (Section 3.3.1: "multiple logical sites may map to the
+    same physical server, leaving flexibility for reconfiguration").
+    This module is the external agent the paper leaves implicit: it
+    decides which sites move, migrates their state, and republishes the
+    tables — all under live load, on the simulated clock.
+
+    {2 Migration state machine}
+
+    Every site move runs the same four phases:
+
+    + {b Intend} — a Begin record (class, site, donor, receiver) is
+      forced to the coordinator intent log before anything changes, so
+      {!recover} can always roll an interrupted move back.
+    + {b Drain} — the donor keeps answering reads for the moving site
+      but bounces mutations with [SLICE_MISDIRECTED]. µProxies back off
+      and retry; because the routing table has not changed yet, the
+      retries keep landing on the donor until commit.
+    + {b Copy} — directory sites stream the donor's journal and replay
+      it on the receiver (a second delta pass picks up records admitted
+      during the copy); small-file and storage sites copy their backing
+      fragments/objects. The transfer occupies simulated time
+      proportional to the bytes moved at the configured bandwidth.
+    + {b Commit} — atomically (no intervening simulated events): the
+      delta is applied, the receiver takes ownership, the donor
+      disowns and drops the site, the routing table rebinds the site
+      (one version bump), and a Commit record seals the intent. µProxies
+      refresh lazily on their next bounce, exactly as for any stale
+      snapshot.
+
+    Epoch safety falls out of ownership gating: after commit the donor
+    no longer owns the site, so a straggler request routed by a
+    pre-commit snapshot bounces instead of mutating ghost state.
+
+    {2 Crash matrix}
+
+    The copy phase is the only window containing simulated-time gaps.
+    If the donor or receiver is down when commit is reached, the move
+    {e aborts}: the drain mark is lifted (a donor crash already cleared
+    it — drains are volatile) and the table never changes, so the site
+    is wholly on the donor. The receiver imported nothing: all state
+    transfer happens inside the atomic commit step. A control-plane
+    crash (modelled by the [abandon] fault-injection hook) leaves a
+    dangling Begin intent; {!recover} replays the log and rolls every
+    unsealed intent back to the donor. In no schedule is a site ever
+    split across, or owned by, two servers. *)
+
+type t
+
+exception Abandoned
+(** Raised internally by the [abandon] fault-injection hook; {!execute}
+    catches it, leaving the in-flight migration dangling for
+    {!recover} to roll back. *)
+
+val attach : ?bandwidth:float -> ?trace:Slice_trace.Trace.t -> Slice.Ensemble.t -> t
+(** Attach a control plane to a live ensemble. [bandwidth] is the
+    modelled migration copy rate in bytes per simulated second
+    (default 50 MB/s — a throttled background stream that leaves
+    capacity for foreground traffic). With [trace], every migration
+    opens a [migrate.<class>] span finished with the commit/abort
+    outcome. *)
+
+val execute : ?abandon:[ `After_begin ] -> t -> Plan.t -> unit
+(** Run a plan to completion. Must be called from a fiber of the
+    ensemble's engine (migrations sleep for the modelled copy time).
+    Migrations within a plan run sequentially in ascending site order —
+    the control plane is single-threaded by design, so plans serialize.
+
+    [abandon:`After_begin] is a fault-injection hook: the first
+    migration stops dead after logging its intent and starting the
+    drain, simulating a control-plane crash mid-move (state is left
+    dangling; use {!recover}).
+
+    @raise Invalid_argument for a plan naming a class the ensemble does
+    not run (e.g. [Add_server Smallfile] with no small-file servers),
+    or a [Remove_server] index out of range / naming the last server
+    of its class. *)
+
+val recover : t -> unit
+(** Replay the intent log and roll back every Begin not sealed by a
+    Commit or Abort: lift the drain, restore donor ownership, disown
+    and drop the receiver's copy, rebind the table to the donor (a
+    no-op unless the crash landed inside commit, which the atomic
+    commit step makes impossible — the rebind is belt and braces), and
+    seal the intent with an Abort record. Idempotent; a no-op on a
+    clean log. *)
+
+val metrics : t -> Slice_util.Metrics.t
+(** The control plane's registry: [reconfig.migrations],
+    [reconfig.sites_moved], [reconfig.aborted], [reconfig.bytes_copied],
+    a [reconfig.drain_bounces] gauge summing every server's
+    drain-bounce counter, and per-site [reconfig.load.<class>.<site>]
+    gauges over the owners' load counters — the inputs to
+    {!Plan.Rebalance}'s placement decision. *)
+
+val migrations : t -> int
+(** Migrations started (including aborted and abandoned ones). *)
+
+val sites_moved : t -> int
+(** Migrations committed. *)
+
+val aborted : t -> int
+(** Migrations aborted (liveness check failed at commit) or rolled
+    back by {!recover}. *)
+
+val bytes_copied : t -> int64
+(** Total bytes of site state streamed by committed migrations. *)
+
+val drain_bounces : t -> int
+(** Mutations bounced by draining donors, summed over all servers of
+    all classes. *)
+
+val log_image : t -> string
+(** The intent log's byte image (tests inspect it; a real deployment
+    would keep it on the coordinator's stable storage). *)

@@ -24,6 +24,7 @@ type filerec = {
   mutable size : int;
   mutable blocks : extent option array; (* per 8 KB logical block *)
   mutable data : bytes option; (* materialized contents, when real *)
+  mutable site : int; (* logical small-file site (stamped from the handle) *)
 }
 
 type t = {
@@ -32,11 +33,17 @@ type t = {
   alloc : Ffs.t;
   files : (int64, filerec) Hashtbl.t;
   threshold : int;
+  nsites : int; (* logical small-file sites in the volume *)
+  owned : (int, unit) Hashtbl.t; (* sites served here *)
+  draining : (int, unit) Hashtbl.t; (* sites mid-migration: reads ok, writes bounce *)
+  site_ops : (int, int ref) Hashtbl.t; (* per-site request load, for rebalancing *)
   mutable up : bool;
   mutable logical : int64;
   mutable physical : int64;
   mutable reads : int;
   mutable writes : int;
+  mutable drain_bounces : int;
+  mutable misdirect_bounces : int;
 }
 
 let physical_size_of n =
@@ -49,13 +56,37 @@ let physical_size_of n =
     min !size block_size
   end
 
-let filerec_of t fid =
+(* Logical small-file site of a handle; a file's state is keyed by
+   fileID, so the site is stamped into its record when the handle passes
+   by (the fileID alone cannot reproduce the routing hash). *)
+let site_of t fh =
+  if t.nsites <= 1 then 0 else Slice_nfs.Routekey.file_site ~nsites:t.nsites fh
+
+let filerec_of t fh =
+  let fid = fh.Fh.file_id in
+  let site = site_of t fh in
   match Hashtbl.find_opt t.files fid with
-  | Some fr -> fr
+  | Some fr ->
+      fr.site <- site;
+      fr
   | None ->
-      let fr = { size = 0; blocks = [||]; data = None } in
+      let fr = { size = 0; blocks = [||]; data = None; site } in
       Hashtbl.replace t.files fid fr;
       fr
+
+let owns t site = Hashtbl.mem t.owned site
+let is_draining t site = Hashtbl.mem t.draining site
+
+let touch_site t site =
+  let r =
+    match Hashtbl.find_opt t.site_ops site with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.site_ops site r;
+        r
+  in
+  incr r
 
 let ensure_blocks fr n =
   if Array.length fr.blocks < n then begin
@@ -152,10 +183,17 @@ let handle t span (call : Nfs.call) : Nfs.response =
   match call with
   | Nfs.Null -> Ok Nfs.RNull
   | Nfs.Getattr fh ->
-      let fr = filerec_of t fh.Fh.file_id in
+      let fr = filerec_of t fh in
       Ok (Nfs.RGetattr (attr_of fh fr))
   | Nfs.Read (fh, off64, count) ->
-      let fr = filerec_of t fh.Fh.file_id in
+      let site = site_of t fh in
+      if not (owns t site || is_draining t site) then begin
+        t.misdirect_bounces <- t.misdirect_bounces + 1;
+        Error Nfs.ERR_MISDIRECTED
+      end
+      else begin
+      touch_site t site;
+      let fr = filerec_of t fh in
       let off = Int64.to_int off64 in
       let count = max 0 (min count (fr.size - off)) in
       t.reads <- t.reads + 1;
@@ -179,8 +217,24 @@ let handle t span (call : Nfs.call) : Nfs.response =
           | _ -> Nfs.Synthetic count
       in
       Ok (Nfs.RRead (data, eof, attr_of fh fr))
+      end
   | Nfs.Write (fh, off64, stable, wdata) ->
-      let fr = filerec_of t fh.Fh.file_id in
+      let site = site_of t fh in
+      (* Drain: reads keep being answered for a moving site, but writes
+         bounce with [SLICE_MISDIRECTED] so no update can land behind the
+         migration; the µproxy retries after a table refresh and reaches
+         whichever side owns the site once the move commits or aborts. *)
+      if is_draining t site then begin
+        t.drain_bounces <- t.drain_bounces + 1;
+        Error Nfs.ERR_MISDIRECTED
+      end
+      else if not (owns t site) then begin
+        t.misdirect_bounces <- t.misdirect_bounces + 1;
+        Error Nfs.ERR_MISDIRECTED
+      end
+      else begin
+      touch_site t site;
+      let fr = filerec_of t fh in
       let off = Int64.to_int off64 in
       let len = Nfs.wdata_length wdata in
       let fin = off + len in
@@ -219,8 +273,9 @@ let handle t span (call : Nfs.call) : Nfs.response =
             Bcache.commit t.cache ~obj:map_obj);
       Ok (Nfs.RWrite (len, stable, attr_of fh fr))
       end
+      end
   | Nfs.Commit (fh, _, _) ->
-      let fr = filerec_of t fh.Fh.file_id in
+      let fr = filerec_of t fh in
       disk_timed (fun () ->
           Bcache.commit t.cache ~obj:data_obj;
           Bcache.commit t.cache ~obj:map_obj);
@@ -233,7 +288,7 @@ let handle t span (call : Nfs.call) : Nfs.response =
       | None -> ());
       Ok Nfs.RRemove
   | Nfs.Setattr (fh, s) -> (
-      let fr = filerec_of t fh.Fh.file_id in
+      let fr = filerec_of t fh in
       match s.Nfs.set_size with
       | Some nsz64 ->
           let nsz = min (Int64.to_int nsz64) t.threshold in
@@ -266,7 +321,8 @@ let handle t span (call : Nfs.call) : Nfs.response =
       Error Nfs.ERR_BADHANDLE
 
 let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
-    ?(backing_bytes = 68_719_476_736L) ?(threshold = 65536) ?backend ?trace () =
+    ?(backing_bytes = 68_719_476_736L) ?(threshold = 65536) ?(nsites = 1)
+    ?(sites = [ 0 ]) ?backend ?trace () =
   let backend =
     match backend with
     | Some b -> b
@@ -280,13 +336,23 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
       (* lint: bounded — small-file server state, object-backed; Remove deletes rows *)
       files = Hashtbl.create 4096;
       threshold;
+      nsites;
+      (* lint: bounded — one row per logical small-file site bound here *)
+      owned = Hashtbl.create 4;
+      (* lint: bounded — sites mid-migration; cleared on commit/abort/crash *)
+      draining = Hashtbl.create 4;
+      (* lint: bounded — one row per logical small-file site *)
+      site_ops = Hashtbl.create 4;
       up = true;
       logical = 0L;
       physical = 0L;
       reads = 0;
       writes = 0;
+      drain_bounces = 0;
+      misdirect_bounces = 0;
     }
   in
+  List.iter (fun s -> Hashtbl.replace t.owned s ()) sites;
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = 70e-6; per_byte = 4e-9 }
     ~alive:(fun () -> t.up)
@@ -295,10 +361,99 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
 
 let crash t =
   t.up <- false;
+  (* A drain in progress is volatile control-plane state: the migration
+     aborts and the recovered server serves the site normally again. *)
+  Hashtbl.reset t.draining;
   Bcache.drop_clean t.cache
 
 let recover t = t.up <- true
 let is_up t = t.up
+
+(* ---- reconfiguration hooks (control-plane, in-process) ---- *)
+
+let owned_sites t =
+  Hashtbl.fold (fun s () acc -> s :: acc) t.owned [] |> List.sort compare
+
+let own_site t site = Hashtbl.replace t.owned site ()
+
+let disown_site t site =
+  Hashtbl.remove t.owned site;
+  Hashtbl.remove t.draining site
+
+let begin_drain t site = Hashtbl.replace t.draining site ()
+let end_drain t site = Hashtbl.remove t.draining site
+
+let site_load t site =
+  match Hashtbl.find_opt t.site_ops site with Some r -> !r | None -> 0
+
+let drain_bounces t = t.drain_bounces
+let misdirect_bounces t = t.misdirect_bounces
+
+type site_image = (int64 * int * string) list
+(* (fileID, size, contents) per file of the site; synthetic contents are
+   exported as zeros of the right length. *)
+
+let export_site t site : site_image =
+  Hashtbl.fold
+    (fun fid (fr : filerec) acc ->
+      if fr.site <> site then acc
+      else
+        let contents =
+          match fr.data with
+          | Some b when Bytes.length b >= fr.size -> Bytes.sub_string b 0 fr.size
+          | Some b -> Bytes.to_string b ^ String.make (fr.size - Bytes.length b) '\000'
+          | None -> String.make fr.size '\000'
+        in
+        (fid, fr.size, contents) :: acc)
+    t.files []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let import_site t site (img : site_image) =
+  List.iter
+    (fun (fid, size, contents) ->
+      (match Hashtbl.find_opt t.files fid with
+      | Some old -> free_file t old
+      | None -> ());
+      let fr = { size = 0; blocks = [||]; data = None; site } in
+      Hashtbl.replace t.files fid fr;
+      if size > 0 then begin
+        (* Re-place the file's blocks in this server's backing object so
+           physical accounting and fragmentation stay honest. *)
+        let last = (size - 1) / block_size in
+        ensure_blocks fr (last + 1);
+        for b = 0 to last do
+          let needed = min block_size (size - (b * block_size)) in
+          ignore (place_block t fr b ~needed)
+        done;
+        store_real fr ~off:0 contents;
+        fr.size <- size;
+        t.logical <- Int64.add t.logical (Int64.of_int size)
+      end)
+    img
+
+let drop_site t site =
+  let moved =
+    Hashtbl.fold (fun fid (fr : filerec) acc -> if fr.site = site then fid :: acc else acc)
+      t.files []
+    |> List.sort compare
+  in
+  List.iter
+    (fun fid ->
+      (match Hashtbl.find_opt t.files fid with
+      | Some fr -> free_file t fr
+      | None -> ());
+      Hashtbl.remove t.files fid)
+    moved;
+  Hashtbl.remove t.site_ops site
+
+let image_bytes (img : site_image) =
+  List.fold_left (fun acc (_, size, _) -> Int64.add acc (Int64.of_int size)) 0L img
+
+let site_bytes t site =
+  Hashtbl.fold
+    (fun _ (fr : filerec) acc ->
+      if fr.site = site then Int64.add acc (Int64.of_int fr.size) else acc)
+    t.files 0L
 
 let addr t = t.host.Host.addr
 let threshold t = t.threshold

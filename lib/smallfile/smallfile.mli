@@ -19,6 +19,8 @@ val attach :
   ?cache_bytes:int ->
   ?backing_bytes:int64 ->
   ?threshold:int ->
+  ?nsites:int ->
+  ?sites:int list ->
   ?backend:Slice_disk.Bcache.backend ->
   ?trace:Slice_trace.Trace.t ->
   unit ->
@@ -27,7 +29,10 @@ val attach :
     object 64 GB, threshold 64 KB. [backend] is where zone blocks live:
     small-file servers are dataless managers, so production configurations
     pass a remote backend over the network storage array; the default uses
-    the host's local disk (for standalone tests). *)
+    the host's local disk (for standalone tests). [nsites] is the logical
+    small-file site count of the volume and [sites] the sites this server
+    initially owns (defaults 1 / [\[0\]]); requests whose handle hashes to
+    a site not owned here bounce with [SLICE_MISDIRECTED]. *)
 
 val addr : t -> Slice_net.Packet.addr
 val threshold : t -> int
@@ -58,3 +63,32 @@ val physical_size_of : int -> int
 (** The power-of-two rounding rule for a block's physical footprint
     (minimum fragment 128 bytes); exposed for tests: an 8300-byte file
     occupies [physical_size_of 8192 + physical_size_of 108] = 8320. *)
+
+(** {2 Reconfiguration hooks}
+
+    In-process control-plane surface used by [Slice_reconfig]: logical
+    small-file sites can be drained (reads served, writes bounced with
+    [SLICE_MISDIRECTED]), exported, imported and rebound without stopping
+    the server. *)
+
+val owned_sites : t -> int list
+val own_site : t -> int -> unit
+val disown_site : t -> int -> unit
+
+val begin_drain : t -> int -> unit
+(** Draining is volatile: {!crash} clears it, so an aborted migration's
+    donor serves the site again after recovery. *)
+
+val end_drain : t -> int -> unit
+
+type site_image
+(** A deep copy of one site's files, for migration. *)
+
+val export_site : t -> int -> site_image
+val import_site : t -> int -> site_image -> unit
+val drop_site : t -> int -> unit
+val image_bytes : site_image -> int64
+val site_bytes : t -> int -> int64
+val site_load : t -> int -> int
+val drain_bounces : t -> int
+val misdirect_bounces : t -> int

@@ -1,5 +1,6 @@
 module Nfs = Slice_nfs.Nfs
 module Fh = Slice_nfs.Fh
+module Routekey = Slice_nfs.Routekey
 module Bcache = Slice_disk.Bcache
 module Trace = Slice_trace.Trace
 
@@ -10,35 +11,71 @@ type obj = {
   data : (int, bytes) Hashtbl.t; (* materialized 8 KB blocks only *)
 }
 
+(* One storage object may carry subobjects for several logical storage
+   sites: the µproxy encodes the logical site into the high bits of every
+   bulk-I/O offset (Routekey.site_offset), and the node decodes it here.
+   Keeping sites separate is what lets a logical site migrate between
+   nodes — or several sites share one node after a reconfiguration —
+   without colliding in an object's offset space. *)
 type t = {
   host : Host.t;
   cap_secret : string option;
   cache : Bcache.t;
-  objects : (int64, obj) Hashtbl.t;
+  objects : (int64, (int, obj) Hashtbl.t) Hashtbl.t; (* oid -> site -> subobject *)
+  owned : (int, unit) Hashtbl.t; (* logical sites served here *)
+  draining : (int, unit) Hashtbl.t; (* sites mid-migration: reads ok, writes bounce *)
+  site_ops : (int, int ref) Hashtbl.t; (* per-site request load, for rebalancing *)
   mutable up : bool;
   mutable reads : int;
   mutable writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable drain_bounces : int;
+  mutable misdirect_bounces : int;
 }
 
 let object_id_of_fh fh = Slice_hash.Md5.fold64 (Fh.key fh)
 
-let get_obj t oid =
+let site_of_offset = Routekey.offset_site
+let local_of_offset = Routekey.offset_local
+
+(* Distinct Bcache block index space per logical site within one object. *)
+let cache_block ~site ~local_block =
+  (site * Int64.to_int (Int64.div Routekey.site_stride (Int64.of_int block_size)))
+  + local_block
+
+let sites_of t oid =
   match Hashtbl.find_opt t.objects oid with
+  | Some tbl -> tbl
+  | None ->
+      (* lint: bounded — one row per logical site holding part of this object *)
+      let tbl = Hashtbl.create 2 in
+      Hashtbl.replace t.objects oid tbl;
+      tbl
+
+let get_obj t oid site =
+  let tbl = sites_of t oid in
+  match Hashtbl.find_opt tbl site with
   | Some o -> o
   | None ->
       (* lint: bounded — one object's blocks, capped by the object's size *)
       let o = { size = 0L; data = Hashtbl.create 8 } in
-      Hashtbl.replace t.objects oid o;
+      Hashtbl.replace tbl site o;
       o
 
-let attr_of t fh (o : obj) =
+(* Aggregate size across this node's subobjects, for offset-free ops
+   (getattr, commit replies). *)
+let total_size t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some tbl -> Hashtbl.fold (fun _ o acc -> Int64.add acc o.size) tbl 0L
+  | None -> 0L
+
+let attr_of t fh size =
   ignore t;
   {
     (Nfs.default_attr ~ftype:fh.Fh.ftype ~fileid:fh.Fh.file_id ~now:0.0) with
-    size = o.size;
-    used = o.size;
+    size;
+    used = size;
   }
 
 let block_range ~off ~count =
@@ -48,7 +85,7 @@ let block_range ~off ~count =
   in
   (first, if count = 0 then first - 1 else last)
 
-(* Store real bytes into the object's materialized blocks. *)
+(* Store real bytes into the subobject's materialized blocks. *)
 let store_data (o : obj) ~off data =
   let len = String.length data in
   let rec loop pos =
@@ -106,6 +143,20 @@ let authorized t (call : Nfs.call) =
           Slice_nfs.Cap.verify ~secret fh
       | _ -> true (* misdirected classes are rejected below anyway *))
 
+let touch_site t site =
+  let r =
+    match Hashtbl.find_opt t.site_ops site with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.site_ops site r;
+        r
+  in
+  incr r
+
+let owns t site = Hashtbl.mem t.owned site
+let is_draining t site = Hashtbl.mem t.draining site
+
 let handle t span (call : Nfs.call) : Nfs.response =
   (* Synchronous cache/disk work records as a "disk" hop; asynchronous
      readahead and write-behind stay untraced (they complete after the
@@ -116,77 +167,117 @@ let handle t span (call : Nfs.call) : Nfs.response =
   match call with
   | Nfs.Null -> Ok Nfs.RNull
   | Nfs.Getattr fh ->
-      let o = get_obj t (object_id_of_fh fh) in
-      Ok (Nfs.RGetattr (attr_of t fh o))
-  | Nfs.Read (fh, off, count) ->
       let oid = object_id_of_fh fh in
-      let o = get_obj t oid in
-      let avail = Int64.sub o.size off in
-      let count =
-        if Int64.compare avail 0L <= 0 then 0 else min count (Int64.to_int (min avail (Int64.of_int count)))
-      in
-      let first, last = block_range ~off ~count in
-      disk_timed (fun () ->
-          for b = first to last do
-            Bcache.read t.cache ~obj:oid ~block:b
-          done);
-      t.reads <- t.reads + 1;
-      t.bytes_read <- t.bytes_read + count;
-      let eof = Int64.compare (Int64.add off (Int64.of_int count)) o.size >= 0 in
-      let data =
-        if count = 0 then Nfs.Data ""
-        else
-          match load_data o ~off ~count with
-          | Some s -> Nfs.Data s
-          | None -> Nfs.Synthetic count
-      in
-      Ok (Nfs.RRead (data, eof, attr_of t fh o))
-  | Nfs.Write (fh, off, stable, data) ->
+      Ok (Nfs.RGetattr (attr_of t fh (total_size t oid)))
+  | Nfs.Read (fh, woff, count) ->
       let oid = object_id_of_fh fh in
-      let o = get_obj t oid in
-      let len = Nfs.wdata_length data in
-      let first, last = block_range ~off ~count:len in
-      disk_timed (fun () ->
-          for b = first to last do
-            Bcache.write t.cache ~obj:oid ~block:b
-          done);
-      (match data with Nfs.Data s -> store_data o ~off s | Nfs.Synthetic _ -> ());
-      let fin = Int64.add off (Int64.of_int len) in
-      if Int64.compare fin o.size > 0 then o.size <- fin;
-      t.writes <- t.writes + 1;
-      t.bytes_written <- t.bytes_written + len;
-      if stable <> Nfs.Unstable then disk_timed (fun () -> Bcache.commit t.cache ~obj:oid);
-      Ok (Nfs.RWrite (len, stable, attr_of t fh o))
+      let site = site_of_offset woff in
+      if not (owns t site || is_draining t site) then begin
+        t.misdirect_bounces <- t.misdirect_bounces + 1;
+        Error Nfs.ERR_MISDIRECTED
+      end
+      else begin
+        touch_site t site;
+        let off = local_of_offset woff in
+        let o = get_obj t oid site in
+        let avail = Int64.sub o.size off in
+        let count =
+          if Int64.compare avail 0L <= 0 then 0
+          else min count (Int64.to_int (min avail (Int64.of_int count)))
+        in
+        let first, last = block_range ~off ~count in
+        disk_timed (fun () ->
+            for b = first to last do
+              Bcache.read t.cache ~obj:oid ~block:(cache_block ~site ~local_block:b)
+            done);
+        t.reads <- t.reads + 1;
+        t.bytes_read <- t.bytes_read + count;
+        let eof = Int64.compare (Int64.add off (Int64.of_int count)) o.size >= 0 in
+        let data =
+          if count = 0 then Nfs.Data ""
+          else
+            match load_data o ~off ~count with
+            | Some s -> Nfs.Data s
+            | None -> Nfs.Synthetic count
+        in
+        Ok (Nfs.RRead (data, eof, attr_of t fh o.size))
+      end
+  | Nfs.Write (fh, woff, stable, data) ->
+      let oid = object_id_of_fh fh in
+      let site = site_of_offset woff in
+      (* Drain: the donor answers reads for a moving site but bounces its
+         writes so no update can land behind the migration's back.
+         Mirrored subobjects are exempt (their twin replica has already
+         applied the duplicated write; the commit-time delta sweep trues
+         this replica up instead of forcing a half-applied bounce). *)
+      if is_draining t site && not fh.Fh.mirrored then begin
+        t.drain_bounces <- t.drain_bounces + 1;
+        Error Nfs.ERR_MISDIRECTED
+      end
+      else if not (owns t site || is_draining t site) then begin
+        t.misdirect_bounces <- t.misdirect_bounces + 1;
+        Error Nfs.ERR_MISDIRECTED
+      end
+      else begin
+        touch_site t site;
+        let off = local_of_offset woff in
+        let o = get_obj t oid site in
+        let len = Nfs.wdata_length data in
+        let first, last = block_range ~off ~count:len in
+        disk_timed (fun () ->
+            for b = first to last do
+              Bcache.write t.cache ~obj:oid ~block:(cache_block ~site ~local_block:b)
+            done);
+        (match data with Nfs.Data s -> store_data o ~off s | Nfs.Synthetic _ -> ());
+        let fin = Int64.add off (Int64.of_int len) in
+        if Int64.compare fin o.size > 0 then o.size <- fin;
+        t.writes <- t.writes + 1;
+        t.bytes_written <- t.bytes_written + len;
+        if stable <> Nfs.Unstable then disk_timed (fun () -> Bcache.commit t.cache ~obj:oid);
+        Ok (Nfs.RWrite (len, stable, attr_of t fh o.size))
+      end
   | Nfs.Commit (fh, _off, _count) ->
+      (* Commit targets the whole node-local object (the coordinator fans
+         it out per node, not per site) — never ownership-gated, so the
+         coordinator's idempotent redo always lands. *)
       let oid = object_id_of_fh fh in
-      let o = get_obj t oid in
       disk_timed (fun () -> Bcache.commit t.cache ~obj:oid);
-      Ok (Nfs.RCommit (attr_of t fh o))
+      Ok (Nfs.RCommit (attr_of t fh (total_size t oid)))
   | Nfs.Remove (fh, _name) ->
       (* Object remove: the coordinator names the object by handle; the
-         name argument is unused at this layer. *)
+         name argument is unused at this layer. Drops every local
+         subobject — permissive for the same redo reason as commit. *)
       let oid = object_id_of_fh fh in
       Hashtbl.remove t.objects oid;
       Bcache.invalidate_object t.cache oid;
       Ok Nfs.RRemove
   | Nfs.Setattr (fh, s) -> (
       let oid = object_id_of_fh fh in
-      let o = get_obj t oid in
       match s.Nfs.set_size with
       | Some sz ->
-          o.size <- sz;
-          let keep_last, _ = block_range ~off:sz ~count:1 in
+          let tbl = sites_of t oid in
+          if Hashtbl.length tbl = 0 then ignore (get_obj t oid 0);
+          let single = Hashtbl.length tbl <= 1 in
           Hashtbl.iter
-            (fun b _ -> if b > keep_last then Hashtbl.remove o.data b)
-            (Hashtbl.copy o.data);
-          Ok (Nfs.RSetattr (attr_of t fh o))
-      | None -> Ok (Nfs.RSetattr (attr_of t fh o)))
+            (fun _ (o : obj) ->
+              (* With one subobject this is the plain truncate/extend of a
+                 single-site object; across several sites the global size
+                 can only clamp each site's folded subobject downward. *)
+              o.size <- (if single then sz else min o.size sz);
+              let keep_last, _ = block_range ~off:o.size ~count:1 in
+              Hashtbl.iter
+                (fun b _ -> if b > keep_last then Hashtbl.remove o.data b)
+                (Hashtbl.copy o.data))
+            tbl;
+          Ok (Nfs.RSetattr (attr_of t fh (total_size t oid)))
+      | None -> Ok (Nfs.RSetattr (attr_of t fh (total_size t oid))))
   | Nfs.Lookup _ | Nfs.Access _ | Nfs.Readlink _ | Nfs.Create _ | Nfs.Mkdir _
   | Nfs.Symlink _ | Nfs.Rmdir _ | Nfs.Rename _ | Nfs.Link _ | Nfs.Readdir _
   | Nfs.Fsstat _ ->
       Error Nfs.ERR_NOTDIR
 
-let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ?trace () =
+let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret
+    ?(sites = [ 0 ]) ?trace () =
   let disk = Host.disk_exn host in
   let t =
     {
@@ -198,13 +289,22 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ?t
           ~capacity:cache_bytes ~name:(Host.name host);
       (* lint: bounded — the backing store itself: one row per stored object *)
       objects = Hashtbl.create 256;
+      (* lint: bounded — one row per logical storage site bound here *)
+      owned = Hashtbl.create 4;
+      (* lint: bounded — sites mid-migration; cleared on commit/abort/crash *)
+      draining = Hashtbl.create 4;
+      (* lint: bounded — one row per logical storage site *)
+      site_ops = Hashtbl.create 4;
       up = true;
       reads = 0;
       writes = 0;
       bytes_read = 0;
       bytes_written = 0;
+      drain_bounces = 0;
+      misdirect_bounces = 0;
     }
   in
+  List.iter (fun s -> Hashtbl.replace t.owned s ()) sites;
   (* Per-op cost small and per-byte cost modeling the storage node's
      network/buffer path; the SCSI channel, not the CPU, is the intended
      per-node bandwidth cap. *)
@@ -216,7 +316,10 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret ?t
 
 let crash t =
   t.up <- false;
-  (* RAM is lost; the objects table plays the role of the disk. *)
+  (* RAM is lost; the objects table plays the role of the disk. A drain
+     in progress is volatile control-plane state: the migration aborts
+     and the recovered node serves the site normally again. *)
+  Hashtbl.reset t.draining;
   Bcache.drop_clean t.cache
 
 let recover t = t.up <- true
@@ -226,7 +329,77 @@ let addr t = t.host.Host.addr
 let object_count t = Hashtbl.length t.objects
 
 let object_size t fh =
-  Option.map (fun o -> o.size) (Hashtbl.find_opt t.objects (object_id_of_fh fh))
+  match Hashtbl.find_opt t.objects (object_id_of_fh fh) with
+  | None -> None
+  | Some tbl -> Some (Hashtbl.fold (fun _ o acc -> Int64.add acc o.size) tbl 0L)
+
+(* ---- reconfiguration hooks (control-plane, in-process) ---- *)
+
+let owned_sites t =
+  Hashtbl.fold (fun s () acc -> s :: acc) t.owned [] |> List.sort compare
+
+let own_site t site = Hashtbl.replace t.owned site ()
+
+let disown_site t site =
+  Hashtbl.remove t.owned site;
+  Hashtbl.remove t.draining site
+
+let begin_drain t site = Hashtbl.replace t.draining site ()
+let end_drain t site = Hashtbl.remove t.draining site
+
+let site_load t site =
+  match Hashtbl.find_opt t.site_ops site with Some r -> !r | None -> 0
+
+let drain_bounces t = t.drain_bounces
+let misdirect_bounces t = t.misdirect_bounces
+
+type site_image = (int64 * int64 * (int * bytes) list) list
+(* (oid, subobject size, materialized blocks) per object of the site. *)
+
+let export_site t site : site_image =
+  Hashtbl.fold
+    (fun oid tbl acc ->
+      match Hashtbl.find_opt tbl site with
+      | None -> acc
+      | Some o ->
+          let blocks =
+            Hashtbl.fold (fun b buf acc -> (b, Bytes.copy buf) :: acc) o.data []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          (oid, o.size, blocks) :: acc)
+    t.objects []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let import_site t site (img : site_image) =
+  List.iter
+    (fun (oid, size, blocks) ->
+      (* lint: bounded — deep copy of one migrating subobject's blocks *)
+      let o = { size; data = Hashtbl.create (max 8 (List.length blocks)) } in
+      List.iter (fun (b, buf) -> Hashtbl.replace o.data b (Bytes.copy buf)) blocks;
+      Hashtbl.replace (sites_of t oid) site o)
+    img
+
+let drop_site t site =
+  Hashtbl.iter (fun _ tbl -> Hashtbl.remove tbl site) t.objects;
+  (* Prune objects left with no subobjects so object_count stays honest. *)
+  let empty =
+    Hashtbl.fold (fun oid tbl acc -> if Hashtbl.length tbl = 0 then oid :: acc else acc)
+      t.objects []
+    |> List.sort compare
+  in
+  List.iter (fun oid -> Hashtbl.remove t.objects oid) empty;
+  Hashtbl.remove t.site_ops site
+
+let image_bytes (img : site_image) =
+  List.fold_left (fun acc (_, size, _) -> Int64.add acc size) 0L img
+
+let site_bytes t site =
+  Hashtbl.fold
+    (fun _ tbl acc ->
+      match Hashtbl.find_opt tbl site with
+      | Some o -> Int64.add acc o.size
+      | None -> acc)
+    t.objects 0L
 
 let reads t = t.reads
 let writes t = t.writes

@@ -15,13 +15,17 @@ type t
 
 val attach :
   Host.t -> ?port:int -> ?cache_bytes:int -> ?cap_secret:string ->
-  ?trace:Slice_trace.Trace.t -> unit -> t
+  ?sites:int list -> ?trace:Slice_trace.Trace.t -> unit -> t
 (** Attach the service to a host with a disk array. Default port 2049,
     default cache 256 MB (the paper's storage nodes had 256 MB RAM).
     With [cap_secret], every request's handle must carry a valid
     {!Slice_nfs.Cap} tag minted with the same secret, else
     [NFS3ERR_PERM] — secure network-attached storage objects per
-    Section 2.2: a compromised µproxy cannot forge access. *)
+    Section 2.2: a compromised µproxy cannot forge access.
+    [sites] are the logical storage sites this node initially owns
+    (default [\[0\]]): bulk-I/O offsets carry their logical site in the
+    high bits ({!Slice_nfs.Routekey.site_offset}) and requests for a
+    site not owned here bounce with [SLICE_MISDIRECTED]. *)
 
 val addr : t -> Slice_net.Packet.addr
 
@@ -39,6 +43,54 @@ val object_id_of_fh : Slice_nfs.Fh.t -> int64
 
 val object_count : t -> int
 val object_size : t -> Slice_nfs.Fh.t -> int64 option
+(** {2 Reconfiguration hooks}
+
+    In-process control-plane surface used by [Slice_reconfig]: logical
+    sites can be drained (reads served, writes bounced with
+    [SLICE_MISDIRECTED]), exported, imported and rebound without stopping
+    the node. *)
+
+val owned_sites : t -> int list
+(** Logical sites served here, sorted. *)
+
+val own_site : t -> int -> unit
+val disown_site : t -> int -> unit
+
+val begin_drain : t -> int -> unit
+(** Enter the drain phase for a moving site: reads keep being served,
+    non-mirrored writes bounce with [SLICE_MISDIRECTED] (mirrored writes
+    still land — their twin replica already applied the duplicate, and
+    the commit-time delta sweep trues up the copy). Draining is volatile:
+    {!crash} clears it, so an aborted migration's donor serves again. *)
+
+val end_drain : t -> int -> unit
+
+type site_image
+(** A deep copy of one logical site's subobjects, for migration. *)
+
+val export_site : t -> int -> site_image
+val import_site : t -> int -> site_image -> unit
+val drop_site : t -> int -> unit
+(** Remove every subobject of the site (the donor's half of a committed
+    migration). *)
+
+val image_bytes : site_image -> int64
+(** Logical bytes in the image — what a migration transfers. *)
+
+val site_bytes : t -> int -> int64
+(** Logical bytes currently stored for a site on this node. *)
+
+val site_load : t -> int -> int
+(** Read/write requests served for the site since attach (rebalancing
+    signal). *)
+
+val drain_bounces : t -> int
+(** Writes bounced because their site was mid-drain. *)
+
+val misdirect_bounces : t -> int
+(** Requests bounced because their site is not bound here (stale µproxy
+    tables after a reconfiguration). *)
+
 val reads : t -> int
 val writes : t -> int
 val bytes_read : t -> int

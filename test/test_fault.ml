@@ -232,7 +232,7 @@ let mirror_failure_not_masked () =
   (* replica 0 demands sealed capability handles; replica 1 does not: an
      unsealed handle fails on exactly one replica of the pair *)
   let _o0 = Obsd.attach s0 ~cap_secret:"secret" () in
-  let _o1 = Obsd.attach s1 () in
+  let _o1 = Obsd.attach s1 ~sites:[ 1 ] () in
   let ch = Host.create net ~name:"client" () in
   let _proxy =
     Proxy.install ch
@@ -240,7 +240,7 @@ let mirror_failure_not_masked () =
         Proxy.virtual_addr = vaddr;
         dir_table = Table.create [| dirnode |];
         smallfile_table = None;
-        storage = [| s0.Host.addr; s1.Host.addr |];
+        storage = Some (Table.create [| s0.Host.addr; s1.Host.addr |]);
         coordinator = None;
       }
   in

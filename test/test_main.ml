@@ -13,6 +13,8 @@ let () =
       ("dir", Test_dir.suite);
       ("smallfile", Test_smallfile.suite);
       ("proxy", Test_proxy.suite);
+      ("table", Test_table.suite);
+      ("reconfig", Test_reconfig.suite);
       ("metacache", Test_metacache.suite);
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);

@@ -221,7 +221,7 @@ let stale_table_lazy_refresh () =
         Proxy.virtual_addr = vaddr;
         dir_table = table;
         smallfile_table = None;
-        storage = [||];
+        storage = None;
         coordinator = None;
       }
   in

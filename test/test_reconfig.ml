@@ -1,0 +1,265 @@
+(* Reconfiguration control-plane coverage: per-class migrations preserve
+   data, a donor crash mid-copy aborts cleanly onto exactly one side,
+   an abandoned intent is rolled back by recovery, and the scale-out
+   exhibit is byte-deterministic. *)
+
+open Helpers
+module Engine = Slice_sim.Engine
+module Fh = Slice_nfs.Fh
+module Nfs = Slice_nfs.Nfs
+module Json = Slice_util.Json
+module Obsd = Slice_storage.Obsd
+module Smallfile = Slice_smallfile.Smallfile
+module Dirserver = Slice_dir.Dirserver
+module Table = Slice.Table
+module Ensemble = Slice.Ensemble
+module Client = Slice_workload.Client
+module Reconfig = Slice_reconfig.Reconfig
+module Plan = Slice_reconfig.Plan
+
+let chunk = 32768
+let big_chunks = 6 (* chunks >= 2 are storage-class (above the threshold) *)
+
+let mk_ens ?(seed = 9) () =
+  Ensemble.create
+    {
+      Ensemble.default_config with
+      seed;
+      storage_nodes = 2;
+      dir_servers = 1;
+      smallfile_servers = 1;
+      mirror_new_files = false;
+      dir_sites = 4;
+      smallfile_sites = 4;
+      storage_sites = 4;
+    }
+
+let mk_client ens name =
+  let host, _ = Ensemble.add_client ens ~name in
+  Client.create host ~server:(Ensemble.virtual_addr ens) ()
+
+let write_big cl ~name =
+  let fh, _ = ok_or_fail "create" (Client.create_file cl Fh.root name) in
+  for c = 0 to big_chunks - 1 do
+    ignore
+      (ok_or_fail "write"
+         (Client.write_at cl fh ~off:(Int64.of_int (c * chunk))
+            ~data:(Nfs.Synthetic chunk) ()))
+  done;
+  ok_or_fail "commit" (Client.commit cl fh);
+  fh
+
+let read_big_ok cl fh =
+  for c = 0 to big_chunks - 1 do
+    match Client.read_at cl fh ~off:(Int64.of_int (c * chunk)) ~count:chunk with
+    | Ok (d, _) when Nfs.wdata_length d = chunk -> ()
+    | Ok (d, _) -> Alcotest.failf "short read: %d" (Nfs.wdata_length d)
+    | Error st -> Alcotest.failf "read: %s" (Nfs.status_name st)
+  done
+
+(* Exactly-one-owner invariant: every logical site of [table] is owned
+   by precisely one server, and the table publishes that owner. *)
+let check_exclusive ~what table owners addr_of n =
+  for j = 0 to Table.nsites table - 1 do
+    let os = List.filter (fun i -> List.mem j (owners i)) (List.init n Fun.id) in
+    (match os with
+    | [ o ] ->
+        check_int
+          (Printf.sprintf "%s site %d published owner" what j)
+          (addr_of o) (Table.lookup table j)
+    | _ ->
+        Alcotest.failf "%s site %d owned by %d servers" what j (List.length os))
+  done
+
+let check_storage_exclusive ens =
+  let tbl = Option.get (Ensemble.storage_table ens) in
+  let sts = Ensemble.storage ens in
+  check_exclusive ~what:"storage" tbl
+    (fun i -> Obsd.owned_sites sts.(i))
+    (fun i -> Obsd.addr sts.(i))
+    (Array.length sts)
+
+let test_storage_migration () =
+  let ens = mk_ens () in
+  let rc = Reconfig.attach ens in
+  let cl = mk_client ens "c0" in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fhs = List.init 6 (fun i -> write_big cl ~name:(Printf.sprintf "g%d" i)) in
+      let tbl = Option.get (Ensemble.storage_table ens) in
+      let v0 = Table.version tbl in
+      Reconfig.execute rc (Plan.Add_server Plan.Storage);
+      check_int "three storage nodes" 3 (Array.length (Ensemble.storage ens));
+      check_bool "sites moved" true (Reconfig.sites_moved rc > 0);
+      check_bool "table republished" true (Table.version tbl > v0);
+      check_bool "bytes copied" true (Int64.compare (Reconfig.bytes_copied rc) 0L > 0);
+      List.iter (fun fh -> read_big_ok cl fh) fhs;
+      (* post-migration writes land on the new owners and read back *)
+      List.iter
+        (fun fh ->
+          ignore
+            (ok_or_fail "rewrite"
+               (Client.write_at cl fh ~off:(Int64.of_int (3 * chunk))
+                  ~data:(Nfs.Synthetic chunk) ()));
+          read_big_ok cl fh)
+        fhs;
+      check_storage_exclusive ens)
+
+let test_smallfile_migration () =
+  let ens = mk_ens ~seed:10 () in
+  let rc = Reconfig.attach ens in
+  let cl = mk_client ens "c0" in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fhs =
+        List.init 20 (fun i ->
+            let fh, _ =
+              ok_or_fail "create"
+                (Client.create_file cl Fh.root (Printf.sprintf "s%02d" i))
+            in
+            ignore
+              (ok_or_fail "write"
+                 (Client.write_at cl fh ~off:0L ~data:(Nfs.Synthetic 4096) ()));
+            ok_or_fail "commit" (Client.commit cl fh);
+            fh)
+      in
+      Reconfig.execute rc (Plan.Add_server Plan.Smallfile);
+      check_bool "sites moved" true (Reconfig.sites_moved rc > 0);
+      List.iter
+        (fun fh ->
+          match Client.read_at cl fh ~off:0L ~count:4096 with
+          | Ok (d, _) when Nfs.wdata_length d = 4096 -> ()
+          | _ -> Alcotest.fail "small file lost after migration")
+        fhs;
+      let tbl = Option.get (Ensemble.smallfile_table ens) in
+      let sfs = Ensemble.smallfiles ens in
+      check_exclusive ~what:"smallfile" tbl
+        (fun i -> Smallfile.owned_sites sfs.(i))
+        (fun i -> Smallfile.addr sfs.(i))
+        (Array.length sfs))
+
+let test_dir_migration () =
+  let ens = mk_ens ~seed:11 () in
+  let rc = Reconfig.attach ens in
+  let cl = mk_client ens "c0" in
+  run_on (Ensemble.engine ens) (fun () ->
+      let top, _ = ok_or_fail "mkdir" (Client.mkdir cl Fh.root "home") in
+      let names = List.init 30 (fun i -> Printf.sprintf "n%03d" i) in
+      let fhs =
+        List.map
+          (fun n ->
+            let fh, _ = ok_or_fail "create" (Client.create_file cl top n) in
+            (n, fh))
+          names
+      in
+      Reconfig.execute rc (Plan.Add_server Plan.Dir);
+      check_bool "sites moved" true (Reconfig.sites_moved rc > 0);
+      List.iter
+        (fun (n, fh) ->
+          let fh', _ = ok_or_fail "lookup" (Client.lookup cl top n) in
+          check_bool "same file" true (Int64.equal fh'.Fh.file_id fh.Fh.file_id))
+        fhs;
+      (* fresh creates into migrated sites, then a cross-site readdir *)
+      let extra = List.init 8 (fun i -> Printf.sprintf "x%02d" i) in
+      List.iter (fun n -> ignore (ok_or_fail "create2" (Client.create_file cl top n))) extra;
+      let entries = ok_or_fail "readdir" (Client.readdir_all cl top) in
+      check_int "all entries visible" (30 + 8) (List.length entries);
+      let dirs = Ensemble.dirs ens in
+      check_exclusive ~what:"dir" (Ensemble.dir_table ens)
+        (fun i -> Dirserver.owned_sites dirs.(i))
+        (fun i -> Dirserver.addr dirs.(i))
+        (Array.length dirs))
+
+(* Chaos: crash the donor in the middle of the copy phase. Every
+   in-flight and following migration must abort — the table never
+   changes, the donor keeps the site (drains are volatile, so its crash
+   cleared the bounce state), and after recovery the data is intact and
+   every site has exactly one owner. *)
+let test_donor_crash_mid_migration () =
+  let ens = mk_ens ~seed:12 () in
+  (* crawl-speed copies so the crash lands inside the transfer window *)
+  let rc = Reconfig.attach ~bandwidth:1e4 ens in
+  let cl = mk_client ens "c0" in
+  let eng = Ensemble.engine ens in
+  run_on eng (fun () ->
+      let fhs = List.init 6 (fun i -> write_big cl ~name:(Printf.sprintf "g%d" i)) in
+      let tbl = Option.get (Ensemble.storage_table ens) in
+      let map0, v0 = Table.snapshot tbl in
+      (* donor = node 1 (node 0 hosts the coordinator); crash it shortly
+         after the first copy starts *)
+      Engine.schedule eng 0.05 (fun () -> Ensemble.crash_storage ens 1);
+      Reconfig.execute rc (Plan.Remove_server (Plan.Storage, 1));
+      check_bool "migrations attempted" true (Reconfig.migrations rc > 0);
+      check_int "all aborted" (Reconfig.migrations rc) (Reconfig.aborted rc);
+      check_int "none moved" 0 (Reconfig.sites_moved rc);
+      let map1, v1 = Table.snapshot tbl in
+      check_int "table version unchanged" v0 v1;
+      check_bool "table mapping unchanged" true (map0 = map1);
+      Ensemble.recover_storage ens 1;
+      Engine.sleep eng 0.5;
+      List.iter (fun fh -> read_big_ok cl fh) fhs;
+      check_storage_exclusive ens)
+
+(* Control-plane crash: the fault-injection hook stops the first
+   migration right after its Begin intent hits the log and the drain
+   starts. recover must roll it back — drain lifted, ownership and
+   table untouched — and be idempotent. *)
+let test_abandoned_intent_recovery () =
+  let ens = mk_ens ~seed:13 () in
+  let rc = Reconfig.attach ens in
+  let cl = mk_client ens "c0" in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fhs = List.init 4 (fun i -> write_big cl ~name:(Printf.sprintf "g%d" i)) in
+      let tbl = Option.get (Ensemble.storage_table ens) in
+      let _, v0 = Table.snapshot tbl in
+      Reconfig.execute ~abandon:`After_begin rc (Plan.Remove_server (Plan.Storage, 1));
+      check_int "one migration started" 1 (Reconfig.migrations rc);
+      check_int "none moved" 0 (Reconfig.sites_moved rc);
+      check_int "not yet aborted" 0 (Reconfig.aborted rc);
+      Reconfig.recover rc;
+      check_int "intent rolled back" 1 (Reconfig.aborted rc);
+      let _, v1 = Table.snapshot tbl in
+      check_int "table untouched" v0 v1;
+      (* drain lifted: mutations to the formerly draining site go through *)
+      List.iter
+        (fun fh ->
+          ignore
+            (ok_or_fail "write after recover"
+               (Client.write_at cl fh ~off:(Int64.of_int (2 * chunk))
+                  ~data:(Nfs.Synthetic chunk) ()));
+          read_big_ok cl fh)
+        fhs;
+      check_storage_exclusive ens;
+      Reconfig.recover rc;
+      check_int "recover is idempotent" 1 (Reconfig.aborted rc))
+
+(* The exhibit is deterministic: same seed, byte-identical JSON. *)
+let test_scale_exhibit_deterministic () =
+  let dump () =
+    Json.to_string
+      (Slice_experiments.Scale.json_of
+         (Slice_experiments.Scale.compute ~scale:0.05 ~seed:21 ()))
+  in
+  let a = dump () in
+  let b = dump () in
+  check_string "byte-identical scale report" a b;
+  (* and it must show a clean audit and real migrations *)
+  let t = Slice_experiments.Scale.compute ~scale:0.05 ~seed:21 () in
+  check_int "no lost updates" 0 t.Slice_experiments.Scale.audit.aud_lost;
+  check_int "no ownership violations" 0
+    t.Slice_experiments.Scale.audit.aud_ownership_violations;
+  check_bool "sites moved" true (t.Slice_experiments.Scale.sites_moved > 0)
+
+let suite =
+  [
+    Alcotest.test_case "storage site migration preserves data" `Quick
+      test_storage_migration;
+    Alcotest.test_case "smallfile site migration preserves data" `Quick
+      test_smallfile_migration;
+    Alcotest.test_case "dir site migration preserves namespace" `Quick
+      test_dir_migration;
+    Alcotest.test_case "donor crash mid-migration aborts onto one side" `Quick
+      test_donor_crash_mid_migration;
+    Alcotest.test_case "abandoned intent rolled back by recover" `Quick
+      test_abandoned_intent_recovery;
+    Alcotest.test_case "scale exhibit is byte-deterministic" `Quick
+      test_scale_exhibit_deterministic;
+  ]
