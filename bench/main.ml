@@ -271,6 +271,94 @@ let write_scale_json t =
   Printf.printf "\nwrote %s (%d phases)\n" bench_pr5_path
     (List.length t.E.Scale.phases)
 
+(* ---- failover perf artifact (BENCH_PR6.json): takeover MTTR per
+   manager class plus the zero-requests-lost gate ---- *)
+
+let bench_pr6_path = "BENCH_PR6.json"
+
+let failover_bench_json (t : E.Failover.t) =
+  Json.Obj
+    [
+      ("schema_version", Json.Num 1.0);
+      ( "takeovers",
+        Json.Arr
+          (List.map
+             (fun (tk : E.Failover.takeover) ->
+               Json.Obj
+                 [
+                   ("class", Json.Str tk.E.Failover.tk_class);
+                   ("detect_ms", Json.Num (tk.E.Failover.tk_detect *. 1e3));
+                   ("mttr_ms", Json.Num (tk.E.Failover.tk_mttr *. 1e3));
+                   ("sites", Json.Num (float_of_int tk.E.Failover.tk_sites));
+                 ])
+             t.E.Failover.takeovers) );
+      ("requests_lost", Json.Num (float_of_int t.E.Failover.audit.E.Failover.aud_lost));
+      ("audit_checked", Json.Num (float_of_int t.E.Failover.audit.E.Failover.aud_checked));
+      ( "audit_ownership_violations",
+        Json.Num (float_of_int t.E.Failover.audit.E.Failover.aud_ownership_violations) );
+      ( "zombies_fenced",
+        Json.Num
+          (float_of_int
+             (List.length
+                (List.filter
+                   (fun (z : E.Failover.zombie) -> z.E.Failover.z_update_blocked)
+                   t.E.Failover.zombies))) );
+      ("zombies_probed", Json.Num (float_of_int (List.length t.E.Failover.zombies)));
+    ]
+
+(* The substantive gates: the exhibit killed one manager of each class,
+   so three takeovers with positive bounded MTTR; the post-run audit
+   found every acked update (zero requests lost — the PR's headline
+   claim); every revived zombie was fenced. *)
+let validate_failover_json txt =
+  let problem = ref None in
+  let fail msg = problem := Some msg in
+  let num k o = match Json.member k o with Some (Json.Num v) -> Some v | _ -> None in
+  let is_str k o = match Json.member k o with Some (Json.Str _) -> true | _ -> false in
+  (match Json.of_string txt with
+  | exception Json.Parse_error m -> fail ("parse error: " ^ m)
+  | j -> (
+      match (Json.member "schema_version" j, Json.member "takeovers" j) with
+      | Some (Json.Num _), Some (Json.Arr takeovers) ->
+          if List.length takeovers <> 3 then fail "want exactly 3 takeovers (one per class)";
+          List.iter
+            (fun tk ->
+              if not (is_str "class" tk) then fail "takeover row missing class";
+              match (num "detect_ms" tk, num "mttr_ms" tk, num "sites" tk) with
+              | Some d, Some m, Some s ->
+                  if not (d > 0.0 && m >= d && Float.is_finite m) then
+                    fail "takeover MTTR not positive/bounded";
+                  if s <= 0.0 then fail "takeover claimed no sites"
+              | _ -> fail "takeover row missing detect_ms/mttr_ms/sites")
+            takeovers;
+          (match num "requests_lost" j with
+          | Some 0.0 -> ()
+          | Some _ -> fail "requests lost: failover dropped acked updates"
+          | None -> fail "missing requests_lost");
+          (match num "audit_checked" j with
+          | Some v when v > 0.0 -> ()
+          | _ -> fail "audit checked nothing");
+          (match num "audit_ownership_violations" j with
+          | Some 0.0 -> ()
+          | _ -> fail "ownership not exclusive after failover");
+          (match (num "zombies_fenced" j, num "zombies_probed" j) with
+          | Some f, Some p when f = p && p > 0.0 -> ()
+          | _ -> fail "a revived zombie was not fenced")
+      | _ -> fail "missing top-level keys {schema_version, takeovers}"));
+  match !problem with
+  | None -> true
+  | Some msg ->
+      Printf.eprintf "%s: validation failed: %s\n" bench_pr6_path msg;
+      false
+
+let write_failover_json t =
+  let oc = open_out bench_pr6_path in
+  output_string oc (Json.to_string (failover_bench_json t));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d takeovers)\n" bench_pr6_path
+    (List.length t.E.Failover.takeovers)
+
 (* ---- ablations ---- *)
 
 let hash_balance_ablation () =
@@ -419,6 +507,18 @@ let run_smoke () =
   write_scale_json sc;
   if validate_scale_json (read_file bench_pr5_path) then
     print_endline "bench smoke: BENCH_PR5.json OK"
+  else exit 1;
+  print_endline "bench smoke: failover (scale 0.5)";
+  let fo = E.Failover.compute ~scale:0.5 () in
+  List.iter
+    (fun (tk : E.Failover.takeover) ->
+      Printf.printf "  failover smoke: %-11s detect %.0f ms, mttr %.0f ms, %d sites\n"
+        tk.E.Failover.tk_class (tk.E.Failover.tk_detect *. 1e3) (tk.E.Failover.tk_mttr *. 1e3)
+        tk.E.Failover.tk_sites)
+    fo.E.Failover.takeovers;
+  write_failover_json fo;
+  if validate_failover_json (read_file bench_pr6_path) then
+    print_endline "bench smoke: BENCH_PR6.json OK (zero requests lost)"
   else exit 1
 
 let () =

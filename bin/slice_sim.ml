@@ -143,6 +143,32 @@ let scale_cmd =
       const (fun s j tj -> with_trace_dump tj (fun () -> run_scale s j))
       $ scale_arg ~default:0.2 $ json $ trace_json_arg)
 
+let run_failover scale json =
+  let t = E.Failover.compute ~scale () in
+  E.Report.print (E.Failover.report_of t);
+  match json with
+  | None -> ()
+  | Some path ->
+      write_file path (Slice_util.Json.to_string (E.Failover.json_of t));
+      Printf.printf "wrote %s\n%!" path
+
+let failover_cmd =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the failover report (per-phase throughput/latency, takeover MTTR, zombie \
+             fence probes, post-run audit, failover metrics) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Dataless failover: kill a manager of each class; hot standbys take over.")
+    Term.(
+      const (fun s j tj -> with_trace_dump tj (fun () -> run_failover s j))
+      $ scale_arg ~default:1.0 $ json $ trace_json_arg)
+
 (* Every exhibit in one table: its subcommand plus what `all` runs for it
    ([None] = covered by another row — fig6 rides with fig5). Both the
    CLI's command list and `all` derive from here, so a new exhibit shows
@@ -161,6 +187,7 @@ let exhibits : (unit Cmd.t * (fast:float -> fast_points:int -> unit) option) lis
     (offload_cmd, Some (fun ~fast ~fast_points:_ -> run_offload (0.25 *. fast)));
     (trace_cmd, Some (fun ~fast ~fast_points:_ -> run_trace (0.25 *. fast) None));
     (scale_cmd, Some (fun ~fast ~fast_points:_ -> run_scale (0.2 *. fast) None));
+    (failover_cmd, Some (fun ~fast:_ ~fast_points:_ -> run_failover 1.0 None));
     (chaos_cmd, Some (fun ~fast:_ ~fast_points:_ -> run_chaos ()));
   ]
 

@@ -66,7 +66,7 @@ type t = {
   mutable storage_ : Obsd.t array;
   mutable storage_addrs : Packet.addr array;
   st_tbl : Table.t option; (* logical storage site -> physical node *)
-  coord : Coordinator.t option;
+  mutable coord : Coordinator.t option; (* mutable: failover replaces it *)
   mutable dirs_ : Dirserver.t array;
   mutable smallfiles_ : Smallfile.t array;
   dir_tbl : Table.t;
@@ -244,7 +244,7 @@ let attach_smallfile t ~idx ~host ~sites =
           dir_table = t.dir_tbl;
           smallfile_table = None;
           storage = t.st_tbl;
-          coordinator = coord_endpoint t Fh.root;
+          coordinator = (fun () -> coord_endpoint t Fh.root);
         }
     in
     let rpc = Rpc.create t.net_ host.Host.addr ~port:1900 in
@@ -367,9 +367,9 @@ let virtual_addr t = t.vaddr
 let add_client t ~name:client_name =
   t.next_client <- t.next_client + 1;
   let host = Host.create t.net_ ~name:client_name () in
-  let coordinator =
-    match t.coord with Some c -> Some (Coordinator.addr c, Coordinator.port c) | None -> None
-  in
+  (* Resolved at call time: a coordinator takeover swaps [t.coord] and
+     every existing µproxy follows without being reinstalled. *)
+  let coordinator () = coord_endpoint t root in
   let proxy =
     Proxy.install host ~params:t.cfg.proxy_params ~seed:(t.cfg.seed + t.next_client)
       ?trace:t.trace_
@@ -450,6 +450,14 @@ let add_smallfile_server t =
 
 let storage t = t.storage_
 let coordinator t = t.coord
+
+let replace_coordinator t c =
+  (* Failover: hand the coordinator role to a successor instance. All
+     consumers resolve the endpoint through [coord_endpoint] at call
+     time (µproxy targets are closures, Dirserver configs call
+     [coordinator fh] per operation), so the swap is atomic in sim
+     time — no endpoint re-registration, no missed messages. *)
+  t.coord <- Some c
 let dirs t = t.dirs_
 let smallfiles t = t.smallfiles_
 let dir_table t = t.dir_tbl
@@ -507,6 +515,7 @@ let metrics t =
   g "proxy.meta_misses" (fun () -> (meta_cache_totals t).Proxy.misses);
   g "proxy.meta_stale" (fun () -> (meta_cache_totals t).Proxy.stale);
   g "proxy.meta_invalidations" (fun () -> (meta_cache_totals t).Proxy.invalidations);
+  g "proxy.fence_invalidations" (sum_proxies Proxy.fence_invalidations);
   g "storage.reads" (fun () -> Array.fold_left (fun a s -> a + Obsd.reads s) 0 t.storage_);
   g "storage.writes" (fun () -> Array.fold_left (fun a s -> a + Obsd.writes s) 0 t.storage_);
   g "storage.bytes_read" (fun () -> Array.fold_left (fun a s -> a + Obsd.bytes_read s) 0 t.storage_);
@@ -516,17 +525,25 @@ let metrics t =
   g "storage.cache_misses"
     (fun () -> Array.fold_left (fun a s -> a + Obsd.cache_misses s) 0 t.storage_);
   (match t.coord with
-  | Some c ->
-      g "coordinator.intents_logged" (fun () -> Coordinator.intents_logged c);
-      g "coordinator.completions" (fun () -> Coordinator.completions c);
-      g "coordinator.redos" (fun () -> Coordinator.redos c);
-      g "coordinator.pending_intents" (fun () -> Coordinator.pending_intents c)
+  | Some _ ->
+      (* resolve through [t.coord] at dump time: a takeover swaps the
+         instance and the gauges must follow the successor *)
+      let gc name f = g name (fun () -> match t.coord with Some c -> f c | None -> 0) in
+      gc "coordinator.intents_logged" Coordinator.intents_logged;
+      gc "coordinator.completions" Coordinator.completions;
+      gc "coordinator.redos" Coordinator.redos;
+      gc "coordinator.pending_intents" Coordinator.pending_intents;
+      gc "coordinator.fence_bounces" Coordinator.fence_bounces
   | None -> ());
   g "dir.ops" (fun () -> dir_ops_served t);
   g "dir.peer_ops" (fun () -> Array.fold_left (fun a d -> a + Dirserver.peer_ops_served d) 0 t.dirs_);
   g "dir.cross_site_ops"
     (fun () -> Array.fold_left (fun a d -> a + Dirserver.cross_site_ops d) 0 t.dirs_);
   g "dir.log_bytes" (fun () -> Array.fold_left (fun a d -> a + Dirserver.log_bytes d) 0 t.dirs_);
+  g "dir.fence_bounces"
+    (fun () -> Array.fold_left (fun a d -> a + Dirserver.fence_bounces d) 0 t.dirs_);
+  g "smallfile.fence_bounces"
+    (fun () -> Array.fold_left (fun a s -> a + Smallfile.fence_bounces s) 0 t.smallfiles_);
   g "smallfile.reads"
     (fun () -> Array.fold_left (fun a s -> a + Smallfile.reads s) 0 t.smallfiles_);
   g "smallfile.writes"

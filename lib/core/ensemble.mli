@@ -74,7 +74,16 @@ val crash_dir : t -> int -> unit
 val recover_dir : t -> int -> unit
 
 val storage : t -> Slice_storage.Obsd.t array
+
 val coordinator : t -> Slice_storage.Coordinator.t option
+
+val replace_coordinator : t -> Slice_storage.Coordinator.t -> unit
+(** Failover: hand the coordinator role to a successor instance (attached
+    on a surviving storage host). Every consumer — µproxies, directory
+    servers, the metrics gauges — resolves the endpoint at call time, so
+    the swap is atomic in sim time. The deposed instance is left in place
+    for its fencing lease to wedge it. *)
+
 val dirs : t -> Slice_dir.Dirserver.t array
 val smallfiles : t -> Slice_smallfile.Smallfile.t array
 val dir_table : t -> Table.t

@@ -19,7 +19,9 @@ type targets = {
   dir_table : Table.t;
   smallfile_table : Table.t option;
   storage : Table.t option;
-  coordinator : (Packet.addr * int) option;
+  coordinator : unit -> (Packet.addr * int) option;
+      (* resolved at call time: a coordinator takeover rebinds the
+         endpoint without reinstalling every µproxy *)
 }
 
 type phase_cpu = {
@@ -91,6 +93,11 @@ type t = {
          them — the site is bound to a physical node at forward time. *)
   intents_open : (int64, int64) Hashtbl.t;
   mutable meta_epoch : int;
+  mutable fence_seen : int;
+      (* sum of the routing tables' fencing epochs at the last refresh; an
+         advance means a manager was deposed and the caches hold entries
+         from a dead incarnation *)
+  mutable n_fence_inval : int;
   (* private snapshots (hints) of the routing tables *)
   mutable dir_map : Packet.addr array;
   mutable dir_version : int;
@@ -163,7 +170,7 @@ let nfs_call t ?(span = Trace.null) (call : Nfs.call) ~dst =
   snd (Codec.decode_reply reply)
 
 let ctrl_call t ?(span = Trace.null) msg =
-  match t.tg.coordinator with
+  match t.tg.coordinator () with
   | None -> Ctrl.Nack
   | Some (addr, port) ->
       let xid = Rpc.fresh_xid t.rpc in
@@ -222,6 +229,33 @@ let writeback_dirty_attrs t =
 
 (* ---- table snapshots ---- *)
 
+let combined_epoch_of targets =
+  Table.epoch targets.dir_table
+  + (match targets.smallfile_table with Some tbl -> Table.epoch tbl | None -> 0)
+  + (match targets.storage with Some tbl -> Table.epoch tbl | None -> 0)
+
+(* A fencing-epoch advance means a manager was deposed by a takeover:
+   every metadata entry cached from the dead incarnation is suspect.
+   Names and block maps are dropped outright. Attribute entries lose
+   their lease so the next fast-path attempt revalidates at the new
+   owner — except dirty ones, whose pending I/O state (sizes, mtimes of
+   writes already acked to the client) must survive the takeover: they
+   keep their bytes and are written back to the successor immediately. *)
+let fence_invalidate t =
+  Lru.clear t.name_cache;
+  Lru.clear t.map_cache;
+  let clean = ref [] and dirty = ref [] in
+  Lru.iter t.attrs (fun k c -> if c.ca_dirty then dirty := c :: !dirty else clean := k :: !clean);
+  List.iter (fun k -> Lru.remove t.attrs k) !clean;
+  List.iter
+    (fun c ->
+      c.ca_valid_until <- neg_infinity;
+      Engine.spawn t.eng (fun () -> writeback_one t c))
+    !dirty;
+  t.meta_epoch <- t.meta_epoch + 1;
+  t.n_meta_inval <- t.n_meta_inval + 1;
+  t.n_fence_inval <- t.n_fence_inval + 1
+
 let refresh_tables t =
   let m, v = Table.snapshot t.tg.dir_table in
   t.dir_map <- m;
@@ -232,12 +266,17 @@ let refresh_tables t =
       t.sf_map <- m;
       t.sf_version <- v
   | None -> ());
-  match t.tg.storage with
+  (match t.tg.storage with
   | Some tbl ->
       let m, v = Table.snapshot tbl in
       t.st_map <- m;
       t.st_version <- v
-  | None -> ()
+  | None -> ());
+  let ep = combined_epoch_of t.tg in
+  if ep > t.fence_seen then begin
+    t.fence_seen <- ep;
+    fence_invalidate t
+  end
 
 let table_versions t = (t.dir_version, t.sf_version, t.st_version)
 
@@ -344,7 +383,7 @@ let orchestrate_commit t ~span (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) 
           jobs := (fun () -> ignore (nfs_call t ~span (Nfs.Commit (fh, 0L, 0)) ~dst)) :: !jobs
       | None -> ());
       let sites = storage_sites_of t fh in
-      (match (sites, t.tg.coordinator) with
+      (match (sites, t.tg.coordinator ()) with
       | [], _ -> ()
       | sites, Some _ ->
           jobs := (fun () -> ignore (ctrl_call t ~span (Ctrl.Commit_file { fh; sites }))) :: !jobs
@@ -374,7 +413,7 @@ let orchestrate_commit t ~span (pkt : Packet.t) (peek : Codec.peek) (fh : Fh.t) 
 (* ---- mirrored-write intention (amortized across the file's writes) ---- *)
 
 let open_intent_if_needed t (fh : Fh.t) =
-  if t.tg.coordinator <> None && not (Hashtbl.mem t.intents_open fh.Fh.file_id) then begin
+  if t.tg.coordinator () <> None && not (Hashtbl.mem t.intents_open fh.Fh.file_id) then begin
     let op_id = Int64.of_int (Rpc.fresh_xid t.rpc) in
     Hashtbl.replace t.intents_open fh.Fh.file_id op_id;
     t.n_intents <- t.n_intents + 1;
@@ -1061,6 +1100,8 @@ let install host ?(params = Params.default) ?(seed = 7) ?trace targets =
       (* lint: bounded — one row per file with an open mirrored-write intent; commit closes it *)
       intents_open = Hashtbl.create 16;
       meta_epoch = 0;
+      fence_seen = combined_epoch_of targets;
+      n_fence_inval = 0;
       dir_map;
       dir_version;
       sf_map;
@@ -1145,3 +1186,4 @@ let meta_cache_stats t =
 
 let name_cache_entries t = Lru.entry_count t.name_cache
 let map_cache_entries t = Lru.entry_count t.map_cache
+let fence_invalidations t = t.n_fence_inval

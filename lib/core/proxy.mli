@@ -46,7 +46,9 @@ type targets = {
   storage : Table.t option;
       (** logical storage site -> physical node; [None] when the ensemble
           runs without a storage class *)
-  coordinator : (Slice_net.Packet.addr * int) option;
+  coordinator : unit -> (Slice_net.Packet.addr * int) option;
+      (** block-service coordinator endpoint, resolved at call time so a
+          coordinator takeover rebinds it without reinstalling proxies *)
 }
 
 val install :
@@ -130,3 +132,10 @@ val name_cache_entries : t -> int
 val map_cache_entries : t -> int
 (** Current entry counts of the name and block-map caches (both bounded
     by [Params.name_cache_capacity] / [Params.map_cache_capacity]). *)
+
+val fence_invalidations : t -> int
+(** Times a routing-table fencing-epoch advance flushed the metadata
+    caches (a manager takeover deposed the incarnation the entries came
+    from). Clean entries are dropped, dirty attributes keep their bytes
+    (lease revoked, written back to the successor) so no acked update is
+    lost. *)

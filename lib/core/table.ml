@@ -1,8 +1,12 @@
-type t = { mutable map : Slice_net.Packet.addr array; mutable version : int }
+type t = {
+  mutable map : Slice_net.Packet.addr array;
+  mutable version : int;
+  mutable epoch : int;
+}
 
 let create map =
   if Array.length map = 0 then invalid_arg "Table.create: empty";
-  { map = Array.copy map; version = 1 }
+  { map = Array.copy map; version = 1; epoch = 1 }
 
 let nsites t = Array.length t.map
 
@@ -32,3 +36,15 @@ let update t map =
   end
 
 let snapshot t = (Array.copy t.map, t.version)
+
+let epoch t = t.epoch
+
+(* Fencing: a takeover that rebinds a failed server's sites advances the
+   epoch so (a) every server granted a lease under the old epoch is
+   provably deposed and (b) µproxies treat the bump as a hard
+   invalidation, not just a routing refresh.  The version bumps too —
+   even when the mapping itself is unchanged (e.g. a coordinator
+   takeover) — so stale snapshots notice on their next bounce. *)
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.version <- t.version + 1

@@ -33,3 +33,14 @@ val update : t -> Slice_net.Packet.addr array -> unit
 
 val snapshot : t -> Slice_net.Packet.addr array * int
 (** Copy of the mapping plus its version, for a µproxy's private hint. *)
+
+val epoch : t -> int
+(** Fencing epoch (starts at 1). Unlike the version — which moves on any
+    rebinding — the epoch only advances on a failover takeover, and marks
+    every lease granted under a smaller epoch as deposed. *)
+
+val bump_epoch : t -> unit
+(** Advance the fencing epoch after a takeover claims a failed server's
+    sites. Also bumps the version (even if the mapping is unchanged) so
+    stale µproxy snapshots refresh — and, seeing the epoch move, discard
+    metadata cached from the dead incarnation. *)

@@ -60,6 +60,14 @@ type t = {
   mutable peer_calls : int;
   mutable drain_bounces : int;
   mutable misdirect_bounces : int;
+  mutable fence_bounces : int;
+  (* Fencing lease (failover): while a failure detector renews the lease
+     the server serves normally; past [lease_until] it wedges — every
+     request bounces SLICE_MISDIRECTED — so a zombie deposed by a
+     takeover cannot serve state from its dead incarnation. The default
+     (+inf / epoch 0) means "no detector attached": never wedged. *)
+  mutable lease_until : float;
+  mutable lease_epoch : int;
   mutable up : bool;
 }
 
@@ -308,6 +316,12 @@ let bump_parent ?(span = Trace.null) t (dfh : Fh.t) delta =
 
 let misdirected = Error Nfs.ERR_MISDIRECTED
 
+let wedged t = now t > t.lease_until
+
+let fence_bounce t =
+  t.fence_bounces <- t.fence_bounces + 1;
+  misdirected
+
 let bounce t site =
   if owns t site && is_draining t site then t.drain_bounces <- t.drain_bounces + 1
   else t.misdirect_bounces <- t.misdirect_bounces + 1;
@@ -407,6 +421,12 @@ let remove_entry_here ?(span = Trace.null) t (dfh : Fh.t) name =
 
 let handle t span (call : Nfs.call) : Nfs.response =
   t.ops <- t.ops + 1;
+  (* Expired lease: the server is (or must assume it is) deposed. Wedge
+     everything — reads included, since a takeover peer may already be
+     serving newer state for our sites. The µproxy treats the bounce
+     like any soft-state miss: refresh tables, retry at the new owner. *)
+  if wedged t then fence_bounce t
+  else
   match call with
   | Nfs.Null -> Ok Nfs.RNull
   | Nfs.Getattr fh ->
@@ -602,6 +622,11 @@ let mark_applied t op_id =
 
 let handle_peer t (msg : Peer.msg) : Peer.reply =
   t.peer_ops <- t.peer_ops + 1;
+  if wedged t then begin
+    t.fence_bounces <- t.fence_bounces + 1;
+    Peer.Rerr Nfs.ERR_MISDIRECTED
+  end
+  else
   let dedup op_id apply =
     if Hashtbl.mem t.applied op_id then Peer.Ack
     else begin
@@ -756,6 +781,9 @@ let attach host ?(port = 2049) ?(costs = default_costs) ?trace cfg =
       peer_calls = 0;
       drain_bounces = 0;
       misdirect_bounces = 0;
+      fence_bounces = 0;
+      lease_until = infinity;
+      lease_epoch = 0;
       up = true;
     }
   in
@@ -915,6 +943,23 @@ let site_load t site =
 
 let drain_bounces t = t.drain_bounces
 let misdirect_bounces t = t.misdirect_bounces
+
+(* ---- fencing lease (failover) ---- *)
+
+let set_lease t ~epoch ~until =
+  t.lease_epoch <- epoch;
+  t.lease_until <- until
+
+let lease_epoch t = t.lease_epoch
+let fence_bounces t = t.fence_bounces
+let is_wedged t = wedged t
+let is_up t = t.up
+let host t = t.host
+
+(* Clear the per-site load counter a donor accumulated for a site it no
+   longer owns; without this a later rebalance reads the dead server's
+   stale load through the registry gauge. *)
+let reset_site_load t site = Hashtbl.remove t.site_ops site
 
 (* Failover (Section 2.3): "a surviving site assumes the role of a failed
    server, recovering its state from shared storage". [adopt_site] replays

@@ -134,6 +134,36 @@ val site_load : t -> int -> int
 val drain_bounces : t -> int
 val misdirect_bounces : t -> int
 
+(** {2 Fencing lease (failover)} *)
+
+val set_lease : t -> epoch:int -> until:float -> unit
+(** Grant (or renew) this server's fencing lease: it may serve until
+    sim-time [until] under fencing epoch [epoch]. Servers start with an
+    infinite lease (epoch 0) — attaching a failure detector is what
+    makes fencing real. *)
+
+val lease_epoch : t -> int
+
+val is_up : t -> bool
+(** Service liveness (false between {!crash} and {!recover}); failure
+    detectors use it to pick live standbys. *)
+
+val is_wedged : t -> bool
+(** The lease has expired: every NFS and peer request bounces with
+    [SLICE_MISDIRECTED] until a new lease is granted ({!set_lease}),
+    so a zombie deposed by a takeover cannot serve stale state. *)
+
+val fence_bounces : t -> int
+(** Requests bounced because the lease had expired. *)
+
+val host : t -> Slice_storage.Host.t
+(** The host this server is attached to (failover detectors register
+    their lease-renewal endpoint on it). *)
+
+val reset_site_load : t -> int -> unit
+(** Forget the per-site load counter (called when the site is migrated
+    or seized away, so stale donor load cannot skew later rebalances). *)
+
 val crash : t -> unit
 (** Drop all volatile state; only synced log records survive. *)
 

@@ -31,7 +31,7 @@ let repo =
       (fun f ->
         any_prefix
           [ "lib/experiments/"; "bench/"; "examples/"; "lib/trace/";
-            "lib/reconfig/" ]
+            "lib/reconfig/"; "lib/failover/" ]
           f
         || List.mem f [ "lib/util/stats.ml"; "lib/util/metrics.ml" ]);
     (* Long-lived proxy/server modules: state here survives across
@@ -51,6 +51,7 @@ let repo =
             "lib/storage/nfs_endpoint.ml";
             "lib/smallfile/smallfile.ml";
             "lib/reconfig/reconfig.ml";
+            "lib/failover/failover.ml";
             "lib/util/lru.ml";
             "lib/util/metrics.ml";
             "lib/trace/trace.ml";

@@ -1,6 +1,10 @@
 type klass = Dir | Smallfile | Storage
 
-type t = Add_server of klass | Remove_server of klass * int | Rebalance
+type t =
+  | Add_server of klass
+  | Remove_server of klass * int
+  | Rebalance
+  | Takeover of klass * int * int
 
 let klass_name = function
   | Dir -> "dir"
@@ -17,3 +21,5 @@ let describe = function
   | Add_server k -> Printf.sprintf "add %s server" (klass_name k)
   | Remove_server (k, i) -> Printf.sprintf "remove %s server %d" (klass_name k) i
   | Rebalance -> "rebalance all classes"
+  | Takeover (k, victim, standby) ->
+      Printf.sprintf "take over %s server %d onto %d" (klass_name k) victim standby

@@ -22,6 +22,16 @@ type t =
           per-site load (least-loaded-bucket greedy with a
           keep-in-place tie-break, so a balanced ensemble is a fixed
           point and repeated rebalances are idempotent). *)
+  | Takeover of klass * int * int
+      (** [Takeover (k, victim, standby)]: hot-standby failover — claim
+          every logical site of the class's dead server [victim] for
+          server [standby], rebuilding the sites' state from shared
+          storage (directory journal replay / small-file zone images).
+          No drain phase and no donor-liveness check: the victim is
+          presumed dead, and the routing table's fencing-epoch bump is
+          what stops a zombie. Storage sites are not dataless (their
+          bytes die with the node), so [Takeover (Storage, _, _)] is
+          rejected — coordinator failover is [Slice_failover]'s job. *)
 
 val klass_name : klass -> string
 (** ["dir"], ["smallfile"] or ["storage"] — used in metric names, trace

@@ -50,6 +50,9 @@ type class_ops = {
   own : int -> int -> unit;
   disown : int -> int -> unit;
   drop : int -> int -> unit;
+  drop_load : int -> int -> unit;
+      (* forget a server's per-site load row without touching its data:
+         a donor's stale counter must not feed later rebalances *)
   site_load : int -> int -> int;
   drain_bounces : unit -> int;
   add_server : unit -> int;
@@ -109,6 +112,7 @@ let dir_class ens =
     drop = (fun _ _ -> ());
     (* cells replayed into a receiver that never commits are inert:
        ownership gating keeps them unreachable *)
+    drop_load = (fun i s -> Dirserver.reset_site_load (servers ()).(i) s);
     site_load = (fun i s -> Dirserver.site_load (servers ()).(i) s);
     drain_bounces =
       (fun () ->
@@ -145,6 +149,7 @@ let sf_class ens =
           own = (fun i s -> Smallfile.own_site (servers ()).(i) s);
           disown = (fun i s -> Smallfile.disown_site (servers ()).(i) s);
           drop = (fun i s -> Smallfile.drop_site (servers ()).(i) s);
+          drop_load = (fun i s -> Smallfile.reset_site_load (servers ()).(i) s);
           site_load = (fun i s -> Smallfile.site_load (servers ()).(i) s);
           drain_bounces =
             (fun () ->
@@ -179,6 +184,7 @@ let st_class ens =
           own = (fun i s -> Obsd.own_site (servers ()).(i) s);
           disown = (fun i s -> Obsd.disown_site (servers ()).(i) s);
           drop = (fun i s -> Obsd.drop_site (servers ()).(i) s);
+          drop_load = (fun i s -> Obsd.reset_site_load (servers ()).(i) s);
           site_load = (fun i s -> Obsd.site_load (servers ()).(i) s);
           drain_bounces =
             (fun () ->
@@ -197,6 +203,25 @@ let st_class ens =
 
 let class_list t =
   t.dir_ops :: List.filter_map Fun.id [ t.sf_ops; t.st_ops ]
+
+(* Per-site load gauge: resolves the owner through the table at read
+   time. Registered at attach and re-registered after every committed
+   move — the remove/re-add pair retires whatever closure was behind the
+   name, so a gauge can never outlive the server generation it was
+   minted for (a takeover replaces the server arrays' contents). *)
+let register_load_gauge t ops j =
+  Metrics.gauge t.reg (load_key ops.kname j) (fun () ->
+      let o = owner_of ops j in
+      if o < 0 then 0.0 else float_of_int (ops.site_load o j))
+
+(* A committed move retires the donor-side accounting for the site: the
+   donor's load row is reset (its traffic history moved with the site)
+   and the registry entry is dropped and re-registered so nothing keeps
+   answering with pre-move values. *)
+let retire_donor_load t ops ~donor ~site =
+  ops.drop_load donor site;
+  Metrics.remove t.reg (load_key ops.kname site);
+  register_load_gauge t ops site
 
 let attach ?(bandwidth = 50e6) ?trace ens =
   let reg = Metrics.create () in
@@ -230,9 +255,7 @@ let attach ?(bandwidth = 50e6) ?trace ens =
   List.iter
     (fun ops ->
       for j = 0 to Table.nsites ops.table - 1 do
-        Metrics.gauge reg (load_key ops.kname j) (fun () ->
-            let o = owner_of ops j in
-            if o < 0 then 0.0 else float_of_int (ops.site_load o j))
+        register_load_gauge t ops j
       done)
     (class_list t);
   t
@@ -275,6 +298,7 @@ let migrate ?abandon t ops ~site ~donor ~recv =
     ops.end_drain donor site;
     ops.disown donor site;
     ops.drop donor site;
+    retire_donor_load t ops ~donor ~site;
     set_site ops site (ops.addr recv);
     ignore (Wal.append t.wal ~rtype:rt_commit (string_of_int op_id));
     Wal.sync t.wal;
@@ -291,6 +315,69 @@ let migrate ?abandon t ops ~site ~donor ~recv =
     t.n_aborted <- t.n_aborted + 1;
     Trace.finish ~outcome:"aborted" span
   end
+
+(* Hot-standby takeover of one site: migrate without the drain phase and
+   without the donor-liveness check — the donor is presumed dead, so its
+   state is rebuilt from what shared storage holds (the directory
+   classes' [prepare]/[copy_commit] read the donor's stable journal
+   image; the small-file class re-materializes the site's zone files).
+   The dead donor is deliberately NOT disowned: a zombie that wakes up
+   still believing it owns the site is stopped by the fencing epoch (its
+   lease expired before the takeover was allowed to start), not by
+   control-plane writes to a machine we just declared unreachable. *)
+let takeover_site t ops ~site ~donor ~recv =
+  let span =
+    Trace.root t.trace ~op:("takeover." ^ ops.kname) ~site:(string_of_int site)
+  in
+  let op_id = t.next_op in
+  t.next_op <- op_id + 1;
+  t.n_migrations <- t.n_migrations + 1;
+  ignore
+    (Wal.append t.wal ~rtype:rt_begin
+       (Printf.sprintf "%d %s %d %d %d" op_id ops.kname site donor recv));
+  Wal.sync t.wal;
+  let cookie = ops.prepare ~donor ~site in
+  let est = ops.copy_bytes ~donor ~site ~cookie in
+  Engine.sleep t.eng (setup_latency +. (Int64.to_float est /. t.bandwidth));
+  if Net.node_up t.net (ops.addr recv) then begin
+    let bytes = ops.copy_commit ~donor ~recv ~site ~cookie in
+    ops.own recv site;
+    retire_donor_load t ops ~donor ~site;
+    set_site ops site (ops.addr recv);
+    ignore (Wal.append t.wal ~rtype:rt_commit (string_of_int op_id));
+    Wal.sync t.wal;
+    t.n_moved <- t.n_moved + 1;
+    t.n_bytes <- Int64.add t.n_bytes bytes;
+    Trace.finish ~outcome:"committed" span;
+    true
+  end
+  else begin
+    ignore (Wal.append t.wal ~rtype:rt_abort (string_of_int op_id));
+    Wal.sync t.wal;
+    t.n_aborted <- t.n_aborted + 1;
+    Trace.finish ~outcome:"aborted" span;
+    false
+  end
+
+(* Claim every site the dead victim still owns for the standby, then
+   advance the class table's fencing epoch exactly once — the epoch bump
+   both refreshes stale µproxy snapshots and marks the victim's
+   incarnation deposed (its cached metadata is flushed everywhere, its
+   lease can never be renewed under the old epoch). *)
+let takeover_class t ops ~victim ~standby =
+  if victim = standby then invalid_arg "Reconfig: takeover onto the victim";
+  let n = ops.nservers () in
+  if victim < 0 || victim >= n || standby < 0 || standby >= n then
+    invalid_arg "Reconfig: takeover server index out of range";
+  let nsites = Table.nsites ops.table in
+  let claimed = ref 0 in
+  for j = 0 to nsites - 1 do
+    if owner_of ops j = victim then
+      if takeover_site t ops ~site:j ~donor:victim ~recv:standby then
+        incr claimed
+  done;
+  if !claimed > 0 then Table.bump_epoch ops.table;
+  !claimed
 
 (* Load-driven placement: heaviest site first into the least-loaded
    bucket, with two deterministic refinements — equal buckets break
@@ -358,6 +445,17 @@ let require t k =
         (Printf.sprintf "Reconfig: ensemble runs no %s class"
            (Plan.klass_name k))
 
+let takeover t k ~victim ~standby =
+  (match k with
+  | Plan.Storage ->
+      (* Storage sites are not dataless: their bytes die with the node
+         (mirroring is the storage class's redundancy story, and the
+         coordinator's failover lives in Slice_failover). *)
+      invalid_arg "Reconfig: storage sites are not dataless; cannot take over"
+  | Plan.Dir | Plan.Smallfile -> ());
+  let ops = require t k in
+  takeover_class t ops ~victim ~standby
+
 let execute ?abandon t plan =
   try
     match plan with
@@ -380,6 +478,7 @@ let execute ?abandon t plan =
         if n <= 1 then
           invalid_arg "Reconfig: cannot remove the last server of a class";
         rebalance_class ?abandon ~exclude:idx t ops
+    | Plan.Takeover (k, victim, standby) -> ignore (takeover t k ~victim ~standby)
   with Abandoned -> ()
 
 let recover t =

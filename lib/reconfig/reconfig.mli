@@ -80,6 +80,22 @@ val execute : ?abandon:[ `After_begin ] -> t -> Plan.t -> unit
     or a [Remove_server] index out of range / naming the last server
     of its class. *)
 
+val takeover : t -> Plan.klass -> victim:int -> standby:int -> int
+(** Hot-standby failover ([Plan.Takeover] as a direct call): claim every
+    logical site of the class's dead server [victim] for [standby] —
+    per site: log a Begin intent, rebuild the site's state from shared
+    storage (directory journal replay, small-file zone images), bind the
+    site to the standby, seal with Commit — then advance the class
+    table's fencing epoch exactly once. No drain phase, no donor-liveness
+    check; the dead donor keeps its (unreachable) ownership bits and is
+    stopped by fencing, not by control-plane writes to a machine just
+    declared unreachable. Returns the number of sites claimed. A standby
+    that crashes mid-takeover leaves dangling Begin intents for
+    {!recover} exactly like an abandoned migration; a re-run converges
+    (journal replay is idempotent).
+    @raise Invalid_argument for the storage class (storage sites are not
+    dataless), out-of-range indices, or [victim = standby]. *)
+
 val recover : t -> unit
 (** Replay the intent log and roll back every Begin not sealed by a
     Commit or Abort: lift the drain, restore donor ownership, disown

@@ -1,3 +1,4 @@
+module Engine = Slice_sim.Engine
 module Nfs = Slice_nfs.Nfs
 module Fh = Slice_nfs.Fh
 module Bcache = Slice_disk.Bcache
@@ -44,6 +45,13 @@ type t = {
   mutable writes : int;
   mutable drain_bounces : int;
   mutable misdirect_bounces : int;
+  (* Fencing lease (failover): an expired lease wedges the whole server —
+     every request bounces — so a zombie deposed by a takeover cannot
+     serve stale file contents. Defaults (infinite lease, epoch 0) keep
+     standalone servers unfenced. *)
+  mutable lease_until : float;
+  mutable lease_epoch : int;
+  mutable fence_bounces : int;
 }
 
 let physical_size_of n =
@@ -176,10 +184,17 @@ let store_real fr ~off data =
   in
   Bytes.blit_string data 0 buf off len
 
+let wedged t = Engine.now t.host.Host.eng > t.lease_until
+
 let handle t span (call : Nfs.call) : Nfs.response =
   (* Map/extent cache touches are the synchronous disk work of this
      server; async write-behind stays untraced. *)
   let disk_timed f = Trace.timed span ~hop:"disk" ~site:(Host.name t.host) f in
+  if wedged t then begin
+    t.fence_bounces <- t.fence_bounces + 1;
+    Error Nfs.ERR_MISDIRECTED
+  end
+  else
   match call with
   | Nfs.Null -> Ok Nfs.RNull
   | Nfs.Getattr fh ->
@@ -350,6 +365,9 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
       writes = 0;
       drain_bounces = 0;
       misdirect_bounces = 0;
+      lease_until = infinity;
+      lease_epoch = 0;
+      fence_bounces = 0;
     }
   in
   List.iter (fun s -> Hashtbl.replace t.owned s ()) sites;
@@ -386,8 +404,21 @@ let end_drain t site = Hashtbl.remove t.draining site
 let site_load t site =
   match Hashtbl.find_opt t.site_ops site with Some r -> !r | None -> 0
 
+let reset_site_load t site = Hashtbl.remove t.site_ops site
+
 let drain_bounces t = t.drain_bounces
 let misdirect_bounces t = t.misdirect_bounces
+
+(* ---- fencing lease (failover) ---- *)
+
+let set_lease t ~epoch ~until =
+  t.lease_epoch <- epoch;
+  t.lease_until <- until
+
+let lease_epoch t = t.lease_epoch
+let fence_bounces t = t.fence_bounces
+let is_wedged t = wedged t
+let host t = t.host
 
 type site_image = (int64 * int * string) list
 (* (fileID, size, contents) per file of the site; synthetic contents are

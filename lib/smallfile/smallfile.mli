@@ -90,5 +90,29 @@ val drop_site : t -> int -> unit
 val image_bytes : site_image -> int64
 val site_bytes : t -> int -> int64
 val site_load : t -> int -> int
+
+val reset_site_load : t -> int -> unit
+(** Forget the per-site load counter (site migrated or seized away). *)
+
 val drain_bounces : t -> int
 val misdirect_bounces : t -> int
+
+(** {2 Fencing lease (failover)} *)
+
+val set_lease : t -> epoch:int -> until:float -> unit
+(** Grant (or renew) this server's fencing lease: it may serve until
+    sim-time [until] under fencing epoch [epoch]. Servers start with an
+    infinite lease (epoch 0) — attaching a failure detector is what
+    makes fencing real. *)
+
+val lease_epoch : t -> int
+
+val is_wedged : t -> bool
+(** The lease has expired: every request bounces with
+    [SLICE_MISDIRECTED] until a new lease is granted, so a zombie
+    deposed by a takeover cannot serve stale file contents. *)
+
+val fence_bounces : t -> int
+(** Requests bounced because the lease had expired. *)
+
+val host : t -> Slice_storage.Host.t

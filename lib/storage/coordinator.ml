@@ -34,7 +34,16 @@ type t = {
   mutable completed_count : int;
   mutable redo_count : int;
   mutable up : bool;
+  (* Fencing lease (failover): an expired lease wedges the coordinator —
+     control messages get Nack, probes/redo stop — so a zombie deposed by
+     a takeover cannot drive 2PC against the new incarnation. Defaults
+     (infinite lease, epoch 0) keep standalone coordinators unfenced. *)
+  mutable lease_until : float;
+  mutable lease_epoch : int;
+  mutable fence_bounces : int;
 }
+
+let wedged t = Engine.now t.host.Host.eng > t.lease_until
 
 let cpu_cost = 25e-6
 
@@ -91,7 +100,7 @@ let retire t op_id (i : intent) =
    intent and re-arm the probe — a partitioned participant must still see
    its redo once the partition heals. *)
 let rec redo t op_id (i : intent) =
-  if not i.completed then begin
+  if (not i.completed) && not (wedged t) then begin
     t.redo_count <- t.redo_count + 1;
     if fan_out t (nfs_call_for_redo i) i.participants then retire t op_id i
     else schedule_probe t op_id
@@ -99,7 +108,7 @@ let rec redo t op_id (i : intent) =
 
 and schedule_probe t op_id =
   Engine.schedule t.host.Host.eng t.probe_timeout (fun () ->
-      if t.up then
+      if t.up && not (wedged t) then
         match Hashtbl.find_opt t.intents op_id with
         | Some i when not i.completed -> Engine.spawn t.host.Host.eng (fun () -> redo t op_id i)
         | _ -> ())
@@ -149,6 +158,14 @@ let handle_msg t (pkt : Packet.t) =
               Trace.finish span;
               Nfs_endpoint.reply_to t.host pkt (Ctrl.encode_reply ~xid r)
             in
+            if wedged t then begin
+              (* Fenced: a deposed coordinator must refuse to log new
+                 intentions or acknowledge anything — the requester backs
+                 off and finds the successor through the routing table. *)
+              t.fence_bounces <- t.fence_bounces + 1;
+              reply Ctrl.Nack
+            end
+            else
             (match msg with
             | Ctrl.Intent { op_id; kind; fh; participants } ->
                 let i = { kind; fh; participants; completed = false } in
@@ -217,6 +234,9 @@ let attach host ?(port = 2050) ?(rpc_port = 2052) ?(probe_timeout = 0.5) ?(map_s
       completed_count = 0;
       redo_count = 0;
       up = true;
+      lease_until = infinity;
+      lease_epoch = 0;
+      fence_bounces = 0;
     }
   in
   Nfs_endpoint.serve_raw host ~port ~handler:(handle_msg t);
@@ -224,6 +244,23 @@ let attach host ?(port = 2050) ?(rpc_port = 2052) ?(probe_timeout = 0.5) ?(map_s
 
 let addr t = t.host.Host.addr
 let port t = t.ctrl_port
+let host t = t.host
+let is_up t = t.up
+let map_sites t = t.map_sites
+
+let log_image t = Wal.image t.wal
+(* The stable (synced) intentions log — what shared storage holds after
+   this coordinator fails; a standby adopts it to finish 2PC. *)
+
+(* ---- fencing lease (failover) ---- *)
+
+let set_lease t ~epoch ~until =
+  t.lease_epoch <- epoch;
+  t.lease_until <- until
+
+let lease_epoch t = t.lease_epoch
+let fence_bounces t = t.fence_bounces
+let is_wedged t = wedged t
 
 let pending_intents t =
   Hashtbl.fold (fun _ i acc -> if i.completed then acc else acc + 1) t.intents 0
@@ -273,3 +310,15 @@ let recover t =
   in
   Engine.spawn t.host.Host.eng (fun () ->
       List.iter (fun (op_id, i) -> redo t op_id i) incomplete)
+
+let adopt_log t ~log =
+  (* Takeover: graft a failed coordinator's stable intentions log into
+     this (typically fresh) coordinator, then run the normal recovery
+     scan — incomplete operations are re-driven from here. Journaling the
+     adopted records locally first makes the adoption itself crash-safe:
+     a standby that dies mid-adoption leaves a log a second standby can
+     adopt again, and a re-adoption of the same image converges (replay
+     rebuilds the same intent rows). *)
+  ignore (Wal.replay log (fun ~lsn:_ ~rtype payload -> ignore (Wal.append t.wal ~rtype payload)));
+  Wal.sync t.wal;
+  recover t

@@ -35,6 +35,12 @@ val attach :
 
 val addr : t -> Slice_net.Packet.addr
 val port : t -> int
+val host : t -> Host.t
+val is_up : t -> bool
+val map_sites : t -> int array
+(** The storage-node placement array this coordinator mints maps from
+    (a successor must be attached with the same array so block placement
+    is preserved across a takeover). *)
 
 (** {2 Introspection and failure injection} *)
 
@@ -54,3 +60,29 @@ val crash : t -> unit
 val recover : t -> unit
 (** Replay the surviving log, redo incomplete intentions, resume
     service. *)
+
+val log_image : t -> string
+(** The stable (synced) intentions-log image — what shared storage holds
+    after this coordinator fails. *)
+
+val adopt_log : t -> log:string -> unit
+(** Takeover: journal a failed coordinator's log image locally, then
+    recover from it — incomplete intentions are re-driven from this
+    coordinator. Safe to repeat (a standby that crashed mid-adoption can
+    be re-adopted into): replay converges to the same intent table. *)
+
+(** {2 Fencing lease (failover)} *)
+
+val set_lease : t -> epoch:int -> until:float -> unit
+(** Grant (or renew) this coordinator's fencing lease: it may serve
+    until sim-time [until] under fencing epoch [epoch]. Coordinators
+    start with an infinite lease (epoch 0). *)
+
+val lease_epoch : t -> int
+
+val is_wedged : t -> bool
+(** The lease has expired: control messages are Nacked and redo probes
+    stop, so a zombie deposed by a takeover cannot commit 2PC work. *)
+
+val fence_bounces : t -> int
+(** Control messages refused because the lease had expired. *)

@@ -326,6 +326,7 @@ let recover t = t.up <- true
 let is_up t = t.up
 
 let addr t = t.host.Host.addr
+let host t = t.host
 let object_count t = Hashtbl.length t.objects
 
 let object_size t fh =
@@ -349,6 +350,8 @@ let end_drain t site = Hashtbl.remove t.draining site
 
 let site_load t site =
   match Hashtbl.find_opt t.site_ops site with Some r -> !r | None -> 0
+
+let reset_site_load t site = Hashtbl.remove t.site_ops site
 
 let drain_bounces t = t.drain_bounces
 let misdirect_bounces t = t.misdirect_bounces

@@ -29,6 +29,10 @@ val attach :
 
 val addr : t -> Slice_net.Packet.addr
 
+val host : t -> Host.t
+(** The host this node runs on (failover attaches a successor
+    coordinator to a surviving storage node's host). *)
+
 val crash : t -> unit
 (** Fail-stop the service: the endpoint goes silent (no decode, no
     replies) and the buffer cache is cold on {!recover} — committed data
@@ -83,6 +87,9 @@ val site_bytes : t -> int -> int64
 val site_load : t -> int -> int
 (** Read/write requests served for the site since attach (rebalancing
     signal). *)
+
+val reset_site_load : t -> int -> unit
+(** Forget the per-site load counter (site migrated or seized away). *)
 
 val drain_bounces : t -> int
 (** Writes bounced because their site was mid-drain. *)

@@ -27,6 +27,14 @@ let incr t name = incr (counter t name)
 let add t name n = counter t name := !(counter t name) + n
 let gauge t name fn = Hashtbl.replace t.gauges name fn
 
+(* Retire a metric: a gauge registered for a server that failed or was
+   removed must not keep feeding its last-known value into consumers
+   (the greedy rebalancer reads load gauges by name). *)
+let remove t name =
+  Hashtbl.remove t.counters name;
+  Hashtbl.remove t.gauges name;
+  Hashtbl.remove t.dists name
+
 let dist t name =
   match Hashtbl.find_opt t.dists name with
   | Some s -> s

@@ -19,6 +19,12 @@ val add : t -> string -> int -> unit
 val gauge : t -> string -> (unit -> float) -> unit
 (** Register (or replace) a pull-style gauge sampled at [dump] time. *)
 
+val remove : t -> string -> unit
+(** Retire the named counter/gauge/distribution from the registry (no-op
+    when unknown). Needed when the component behind a gauge goes away —
+    a failed server's load gauges must not keep answering with stale
+    values, or consumers (e.g. the greedy rebalancer) are skewed. *)
+
 val dist : t -> string -> Stats.t
 (** Find-or-create the named sample distribution. *)
 

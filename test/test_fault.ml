@@ -241,7 +241,7 @@ let mirror_failure_not_masked () =
         dir_table = Table.create [| dirnode |];
         smallfile_table = None;
         storage = Some (Table.create [| s0.Host.addr; s1.Host.addr |]);
-        coordinator = None;
+        coordinator = (fun () -> None);
       }
   in
   let cl = Client.create ch ~server:vaddr () in
@@ -350,6 +350,128 @@ let coordinator_redo_waits_for_partition_heal () =
       check_int "intent retired after heal" 0 (Coordinator.pending_intents coord);
       check_bool "remove reached the participant" true (Obsd.object_size obsds.(1) fh = None))
 
+(* ---- failover: coordinator crash mid-2PC ---- *)
+
+(* regression: the block coordinator used to be pinned to storage node 0
+   — crashing that node stalled every commit until the node itself came
+   back. A peer storage host must be able to adopt the victim's
+   intention log and finish the in-flight 2PC, and adopting the same log
+   twice (a standby crashing mid-replay and starting over) must not
+   resurrect retired intents. *)
+let coordinator_takeover_completes_2pc () =
+  let module Coordinator = Slice_storage.Coordinator in
+  let module Ctrl = Slice_storage.Ctrl in
+  let eng = Engine.create () in
+  let net = Net.create eng () in
+  let hosts =
+    Array.init 2 (fun i ->
+        Host.create net ~name:(Printf.sprintf "cs%d" i) ~cpu_scale:1.6 ~disks:8 ())
+  in
+  let obsds = Array.map (fun h -> Obsd.attach h ()) hosts in
+  let map_sites = Array.map (fun (h : Host.t) -> h.Host.addr) hosts in
+  let coord = Coordinator.attach hosts.(0) ~probe_timeout:0.2 ~map_sites () in
+  let client = Host.create net ~name:"cl" () in
+  let rpc = Rpc.create net client.Host.addr ~port:1000 in
+  let participant = hosts.(1).Host.addr in
+  let fh =
+    { Fh.file_id = 42L; gen = 1; ftype = Fh.Reg; mirrored = false; attr_site = 0; cap = 0L }
+  in
+  run_on eng (fun () ->
+      (* seed the object on the participant *)
+      let xid = Rpc.fresh_xid rpc in
+      ignore
+        (Rpc.call rpc ~dst:participant ~dport:2049
+           (Codec.encode_call ~xid (Nfs.Write (fh, 0L, Nfs.Unstable, Nfs.Data "zz"))));
+      (* log a remove intent, then kill the coordinator before its redo
+         can complete the operation *)
+      let xid = Rpc.fresh_xid rpc in
+      (match
+         snd
+           (Ctrl.decode_reply
+              (Rpc.call rpc ~timeout:2.0 ~dst:(Coordinator.addr coord)
+                 ~dport:(Coordinator.port coord)
+                 (Ctrl.encode_msg ~xid
+                    (Ctrl.Intent
+                       { op_id = 7L; kind = Ctrl.K_remove; fh; participants = [ participant ] }))))
+       with
+      | Ctrl.Ack -> ()
+      | _ -> Alcotest.fail "intent not acked");
+      check_int "intent in flight" 1 (Coordinator.pending_intents coord);
+      Coordinator.crash coord;
+      (* the standby on the surviving peer adopts the victim's log from
+         shared storage *)
+      let log = Coordinator.log_image coord in
+      let coord' = Coordinator.attach hosts.(1) ~probe_timeout:0.2 ~map_sites () in
+      Coordinator.adopt_log coord' ~log;
+      Engine.sleep eng 2.0;
+      check_int "adopted intent retired" 0 (Coordinator.pending_intents coord');
+      check_bool "redo ran on the new coordinator" true (Coordinator.redos coord' >= 1);
+      check_bool "remove reached the participant" true (Obsd.object_size obsds.(1) fh = None);
+      (* a standby that crashed mid-replay starts over: re-adopting the
+         same donor log must converge, not resurrect retired intents *)
+      Coordinator.adopt_log coord' ~log;
+      Engine.sleep eng 1.0;
+      check_int "re-adoption resurrects nothing" 0 (Coordinator.pending_intents coord'))
+
+(* ---- failover: detector false positive under partition ---- *)
+
+(* A partitioned-but-alive manager is indistinguishable from a dead one.
+   The detector will declare it and promote a standby — that is fine,
+   PROVIDED exactly one side of the split serves: the donor must have
+   self-wedged (lease expiry) strictly before the standby claims its
+   sites, and must stay fenced after the partition heals until it is
+   explicitly rejoined. *)
+let failover_partition_false_positive () =
+  let module Fo = Slice_failover.Failover in
+  let module Reconfig = Slice_reconfig.Reconfig in
+  let module Dirserver = Slice_dir.Dirserver in
+  let ens =
+    Ensemble.create
+      { Ensemble.default_config with storage_nodes = 2; smallfile_servers = 0; dir_servers = 2; seed = 5 }
+  in
+  let eng = Ensemble.engine ens in
+  let net = Ensemble.net ens in
+  let rc = Reconfig.attach ens in
+  let fo = Fo.attach ens rc in
+  let ch, _ = Ensemble.add_client ens ~name:"c0" in
+  let cl = Client.create ch ~server:(Ensemble.virtual_addr ens) () in
+  run_on eng (fun () ->
+      let names = List.init 8 (Printf.sprintf "p%02d") in
+      List.iter
+        (fun n -> ignore (ok_or_fail "create" (Client.create_file cl Ensemble.root n)))
+        names;
+      let dirs = Ensemble.dirs ens in
+      let victim = Dirserver.addr dirs.(0) in
+      (* dir 0 is cut off but NOT dead: renewals stop, the detector
+         declares it, a standby takes over — a false positive by design *)
+      Net.set_partition net (fun n -> if n = victim then 1 else 0);
+      Engine.sleep eng 1.0;
+      check_int "false positive declared and replaced" 1 (Fo.takeovers fo);
+      check_bool "donor self-wedged behind the partition" true (Dirserver.is_wedged dirs.(0));
+      check_bool "deposed list names the donor" true (Fo.deposed fo = [ "dir0" ]);
+      (* the majority side serves the full namespace meanwhile *)
+      List.iter
+        (fun n -> ignore (ok_or_fail "lookup during partition" (Client.lookup cl Ensemble.root n)))
+        names;
+      Net.clear_partition net;
+      (* healed zombie: still fenced — a mutation sent straight to it
+         bounces and leaves no trace *)
+      let zh = Host.create net ~name:"zprobe" () in
+      let zc = Client.create zh ~server:victim () in
+      let before = Dirserver.fence_bounces dirs.(0) in
+      check_bool "zombie refuses updates" true
+        (Result.is_error (Client.mkdir zc Ensemble.root "zombie-d"));
+      check_bool "zombie bounced, not served" true (Dirserver.fence_bounces dirs.(0) > before);
+      check_bool "phantom directory absent" true
+        (Result.is_error (Client.lookup cl Ensemble.root "zombie-d"));
+      (* explicit rejoin lifts the fence: the donor returns as a peer *)
+      Fo.rejoin_dir fo 0;
+      check_bool "rejoined donor unfenced" false (Dirserver.is_wedged dirs.(0));
+      List.iter
+        (fun n -> ignore (ok_or_fail "lookup after rejoin" (Client.lookup cl Ensemble.root n)))
+        names;
+      Fo.stop fo)
+
 let chaos_deterministic () =
   let cfg = { Chaos.default_config with crash_node = Some (Chaos.Dir 0) } in
   let r1 = Chaos.run_untar ~cfg () in
@@ -372,6 +494,8 @@ let suite =
     ("chaos: clean run is quiet", `Slow, clean_run_is_quiet);
     ("chaos: untar under loss", `Slow, untar_under_loss);
     ("coordinator redo waits for partition heal", `Quick, coordinator_redo_waits_for_partition_heal);
+    ("coordinator takeover completes 2pc", `Quick, coordinator_takeover_completes_2pc);
+    ("failover partition false positive", `Quick, failover_partition_false_positive);
     ("chaos: untar with node crash", `Slow, untar_with_node_crash);
     ("chaos: specsfs with node crash", `Slow, specsfs_with_node_crash);
     ("chaos: deterministic", `Slow, chaos_deterministic);

@@ -12,6 +12,9 @@ module Fh = Slice_nfs.Fh
 module Client = Slice_workload.Client
 module Ensemble = Slice.Ensemble
 module Proxy = Slice.Proxy
+module Dirserver = Slice_dir.Dirserver
+module Reconfig = Slice_reconfig.Reconfig
+module Plan = Slice_reconfig.Plan
 
 let check_int64 = Alcotest.(check int64)
 let root = Ensemble.root
@@ -192,6 +195,58 @@ let chaos_coherence () =
          checked here *)
       check_bool "chaos actually bit" true (Client.retransmissions cl > 0))
 
+(* ---- fencing: an epoch bump must flush every cached incarnation ---- *)
+
+let fence_epoch_invalidation () =
+  (* a TTL far longer than the test: without fencing these entries would
+     stay live across the takeover and serve answers minted by a deposed
+     directory server *)
+  let ens = mk ~ttl:60.0 () in
+  let eng = Ensemble.engine ens in
+  let rc = Reconfig.attach ens in
+  let cl, proxy = client ens "c0" in
+  run_on eng (fun () ->
+      let names = List.init 12 (Printf.sprintf "f%02d") in
+      let fhs =
+        List.map
+          (fun n ->
+            let fh, _ = ok_or_fail "create" (Client.create_file cl root n) in
+            ignore (ok_or_fail "warm" (Client.lookup cl root n));
+            (n, fh))
+          names
+      in
+      let d0 = Ensemble.dir_ops_served ens in
+      List.iter (fun (n, _) -> ignore (ok_or_fail "hit" (Client.lookup cl root n))) fhs;
+      check_int "warm cache serves hits" d0 (Ensemble.dir_ops_served ens);
+      (* dir 0 dies; dir 1 claims its sites under a bumped fencing epoch;
+         the victim then revives as a zombie still holding its old,
+         expired lease *)
+      let dirs = Ensemble.dirs ens in
+      let epoch0 = Dirserver.lease_epoch dirs.(0) in
+      Ensemble.crash_dir ens 0;
+      let moved = Reconfig.takeover rc Plan.Dir ~victim:0 ~standby:1 in
+      check_bool "victim owned sites" true (moved > 0);
+      Dirserver.set_lease dirs.(0) ~epoch:epoch0 ~until:(Engine.now eng -. 1.0);
+      Ensemble.recover_dir ens 0;
+      (* the proxy's table still routes the moved sites at the zombie:
+         the first mutation it bounces forces a table refresh, the epoch
+         advance flushes the metadata caches, and the retry lands on the
+         successor — the client sees only success *)
+      List.iter
+        (fun n -> ignore (ok_or_fail "create after takeover" (Client.create_file cl root (n ^ "x"))))
+        names;
+      check_bool "zombie bounced the stale route" true (Dirserver.fence_bounces dirs.(0) > 0);
+      check_bool "epoch bump flushed the caches" true (Proxy.fence_invalidations proxy >= 1);
+      (* flushed entries refetch from the live server — and still resolve
+         to the same files, so the flush lost nothing *)
+      let d1 = Ensemble.dir_ops_served ens in
+      List.iter
+        (fun (n, fh) ->
+          let fh', _ = ok_or_fail "post-fence lookup" (Client.lookup cl root n) in
+          check_int64 "same file after failover" fh.Fh.file_id fh'.Fh.file_id)
+        fhs;
+      check_bool "flushed entries hit the server again" true (Ensemble.dir_ops_served ens > d1))
+
 let suite =
   [
     Alcotest.test_case "hit avoids dir ops" `Quick hit_avoids_dir_ops;
@@ -203,4 +258,5 @@ let suite =
     Alcotest.test_case "ttl expiry refetches" `Quick ttl_expiry_refetches;
     Alcotest.test_case "cross-client staleness bounded" `Quick cross_client_staleness_bounded;
     Alcotest.test_case "chaos coherence" `Quick chaos_coherence;
+    Alcotest.test_case "fence epoch invalidation" `Quick fence_epoch_invalidation;
   ]

@@ -222,7 +222,7 @@ let stale_table_lazy_refresh () =
         dir_table = table;
         smallfile_table = None;
         storage = None;
-        coordinator = None;
+        coordinator = (fun () -> None);
       }
   in
   let cl = Client.create chost ~server:vaddr () in

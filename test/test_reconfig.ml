@@ -20,13 +20,13 @@ module Plan = Slice_reconfig.Plan
 let chunk = 32768
 let big_chunks = 6 (* chunks >= 2 are storage-class (above the threshold) *)
 
-let mk_ens ?(seed = 9) () =
+let mk_ens ?(seed = 9) ?(dir_servers = 1) () =
   Ensemble.create
     {
       Ensemble.default_config with
       seed;
       storage_nodes = 2;
-      dir_servers = 1;
+      dir_servers;
       smallfile_servers = 1;
       mirror_new_files = false;
       dir_sites = 4;
@@ -231,6 +231,112 @@ let test_abandoned_intent_recovery () =
       Reconfig.recover rc;
       check_int "recover is idempotent" 1 (Reconfig.aborted rc))
 
+(* A committed move must retire the donor-side load accounting: the
+   donor's per-site load row is reset and the registry's
+   [reconfig.load.*] gauge stops answering with the donor's pre-move
+   values — it re-resolves the owner, so post-move traffic shows up
+   under the receiver and nothing else. *)
+let test_load_gauges_retired_on_commit () =
+  let module Metrics = Slice_util.Metrics in
+  let ens = mk_ens ~seed:15 () in
+  let rc = Reconfig.attach ens in
+  let cl = mk_client ens "c0" in
+  run_on (Ensemble.engine ens) (fun () ->
+      let fhs =
+        List.init 20 (fun i ->
+            let fh, _ =
+              ok_or_fail "create"
+                (Client.create_file cl Fh.root (Printf.sprintf "s%02d" i))
+            in
+            ignore
+              (ok_or_fail "write"
+                 (Client.write_at cl fh ~off:0L ~data:(Nfs.Synthetic 4096) ()));
+            ok_or_fail "commit" (Client.commit cl fh);
+            fh)
+      in
+      let reg = Reconfig.metrics rc in
+      let key j = Printf.sprintf "reconfig.load.smallfile.%03d" j in
+      let tbl = Option.get (Ensemble.smallfile_table ens) in
+      let sfs0 = Ensemble.smallfiles ens in
+      (* pre-move: every gauge answers with the (sole) owner's load *)
+      for j = 0 to Table.nsites tbl - 1 do
+        check_bool "gauge registered" true (List.mem (key j) (Metrics.names reg));
+        check_bool "gauge reads the owner" true
+          (Metrics.value reg (key j) = float_of_int (Smallfile.site_load sfs0.(0) j))
+      done;
+      Reconfig.execute rc (Plan.Add_server Plan.Smallfile);
+      let sfs = Ensemble.smallfiles ens in
+      let moved = Smallfile.owned_sites sfs.(1) in
+      check_bool "sites moved" true (moved <> []);
+      List.iter
+        (fun j ->
+          (* commit reset the donor's row and re-registered the gauge *)
+          check_int "donor load row reset" 0 (Smallfile.site_load sfs.(0) j);
+          check_bool "gauge survives retirement" true (List.mem (key j) (Metrics.names reg));
+          check_bool "retired gauge reads the receiver" true
+            (Metrics.value reg (key j) = float_of_int (Smallfile.site_load sfs.(1) j)))
+        moved;
+      (* post-move traffic accrues to the receiver, and the gauges see it
+         — none of it leaks back into the donor's rows *)
+      List.iter
+        (fun fh -> ignore (ok_or_fail "read" (Client.read_at cl fh ~off:0L ~count:4096)))
+        fhs;
+      let gauge_sum = List.fold_left (fun a j -> a +. Metrics.value reg (key j)) 0.0 moved in
+      let recv_sum =
+        List.fold_left (fun a j -> a + Smallfile.site_load sfs.(1) j) 0 moved
+      in
+      check_bool "receiver load visible through gauges" true (gauge_sum > 0.0);
+      check_bool "gauges equal receiver rows" true (gauge_sum = float_of_int recv_sum);
+      List.iter
+        (fun j -> check_int "donor rows stay zero" 0 (Smallfile.site_load sfs.(0) j))
+        moved)
+
+(* Hot-standby takeover as a direct control-plane call: every site of
+   the dead victim is claimed, the class table rebinds them to the
+   standby under exactly one fencing-epoch bump, and the namespace
+   survives. Storage is refused — its sites are not dataless. *)
+let test_takeover_claims_victim_sites () =
+  let ens = mk_ens ~seed:14 ~dir_servers:2 () in
+  let rc = Reconfig.attach ens in
+  let cl = mk_client ens "c0" in
+  let eng = Ensemble.engine ens in
+  run_on eng (fun () ->
+      let names = List.init 16 (fun i -> Printf.sprintf "t%02d" i) in
+      let fhs =
+        List.map
+          (fun n ->
+            let fh, _ = ok_or_fail "create" (Client.create_file cl Fh.root n) in
+            (n, fh))
+          names
+      in
+      let dirs = Ensemble.dirs ens in
+      let tbl = Ensemble.dir_table ens in
+      let sites0 = Dirserver.owned_sites dirs.(0) in
+      check_bool "victim owns sites" true (sites0 <> []);
+      let epoch0 = Table.epoch tbl in
+      Ensemble.crash_dir ens 0;
+      let claimed = Reconfig.takeover rc Plan.Dir ~victim:0 ~standby:1 in
+      check_int "every victim site claimed" (List.length sites0) claimed;
+      check_int "exactly one epoch bump" (epoch0 + 1) (Table.epoch tbl);
+      List.iter
+        (fun j ->
+          check_int "site rebound to the standby" (Dirserver.addr dirs.(1)) (Table.lookup tbl j);
+          check_bool "standby owns it" true (List.mem j (Dirserver.owned_sites dirs.(1))))
+        sites0;
+      (* revive the victim as a zombie (expired lease, old epoch): the
+         full namespace must still resolve — through the standby *)
+      Dirserver.set_lease dirs.(0) ~epoch:(Dirserver.lease_epoch dirs.(0))
+        ~until:(Engine.now eng -. 1.0);
+      Ensemble.recover_dir ens 0;
+      List.iter
+        (fun (n, fh) ->
+          let fh', _ = ok_or_fail "lookup after takeover" (Client.lookup cl Fh.root n) in
+          check_bool "same file" true (Int64.equal fh'.Fh.file_id fh.Fh.file_id))
+        fhs;
+      Alcotest.check_raises "storage takeover rejected"
+        (Invalid_argument "Reconfig: storage sites are not dataless; cannot take over")
+        (fun () -> ignore (Reconfig.takeover rc Plan.Storage ~victim:0 ~standby:1)))
+
 (* The exhibit is deterministic: same seed, byte-identical JSON. *)
 let test_scale_exhibit_deterministic () =
   let dump () =
@@ -260,6 +366,10 @@ let suite =
       test_donor_crash_mid_migration;
     Alcotest.test_case "abandoned intent rolled back by recover" `Quick
       test_abandoned_intent_recovery;
+    Alcotest.test_case "load gauges retired on commit" `Quick
+      test_load_gauges_retired_on_commit;
+    Alcotest.test_case "takeover claims victim sites" `Quick
+      test_takeover_claims_victim_sites;
     Alcotest.test_case "scale exhibit is byte-deterministic" `Quick
       test_scale_exhibit_deterministic;
   ]

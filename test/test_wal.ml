@@ -108,6 +108,76 @@ let engine_without_sink_rejected () =
     (Invalid_argument "Wal.create: an engine needs a disk or a sync_fn") (fun () ->
       ignore (Wal.create ~eng ~name:"t" ()))
 
+(* ---- failover replay idempotency ----
+
+   A hot standby adopts a dead manager's journal by replaying the shared
+   image and re-appending every record into its own log. These tests pin
+   the two properties takeover relies on: replay is a pure read (running
+   it twice over the same image yields identical records), and a standby
+   that crashes mid-adoption converges after re-replaying — the synced
+   prefix survives its crash, and resuming with a skip count reproduces
+   exactly the journal a crash-free adoption would have produced. *)
+
+let records img =
+  let seen = ref [] in
+  ignore (Wal.replay img (fun ~lsn ~rtype payload -> seen := (lsn, rtype, payload) :: !seen));
+  List.rev !seen
+
+let replay_twice_identical () =
+  let donor = Wal.create ~name:"donor" () in
+  for i = 1 to 8 do
+    ignore (Wal.append donor ~rtype:i (Printf.sprintf "rec%02d" i))
+  done;
+  Wal.sync donor;
+  let img = Wal.image donor in
+  let a = records img and b = records img in
+  check_int "all records" 8 (List.length a);
+  check_bool "replay is a pure read" true (a = b)
+
+let crash_mid_adoption_converges () =
+  let donor = Wal.create ~name:"donor" () in
+  for i = 1 to 10 do
+    ignore (Wal.append donor ~rtype:i (Printf.sprintf "rec%02d" i))
+  done;
+  Wal.sync donor;
+  let img = Wal.image donor in
+  (* reference: a crash-free adoption *)
+  let adopt_all () =
+    let w = Wal.create ~name:"standby" () in
+    ignore (Wal.replay img (fun ~lsn:_ ~rtype payload -> ignore (Wal.append w ~rtype payload)));
+    Wal.sync w;
+    Wal.image w
+  in
+  let reference = records (adopt_all ()) in
+  (* the standby crashes mid-replay: 6 records appended, only 4 synced,
+     plus a torn tail of unsynced bytes *)
+  let w = Wal.create ~name:"standby" () in
+  let n = ref 0 in
+  ignore
+    (Wal.replay img (fun ~lsn:_ ~rtype payload ->
+         if !n < 6 then ignore (Wal.append w ~rtype payload);
+         incr n;
+         if !n = 4 then Wal.sync w));
+  let crashed = Wal.crash_image w ~keep_unsynced_bytes:9 in
+  (* recovery: replay whatever survived into a fresh log, count it, then
+     re-replay the donor image skipping the already-applied prefix *)
+  let w2 = Wal.create ~name:"standby2" () in
+  let applied = ref 0 in
+  ignore
+    (Wal.replay crashed (fun ~lsn:_ ~rtype payload ->
+         ignore (Wal.append w2 ~rtype payload);
+         incr applied));
+  check_bool "synced prefix survived" true (!applied >= 4);
+  check_bool "torn tail dropped" true (!applied <= 6);
+  let k = ref 0 in
+  ignore
+    (Wal.replay img (fun ~lsn:_ ~rtype payload ->
+         if !k >= !applied then ignore (Wal.append w2 ~rtype payload);
+         incr k));
+  Wal.sync w2;
+  check_bool "re-replay converges on the crash-free journal" true
+    (records (Wal.image w2) = reference)
+
 let sync_fn_hook () =
   let eng = Engine.create () in
   let written = ref 0 in
@@ -128,4 +198,6 @@ let suite =
     ("group commit", `Quick, group_commit);
     ("engine without sink rejected", `Quick, engine_without_sink_rejected);
     ("sync_fn hook", `Quick, sync_fn_hook);
+    ("replay twice identical", `Quick, replay_twice_identical);
+    ("crash mid-adoption converges", `Quick, crash_mid_adoption_converges);
   ]
