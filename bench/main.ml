@@ -359,6 +359,174 @@ let write_failover_json t =
   Printf.printf "\nwrote %s (%d takeovers)\n" bench_pr6_path
     (List.length t.E.Failover.takeovers)
 
+(* ---- hot-path allocation baseline (BENCH_PR8.json): words-allocated
+   and nanoseconds per intercepted packet through the µproxy under the
+   SPECsfs mix, plus per-op figures for the packet-peek primitives the
+   typed lint tier (A1) guards. These are the "before" numbers ROADMAP
+   item 3 must beat. ---- *)
+
+module Specsfs = Slice_workload.Specsfs
+
+let bench_pr8_path = "BENCH_PR8.json"
+
+(* Per-op allocation and CPU cost of a tight loop over [f]. Gc counters
+   are process-wide, so the loop runs nothing but [f]; the clock is real
+   CPU time because this measures the harness's own code, not the
+   simulation. *)
+let words_and_ns ~n f =
+  for _ = 1 to 256 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let w0 = Gc.minor_words () in
+  (* lint: D1 ok — real CPU time is the measurement here, not part of the simulated world *)
+  let t0 = Sys.time () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (* lint: D1 ok — real CPU time is the measurement here, not part of the simulated world *)
+  let dt = Sys.time () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  (dw /. float_of_int n, dt *. 1e9 /. float_of_int n)
+
+let pr8_micro () =
+  let pkt = sample_pkt () in
+  let d = ref 0 in
+  List.map
+    (fun (name, f) ->
+      let words, ns = words_and_ns ~n:200_000 f in
+      Printf.printf "  %-28s %8.2f words/op %10.1f ns/op\n" name words ns;
+      (name, words, ns))
+    [
+      ("peek/is-call", (fun () -> ignore (Codec.is_call sample_call)));
+      ("peek/xid-of", (fun () -> ignore (Codec.xid_of sample_call)));
+      ("peek/peek-call", (fun () -> ignore (Codec.peek_call sample_call)));
+      ( "rewrite/dst-incremental",
+        fun () ->
+          d := (!d + 1) land 0xFF;
+          Cksum.rewrite_dst pkt !d );
+      ("reply/status", (fun () -> ignore (Slice.Proxy.reply_status sample_call)));
+    ]
+
+(* One small SPECsfs mix through a full Slice ensemble, Gc counters and
+   CPU clock around the proxy loop; packets come from the µproxies'
+   interception counters so the denominator is real routed traffic. *)
+let specsfs_packet_baseline ~scale =
+  let ens =
+    Slice.Ensemble.create
+      {
+        Slice.Ensemble.default_config with
+        storage_nodes = 2;
+        dir_servers = 1;
+        smallfile_servers = 2;
+      }
+  in
+  let eng = Slice.Ensemble.engine ens in
+  let clients =
+    Array.init 2 (fun i ->
+        let host, _ = Slice.Ensemble.add_client ens ~name:(Printf.sprintf "sfs%d" i) in
+        Slice_workload.Client.create host ~server:(Slice.Ensemble.virtual_addr ens)
+          ~port:(1000 + i) ())
+  in
+  let cfg =
+    {
+      Specsfs.default_config with
+      offered_iops = 300.0;
+      processes = 4;
+      duration = 2.0;
+      warmup = 0.5;
+      bytes_per_iops = 1e7 *. scale;
+      seed = 11;
+    }
+  in
+  let w0 = Gc.minor_words () in
+  (* lint: D1 ok — real CPU time is the measurement here, not part of the simulated world *)
+  let t0 = Sys.time () in
+  let r = Specsfs.run eng ~clients ~root:Slice.Ensemble.root cfg in
+  (* lint: D1 ok — real CPU time is the measurement here, not part of the simulated world *)
+  let dt = Sys.time () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let packets =
+    List.fold_left
+      (fun acc p -> acc + Slice.Proxy.packets_intercepted p)
+      0
+      (Slice.Ensemble.client_proxies ens)
+  in
+  let denom = float_of_int (max 1 packets) in
+  (r, packets, dw /. denom, dt *. 1e9 /. denom)
+
+let pr8_json ~specsfs:((r : Specsfs.result), packets, wpp, nspp) ~micro =
+  Json.Obj
+    [
+      ("schema_version", Json.Num 1.0);
+      ( "specsfs",
+        Json.Obj
+          [
+            ("delivered_ops_s", Json.Num r.Specsfs.delivered);
+            ("ops_measured", Json.Num (float_of_int r.Specsfs.ops_measured));
+            ("packets", Json.Num (float_of_int packets));
+            ("words_per_packet", Json.Num wpp);
+            ("ns_per_packet", Json.Num nspp);
+          ] );
+      ( "micro",
+        Json.Arr
+          (List.map
+             (fun (name, words, ns) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("words_per_op", Json.Num words);
+                   ("ns_per_op", Json.Num ns);
+                 ])
+             micro) );
+    ]
+
+(* The gates: a packet actually flowed, both per-packet figures are
+   finite (words may be zero — that is the goal state), and every micro
+   row is complete. *)
+let validate_pr8_json txt =
+  let problem = ref None in
+  let fail msg = problem := Some msg in
+  let num k o = match Json.member k o with Some (Json.Num v) -> Some v | _ -> None in
+  let is_str k o = match Json.member k o with Some (Json.Str _) -> true | _ -> false in
+  (match Json.of_string txt with
+  | exception Json.Parse_error m -> fail ("parse error: " ^ m)
+  | j -> (
+      match (Json.member "schema_version" j, Json.member "specsfs" j, Json.member "micro" j) with
+      | Some (Json.Num _), Some sfs, Some (Json.Arr micro) ->
+          (match num "packets" sfs with
+          | Some p when p > 0.0 -> ()
+          | Some _ -> fail "no packets intercepted"
+          | None -> fail "missing packets");
+          (match num "words_per_packet" sfs with
+          | Some w when Float.is_finite w && w >= 0.0 -> ()
+          | _ -> fail "words_per_packet not a finite non-negative number");
+          (match num "ns_per_packet" sfs with
+          | Some n when Float.is_finite n && n >= 0.0 -> ()
+          | _ -> fail "ns_per_packet not a finite non-negative number");
+          if num "delivered_ops_s" sfs = None || num "ops_measured" sfs = None then
+            fail "missing delivered_ops_s/ops_measured";
+          if micro = [] then fail "micro is empty";
+          List.iter
+            (fun m ->
+              if not (is_str "name" m && num "words_per_op" m <> None && num "ns_per_op" m <> None)
+              then fail "bad micro row: want {name, words_per_op, ns_per_op}")
+            micro
+      | _ -> fail "missing top-level keys {schema_version, specsfs, micro}"));
+  match !problem with
+  | None -> true
+  | Some msg ->
+      Printf.eprintf "%s: validation failed: %s\n" bench_pr8_path msg;
+      false
+
+let write_pr8_json ~specsfs ~micro =
+  let oc = open_out bench_pr8_path in
+  output_string oc (Json.to_string (pr8_json ~specsfs ~micro));
+  output_char oc '\n';
+  close_out oc;
+  let _, packets, wpp, nspp = specsfs in
+  Printf.printf "\nwrote %s (%d packets, %.1f words/packet, %.0f ns/packet)\n" bench_pr8_path
+    packets wpp nspp
+
 (* ---- ablations ---- *)
 
 let hash_balance_ablation () =
@@ -519,6 +687,15 @@ let run_smoke () =
   write_failover_json fo;
   if validate_failover_json (read_file bench_pr6_path) then
     print_endline "bench smoke: BENCH_PR6.json OK (zero requests lost)"
+  else exit 1;
+  print_endline "bench smoke: hot-path baseline (SPECsfs mix, scale 0.01)";
+  let micro8 = pr8_micro () in
+  let ((r8, packets, wpp, nspp) as sfs8) = specsfs_packet_baseline ~scale:0.01 in
+  Printf.printf "  sfs baseline: %d packets, %.1f words/packet, %.0f ns/packet (%.0f ops/s)\n"
+    packets wpp nspp r8.Specsfs.delivered;
+  write_pr8_json ~specsfs:sfs8 ~micro:micro8;
+  if validate_pr8_json (read_file bench_pr8_path) then
+    print_endline "bench smoke: BENCH_PR8.json OK (hot-path baseline recorded)"
   else exit 1
 
 let () =

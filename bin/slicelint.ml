@@ -1,12 +1,16 @@
-(* slicelint — repo-specific static analysis (see DESIGN.md §10).
+(* slicelint — repo-specific static analysis (see DESIGN.md §10, §14).
 
-   Usage: slicelint [--json] [--json-out FILE] [--fixtures] ROOT...
+   Usage: slicelint [--json] [--json-out FILE] [--fixtures]
+                    [--cmt-dir DIR] ROOT...
    Exits 1 when any unsuppressed finding exists. [--fixtures] swaps in
    the fixture rule-scoping profile; it exists to regenerate the golden
-   files under test/lint_fixtures/golden/. *)
+   files under test/lint_fixtures/golden/. [--cmt-dir DIR] enables the
+   typed interprocedural tier (A1/F1) over the .cmt files dune left
+   under DIR — without it only the parsetree rules run. *)
 
 let () =
   let json = ref false and json_out = ref None and roots = ref [] in
+  let cmt_dir = ref None in
   let config = ref Slice_lint.Config.repo in
   let rec parse = function
     | [] -> ()
@@ -19,8 +23,11 @@ let () =
     | "--json-out" :: file :: rest ->
         json_out := Some file;
         parse rest
-    | "--json-out" :: [] ->
-        prerr_endline "slicelint: --json-out needs a file argument";
+    | "--cmt-dir" :: dir :: rest ->
+        cmt_dir := Some dir;
+        parse rest
+    | ("--json-out" | "--cmt-dir") :: [] ->
+        prerr_endline "slicelint: --json-out and --cmt-dir need an argument";
         exit 2
     | root :: rest ->
         roots := root :: !roots;
@@ -29,10 +36,11 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let roots = List.rev !roots in
   if roots = [] then begin
-    prerr_endline "usage: slicelint [--json] [--json-out FILE] [--fixtures] ROOT...";
+    prerr_endline
+      "usage: slicelint [--json] [--json-out FILE] [--fixtures] [--cmt-dir DIR] ROOT...";
     exit 2
   end;
-  let report = Slice_lint.Driver.scan !config roots in
+  let report = Slice_lint.Driver.scan ?cmt_dir:!cmt_dir !config roots in
   (match !json_out with
   | None -> ()
   | Some file ->

@@ -134,7 +134,7 @@ type t = {
   mutable sweep_armed : bool;
 }
 
-let meta_enabled t = t.p.Params.meta_cache_enabled && t.p.Params.meta_cache_ttl > 0.0
+let[@hot] meta_enabled t = t.p.Params.meta_cache_enabled && t.p.Params.meta_cache_ttl > 0.0
 
 (* ---- per-packet cost accounting ----
    Phases accumulate into a per-packet cell, are charged to the client CPU
@@ -196,7 +196,7 @@ let cached_attr t (fh : Fh.t) =
       Lru.add t.attrs fh.Fh.file_id c;
       c
 
-let dir_phys t logical =
+let[@hot] dir_phys t logical =
   let n = Array.length t.dir_map in
   (* No directory sites (misconfiguration or a snapshot taken mid-reshape):
      aim at the virtual address, where the packet is counted as a drop and
@@ -723,7 +723,7 @@ let invalidate_meta t (peek : Codec.peek) (fh : Fh.t) =
   | _ -> ()
 
 (* RFC 1813 procedure numbers, as op-class labels for trace roots. *)
-let op_of_proc = function
+let[@hot] op_of_proc = function
   | 0 -> "null"
   | 1 -> "getattr"
   | 2 -> "setattr"
@@ -780,7 +780,7 @@ let handle_request ?(retries = 0) t (pkt : Packet.t) =
 
 (* ---- reply handling ---- *)
 
-let reply_status (payload : bytes) =
+let[@hot] reply_status (payload : bytes) =
   if Bytes.length payload >= 28 then Int32.to_int (Bytes.get_int32_be payload 24)
   else -1
 

@@ -90,6 +90,16 @@ val cpu_breakdown : t -> phase_cpu
 
 val packets_intercepted : t -> int
 val replies_processed : t -> int
+
+val reply_status : bytes -> int
+(** Peek the NFS status word of an encoded reply without decoding it
+    (-1 when the packet is too short). On the per-packet path — kept
+    allocation-free (A1). *)
+
+val op_of_proc : int -> string
+(** Constant op-name string for an NFS procedure number (no allocation —
+    the strings are literals). *)
+
 val routed_to_storage : t -> int
 val routed_to_smallfile : t -> int
 val routed_to_dir : t -> int

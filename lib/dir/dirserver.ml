@@ -750,6 +750,7 @@ let make_wal (host : Host.t) =
   | Some disk -> Wal.create ~eng:host.Host.eng ~disk ~name:"dir.wal" ()
   | None -> Wal.create ~name:"dir.wal" ()
 
+(* lint: F1 ok — bootstrap: installs the root cell before the server is exposed to clients; no deposed instance can exist yet *)
 let attach host ?(port = 2049) ?(costs = default_costs) ?trace cfg =
   let t =
     {
@@ -818,6 +819,7 @@ let reset_volatile t =
   Hashtbl.reset t.applied;
   Hashtbl.reset t.prepares
 
+(* lint: F1 ok — crash simulation: rebuilding the surviving journal image models the disk, not a client-visible mutation *)
 let crash t =
   t.up <- false;
   (* A drain in progress is volatile control-plane state: the migration
@@ -881,6 +883,7 @@ let apply_record t ~rtype payload =
     done
   end
 
+(* lint: F1 ok — recovery replay runs before the server answers requests; fencing applies to dispatch, not to replay *)
 let recover t =
   reset_volatile t;
   ignore
@@ -914,6 +917,7 @@ let log_image t = Wal.image t.wal
    pass over a fresher image of the same journal applies exactly the
    delta). Returns the record count consumed, to pass as the next
    [skip]. Does not sync — callers decide when to harden. *)
+(* lint: F1 ok — migration control plane: the coordinator fences the source server before its journal is imported here *)
 let import_log ?(skip = 0) t ~log:image =
   let seen = ref 0 in
   ignore
@@ -966,12 +970,14 @@ let reset_site_load t site = Hashtbl.remove t.site_ops site
    the failed server's surviving journal into this server's cells and
    starts answering for its logical site; the external routing table is
    then rebound to this server. *)
+(* lint: F1 ok — failover takeover: the deposed server is fenced by lease expiry before its site is adopted *)
 let adopt_site t ~site ~log =
   ignore (import_log t ~log);
   own_site t site
   (* the caller may checkpoint afterwards to compact the imported records
      into a single snapshot of this server's journal *)
 
+(* lint: F1 ok — journal compaction is operator-driven control plane, not client dispatch; it rewrites, never extends, history *)
 let checkpoint t =
   let payload =
     payload_of (fun e ->

@@ -14,6 +14,16 @@ type t = {
   x1_allow : string -> bool;  (** X1 skips these [.ml] files (no [.mli] needed) *)
   dune_file : string;  (** dune file name X1 inspects (fixtures use a decoy) *)
   required_dune_flags : string;  (** stanza every library dune must carry *)
+  a1_scope : string -> bool;
+      (** A1: files whose [\[@hot\]] bindings seed allocation analysis —
+          a missing [.cmt] for one of these is itself a finding, so the
+          typed tier cannot silently rot away *)
+  f1_scope : string -> bool;  (** F1 applies: the fenced server modules *)
+  hot_attr : string;  (** attribute name marking A1 roots (["hot"]) *)
+  f1_guards : string list;
+      (** base names whose call counts as the wedge/lease check *)
+  f1_protected : string list;
+      (** canonical [Module.fn] names that mutate durable server state *)
 }
 
 val uniform_flags : string

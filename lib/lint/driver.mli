@@ -1,17 +1,26 @@
 (** File discovery, parsing and report assembly.
 
-    [scan cfg roots] walks each root (directory or single file),
-    skipping dot- and underscore-prefixed entries ([_build]), lints
-    every [.ml]/[.mli], applies pragmas, and runs the directory-level X1
-    checks. Findings come back sorted by {!Finding.order}, so reports
-    are byte-stable. *)
+    [scan ?cmt_dir cfg roots] walks each root (directory or single
+    file), skipping dot- and underscore-prefixed entries ([_build]),
+    lints every [.ml]/[.mli] with the parsetree rules, runs the
+    directory-level X1 checks, and — when [cmt_dir] is given — the typed
+    interprocedural tier ({!Typed.analyze}) over the [.cmt] files found
+    under it. Pragmas collected per file apply to both tiers at once.
+    Findings come back sorted by {!Finding.order}, so reports are
+    byte-stable. *)
 
-type report = { findings : Finding.t list; files : int }
+type report = {
+  findings : Finding.t list;
+  files : int;
+  typed_ran : bool;  (** whether the [.cmt]-based tier ran *)
+  hot_roots : Typed.hot_root list;  (** per-[\[@hot\]]-root allocation summary *)
+}
 
-val lint_file : Config.t -> string -> Finding.t list
-(** AST rules + pragmas for one source file (no X1). *)
+val lint_file : Config.t -> string -> Pragma.t list * Finding.t list
+(** Parsetree rules for one source file (no X1, pragmas not yet
+    applied — the caller merges typed-tier findings first). *)
 
-val scan : Config.t -> string list -> report
+val scan : ?cmt_dir:string -> Config.t -> string list -> report
 
 val errors : report -> int
 (** Unsuppressed error-severity findings: the gate fails when nonzero. *)
@@ -19,4 +28,5 @@ val errors : report -> int
 val suppressed : report -> int
 val to_json : report -> Slice_util.Json.t
 val render_human : report -> string
-(** Unsuppressed findings one per line, then a summary line. *)
+(** Unsuppressed findings one per line, hot-root summary when the typed
+    tier ran, then a summary line. *)

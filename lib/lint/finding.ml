@@ -1,4 +1,4 @@
-type rule = D1 | D2 | R1 | E1 | P1 | X1 | Parse
+type rule = D1 | D2 | R1 | E1 | P1 | X1 | A1 | F1 | Parse
 
 let rule_name = function
   | D1 -> "D1"
@@ -7,6 +7,8 @@ let rule_name = function
   | E1 -> "E1"
   | P1 -> "P1"
   | X1 -> "X1"
+  | A1 -> "A1"
+  | F1 -> "F1"
   | Parse -> "parse"
 
 let rule_of_name = function
@@ -16,6 +18,8 @@ let rule_of_name = function
   | "E1" -> Some E1
   | "P1" -> Some P1
   | "X1" -> Some X1
+  | "A1" -> Some A1
+  | "F1" -> Some F1
   | _ -> None
 
 let rule_doc = function
@@ -25,7 +29,13 @@ let rule_doc = function
   | E1 -> "polymorphic equality: compare handles and route keys with keyed equality"
   | P1 -> "partiality: no partial stdlib calls or bare aborts on protocol paths"
   | X1 -> "interface hygiene: lib modules need an .mli and uniform dune flags"
+  | A1 -> "hot-path allocation: code reachable from a [@hot] root must not allocate"
+  | F1 -> "fencing totality: WAL/state mutation must be dominated by a wedge check"
   | Parse -> "file failed to parse"
+
+(* A1 and F1 are interprocedural and need the typed tree; the other
+   families run on the parsetree alone. *)
+let is_typed = function A1 | F1 -> true | _ -> false
 
 type severity = Error | Warning
 
@@ -38,11 +48,12 @@ type t = {
   rule : rule;
   severity : severity;
   msg : string;
+  words : int option;
   suppressed : string option;
 }
 
-let make ~file ~line ~col ~rule ?(severity = Error) msg =
-  { file; line; col; rule; severity; msg; suppressed = None }
+let make ~file ~line ~col ~rule ?(severity = Error) ?words msg =
+  { file; line; col; rule; severity; msg; words; suppressed = None }
 
 let order a b =
   let c = String.compare a.file b.file in
@@ -66,6 +77,7 @@ let to_json t =
       ("rule", J.Str (rule_name t.rule));
       ("severity", J.Str (severity_name t.severity));
       ("msg", J.Str t.msg);
+      ("words", match t.words with None -> J.Null | Some w -> J.Num (float_of_int w));
       ("suppressed", J.Bool (is_suppressed t));
       ("reason", match t.suppressed with None -> J.Null | Some r -> J.Str r);
     ]

@@ -9,6 +9,8 @@ type rule =
   | E1  (** polymorphic equality on handles / route keys *)
   | P1  (** partial stdlib calls or bare aborts on protocol paths *)
   | X1  (** interface hygiene: missing [.mli] or non-uniform dune flags *)
+  | A1  (** hot-path allocation reachable from a [\[@hot\]] root *)
+  | F1  (** WAL/state mutation not dominated by the wedge/lease check *)
   | Parse  (** the file failed to parse at all *)
 
 val rule_name : rule -> string
@@ -18,6 +20,10 @@ val rule_of_name : string -> rule option
 
 val rule_doc : rule -> string
 (** One-line catalog entry, shown in [--help] style listings. *)
+
+val is_typed : rule -> bool
+(** A1 and F1 only run when the typed tier has [.cmt] input; pragma
+    bookkeeping for them is gated on the tier actually running. *)
 
 type severity = Error | Warning
 
@@ -30,11 +36,19 @@ type t = {
   rule : rule;
   severity : severity;
   msg : string;
+  words : int option;  (** A1: estimated words allocated at this site *)
   suppressed : string option;  (** pragma reason when suppressed *)
 }
 
 val make :
-  file:string -> line:int -> col:int -> rule:rule -> ?severity:severity -> string -> t
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:rule ->
+  ?severity:severity ->
+  ?words:int ->
+  string ->
+  t
 
 val order : t -> t -> int
 (** Sort key: file, line, column, rule — the report order, stable across

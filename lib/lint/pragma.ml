@@ -86,7 +86,7 @@ let collect ~file content =
   done;
   (List.rev !pragmas, List.rev !bad)
 
-let apply ~file pragmas findings =
+let apply ?(typed_ran = true) ~file pragmas findings =
   let suppress (f : Finding.t) =
     if f.Finding.rule = Finding.Parse then f
     else
@@ -106,6 +106,10 @@ let apply ~file pragmas findings =
     List.filter_map
       (fun p ->
         if p.used then None
+          (* A parsetree-only scan cannot judge A1/F1 pragmas — their
+             findings come from the typed tier. Without .cmt input the
+             pragma is neither used nor provably stale, so stay quiet. *)
+        else if Finding.is_typed p.rule && not typed_ran then None
         else
           Some
             (Finding.make ~file ~line:p.line ~col:0 ~rule:p.rule

@@ -18,6 +18,9 @@ val collect : file:string -> string -> t list * Finding.t list
 (** Scan raw source text. Returns well-formed pragmas plus findings for
     malformed ones (unknown rule, missing reason, unterminated). *)
 
-val apply : file:string -> t list -> Finding.t list -> Finding.t list
+val apply : ?typed_ran:bool -> file:string -> t list -> Finding.t list -> Finding.t list
 (** Mark findings suppressed by a matching pragma (recording the reason)
-    and append an error finding for every pragma that matched nothing. *)
+    and append an error finding for every pragma that matched nothing.
+    With [~typed_ran:false] (a parsetree-only scan), unused A1/F1
+    pragmas are not reported — the tier that could have used them never
+    ran. Default [true]. *)

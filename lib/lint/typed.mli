@@ -1,0 +1,33 @@
+(** The typed analysis tier (DESIGN.md §14).
+
+    Consumes the [.cmt] files dune already produces, builds a call graph
+    over the Typedtree, and runs the interprocedural rule families:
+
+    - {b A1} — every function reachable from a [\[@hot\]] binding in an
+      [a1_scope] file must be allocation-free. Each violation carries an
+      estimated words-allocated figure.
+    - {b F1} — in every [f1_scope] module, each exported entry point
+      that reaches a protected mutation ([f1_protected]) must pass a
+      wedge/lease check ([f1_guards]) first, on every path.
+
+    A file in either scope with no matching [.cmt] yields a finding of
+    its own: the tier fails loudly rather than silently not running. *)
+
+type hot_root = {
+  hr_name : string;  (** canonical ["Mod.fn"] *)
+  hr_file : string;
+  hr_line : int;
+  hr_words : int;  (** estimated words allocated per call, transitively *)
+  hr_sites : int;  (** allocation sites reachable from this root *)
+}
+
+val analyze :
+  Config.t ->
+  cmt_dir:string ->
+  files:string list ->
+  (string * Finding.t list) list * hot_root list
+(** [analyze cfg ~cmt_dir ~files] scans every [.cmt] under [cmt_dir]
+    (recursively), keeps those whose recorded source file matches one of
+    the walked [files], and returns findings grouped per walked file
+    plus the [\[@hot\]] root summary. Pragma application is the caller's
+    job — findings come back unsuppressed. *)

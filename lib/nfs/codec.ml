@@ -64,7 +64,7 @@ let dec_wdata d =
 
 let int_of_stable = function Nfs.Unstable -> 0 | Nfs.Data_sync -> 1 | Nfs.File_sync -> 2
 
-let stable_of_int = function
+let[@hot] stable_of_int = function
   | 0 -> Nfs.Unstable
   | 1 -> Nfs.Data_sync
   | 2 -> Nfs.File_sync
@@ -72,7 +72,7 @@ let stable_of_int = function
 
 let int_of_ftype = function Fh.Reg -> 1 | Fh.Dir -> 2 | Fh.Lnk -> 5
 
-let ftype_of_int = function
+let[@hot] ftype_of_int = function
   | 1 -> Fh.Reg
   | 2 -> Fh.Dir
   | 5 -> Fh.Lnk
@@ -291,7 +291,7 @@ let reply_status_off = 24
 let reply_attr_present_off = 28
 let reply_attr_block_off = 32
 
-let int_of_status : Nfs.status -> int = function
+let[@hot] int_of_status : Nfs.status -> int = function
   | OK -> 0
   | ERR_PERM -> 1
   | ERR_NOENT -> 2
@@ -330,7 +330,7 @@ let enc_reply_header e ~xid =
   Enc.u32 e 0 (* verf length *);
   Enc.u32 e 0 (* SUCCESS *)
 
-let reply_tag : Nfs.reply -> int = function
+let[@hot] reply_tag : Nfs.reply -> int = function
   | RNull -> 0
   | RGetattr _ -> 1
   | RSetattr _ -> 2
@@ -548,10 +548,10 @@ let peek_call buf =
     Some { p with items = Dec.items_read d }
   with Slice_xdr.Xdr.Truncated | Malformed _ -> None
 
-let is_call buf =
+let[@hot] is_call buf =
   Bytes.length buf >= 8 && Int32.to_int (Bytes.get_int32_be buf 4) = 0
 
-let xid_of buf =
+let[@hot] xid_of buf =
   if Bytes.length buf < 4 then raise (Malformed "short packet");
   Int32.to_int (Bytes.get_int32_be buf 0) land 0xFFFFFFFF
 

@@ -439,6 +439,7 @@ let export_site t site : site_image =
     t.files []
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
+(* lint: F1 ok — migration control plane: extents are placed before the site is owned here, while the source is still serving *)
 let import_site t site (img : site_image) =
   List.iter
     (fun (fid, size, contents) ->
@@ -462,6 +463,7 @@ let import_site t site (img : site_image) =
       end)
     img
 
+(* lint: F1 ok — migration control plane: frees extents only after the handoff commit has rebound the site elsewhere *)
 let drop_site t site =
   let moved =
     Hashtbl.fold (fun fid (fr : filerec) acc -> if fr.site = site then fid :: acc else acc)

@@ -270,6 +270,7 @@ let completions t = t.completed_count
 let redos t = t.redo_count
 let map_entries t = Hashtbl.length t.maps
 
+(* lint: F1 ok — crash simulation: rebuilding the synced log image models the disk, not a client-visible mutation *)
 let crash t =
   t.up <- false;
   (* Volatile state is lost; only the synced log image survives. *)
@@ -311,6 +312,7 @@ let recover t =
   Engine.spawn t.host.Host.eng (fun () ->
       List.iter (fun (op_id, i) -> redo t op_id i) incomplete)
 
+(* lint: F1 ok — failover takeover: the deposed coordinator is fenced by lease expiry before its log is grafted here *)
 let adopt_log t ~log =
   (* Takeover: graft a failed coordinator's stable intentions log into
      this (typically fresh) coordinator, then run the normal recovery

@@ -1,3 +1,4 @@
+module Engine = Slice_sim.Engine
 module Nfs = Slice_nfs.Nfs
 module Fh = Slice_nfs.Fh
 module Routekey = Slice_nfs.Routekey
@@ -32,6 +33,13 @@ type t = {
   mutable bytes_written : int;
   mutable drain_bounces : int;
   mutable misdirect_bounces : int;
+  (* Fencing lease (failover): an expired lease wedges the whole node —
+     every request bounces — so a zombie deposed by a takeover cannot
+     acknowledge writes against stale object state. Defaults (infinite
+     lease, epoch 0) keep standalone nodes unfenced. *)
+  mutable lease_until : float;
+  mutable lease_epoch : int;
+  mutable fence_bounces : int;
 }
 
 let object_id_of_fh fh = Slice_hash.Md5.fold64 (Fh.key fh)
@@ -157,12 +165,18 @@ let touch_site t site =
 let owns t site = Hashtbl.mem t.owned site
 let is_draining t site = Hashtbl.mem t.draining site
 
+let wedged t = Engine.now t.host.Host.eng > t.lease_until
+
 let handle t span (call : Nfs.call) : Nfs.response =
   (* Synchronous cache/disk work records as a "disk" hop; asynchronous
      readahead and write-behind stay untraced (they complete after the
      request span closes). *)
   let disk_timed f = Trace.timed span ~hop:"disk" ~site:(Host.name t.host) f in
-  if not (authorized t call) then Error Nfs.ERR_PERM
+  if wedged t then begin
+    t.fence_bounces <- t.fence_bounces + 1;
+    Error Nfs.ERR_MISDIRECTED
+  end
+  else if not (authorized t call) then Error Nfs.ERR_PERM
   else
   match call with
   | Nfs.Null -> Ok Nfs.RNull
@@ -302,6 +316,9 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret
       bytes_written = 0;
       drain_bounces = 0;
       misdirect_bounces = 0;
+      lease_until = infinity;
+      lease_epoch = 0;
+      fence_bounces = 0;
     }
   in
   List.iter (fun s -> Hashtbl.replace t.owned s ()) sites;
@@ -403,6 +420,16 @@ let site_bytes t site =
       | Some o -> Int64.add acc o.size
       | None -> acc)
     t.objects 0L
+
+(* ---- fencing lease (failover) ---- *)
+
+let set_lease t ~epoch ~until =
+  t.lease_epoch <- epoch;
+  t.lease_until <- until
+
+let lease_epoch t = t.lease_epoch
+let fence_bounces t = t.fence_bounces
+let is_wedged t = wedged t
 
 let reads t = t.reads
 let writes t = t.writes

@@ -98,6 +98,25 @@ val misdirect_bounces : t -> int
 (** Requests bounced because their site is not bound here (stale µproxy
     tables after a reconfiguration). *)
 
+(** {2 Fencing lease (failover)} *)
+
+val set_lease : t -> epoch:int -> until:float -> unit
+(** Grant (or renew) this node's fencing lease: it may serve until
+    sim-time [until] under fencing epoch [epoch]. Nodes start with an
+    infinite lease (epoch 0) — attaching a failure detector is what
+    makes fencing real. *)
+
+val lease_epoch : t -> int
+
+val is_wedged : t -> bool
+(** The lease has expired: every request bounces with
+    [SLICE_MISDIRECTED] until a new lease is granted, so a zombie
+    deposed by a takeover cannot acknowledge writes against stale
+    object state. *)
+
+val fence_bounces : t -> int
+(** Requests bounced because the lease had expired. *)
+
 val reads : t -> int
 val writes : t -> int
 val bytes_read : t -> int

@@ -28,16 +28,20 @@ let rec sift_up h i =
     end
   end
 
+(* On the engine's event-dispatch path ([Engine.step] -> [pop_exn]):
+   written with shadowed immutables rather than a [ref] so each call
+   allocates nothing. *)
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
+  (* lint: A1 ok — comparator is caller-supplied; the engine's compare_event is allocation-free *)
+  let s = if l < h.size && h.cmp h.data.(l) h.data.(i) < 0 then l else i in
+  (* lint: A1 ok — comparator is caller-supplied; the engine's compare_event is allocation-free *)
+  let s = if r < h.size && h.cmp h.data.(r) h.data.(s) < 0 then r else s in
+  if s <> i then begin
     let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
-    sift_down h !smallest
+    h.data.(i) <- h.data.(s);
+    h.data.(s) <- tmp;
+    sift_down h s
   end
 
 let push h x =

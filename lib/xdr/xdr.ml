@@ -1,6 +1,6 @@
 exception Truncated
 
-let pad_len n = (4 - (n land 3)) land 3
+let[@hot] pad_len n = (4 - (n land 3)) land 3
 
 module Enc = struct
   type t = { buf : Buffer.t }
@@ -38,21 +38,23 @@ module Dec = struct
     if pos < 0 || limit > Bytes.length buf then invalid_arg "Xdr.Dec.of_bytes";
     { buf; limit; p = pos; items = 0 }
 
-  let pos t = t.p
-  let remaining t = t.limit - t.p
+  let[@hot] pos t = t.p
+  let[@hot] remaining t = t.limit - t.p
 
-  let need t n = if t.p + n > t.limit then raise Truncated
+  let[@hot] need t n = if t.p + n > t.limit then raise Truncated
 
-  let skip t n =
+  let[@hot] skip t n =
     need t n;
     t.p <- t.p + n
 
-  let u32 t =
+  (* The int32 read feeds Int32.to_int directly so it stays unboxed;
+     let-binding it would box on every call (A1). *)
+  let[@hot] u32 t =
     need t 4;
-    let v = Bytes.get_int32_be t.buf t.p in
-    t.p <- t.p + 4;
+    let p = t.p in
+    t.p <- p + 4;
     t.items <- t.items + 1;
-    Int32.to_int v land 0xFFFFFFFF
+    Int32.to_int (Bytes.get_int32_be t.buf p) land 0xFFFFFFFF
 
   let i32 t =
     need t 4;
@@ -68,8 +70,8 @@ module Dec = struct
     t.items <- t.items + 1;
     v
 
-  let bool t = u32 t <> 0
-  let enum t = u32 t
+  let[@hot] bool t = u32 t <> 0
+  let[@hot] enum t = u32 t
 
   let opaque_fixed t n =
     need t (n + pad_len n);
@@ -83,5 +85,5 @@ module Dec = struct
     opaque_fixed t n
 
   let str = opaque
-  let items_read t = t.items
+  let[@hot] items_read t = t.items
 end

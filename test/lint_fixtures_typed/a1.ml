@@ -1,0 +1,36 @@
+(* A1 fixture: [@hot] roots with allocation sites. Positions and
+   messages are pinned by golden/a1.json. *)
+
+let sink = ref 0
+let callbacks : (unit -> int) ref = ref (fun () -> 0)
+
+(* positive: tuple allocated directly in a hot root *)
+let[@hot] pair x y = (x, y)
+
+(* positive: boxed int32 pinned by a let, so it cannot unbox *)
+let[@hot] read_boxed buf =
+  let v = Bytes.get_int32_be buf 0 in
+  Int32.to_int v
+
+(* positive (interprocedural): the conses are in the helper, the root
+   only reaches them *)
+let helper n = [ n; n + 1 ]
+let[@hot] calls_helper n = List.length (helper n)
+
+(* positive: closure created in body position *)
+let[@hot] install n = callbacks := (fun () -> n)
+
+(* suppressed, multi-line expression: the pragma sits above the first
+   line of the allocating expression *)
+let[@hot] slow_pair x y =
+  (* lint: A1 ok — cold path: constructed once per report, not per packet *)
+  ( x,
+    y )
+
+(* suppressed: indirect call through a caller-supplied function *)
+let[@hot] dispatch f x =
+  (* lint: A1 ok — callback is caller-supplied and allocation-free on the hot path *)
+  f x
+
+(* clean: arithmetic, comparisons and raises are free *)
+let[@hot] masked n = if n < 0 then invalid_arg "masked" else n land 0xFF

@@ -8,7 +8,16 @@ module Driver = Slice_lint.Driver
 module Config = Slice_lint.Config
 module Finding = Slice_lint.Finding
 module Pragma = Slice_lint.Pragma
+module Typed = Slice_lint.Typed
 module Json = Slice_util.Json
+module Xdr = Slice_xdr.Xdr
+module Codec = Slice_nfs.Codec
+module Proxy = Slice.Proxy
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
 
 let read_file path =
   let ic = open_in_bin path in
@@ -24,7 +33,8 @@ let with_cwd anchor f () =
   if Sys.file_exists anchor then f ()
   else
     let candidates =
-      [ "test"; ".."; Filename.concat ".." (Filename.concat ".." "..") ]
+      [ Filename.concat "_build" (Filename.concat "default" "test");
+        "test"; ".."; Filename.concat ".." (Filename.concat ".." "..") ]
       @ (match Sys.getenv_opt "DUNE_SOURCEROOT" with
         | Some root -> [ root; Filename.concat root "test" ]
         | None -> [])
@@ -38,10 +48,14 @@ let with_cwd anchor f () =
 
 let scan roots = Driver.scan Config.fixtures roots
 
+(* Typed-tier scans point --cmt-dir at the fixture library's own build
+   tree, so the analysis sees exactly the fixtures' .cmt files. *)
+let scan_typed roots = Driver.scan ~cmt_dir:"lint_fixtures_typed" Config.fixtures roots
+
 (* The report for a fixture root must match its golden exactly —
    messages, positions, suppression reasons and ordering included. *)
-let golden name roots () =
-  let report = scan roots in
+let golden ?(typed = false) name roots () =
+  let report = (if typed then scan_typed else scan) roots in
   let got = Json.to_string (Driver.to_json report) ^ "\n" in
   let want = read_file ("lint_fixtures/golden/" ^ name ^ ".json") in
   check_string ("golden " ^ name) want got
@@ -50,8 +64,8 @@ let golden name roots () =
    regenerated from a broken linter cannot silently weaken the suite:
    the rule fires at least [live] times unsuppressed, and exactly
    [suppressed] findings of the rule carry a pragma reason. *)
-let fires rule roots ~live ~suppressed () =
-  let report = scan roots in
+let fires ?(typed = false) rule roots ~live ~suppressed () =
+  let report = (if typed then scan_typed else scan) roots in
   let of_rule = List.filter (fun f -> f.Finding.rule = rule) report.Driver.findings in
   let supp, unsupp = List.partition Finding.is_suppressed of_rule in
   check_int (Finding.rule_name rule ^ " live findings") live (List.length unsupp);
@@ -134,11 +148,190 @@ let pragma_application () =
   check_bool "unused pragma keeps its rule" true
     ((List.hd applied).Finding.rule = Finding.R1)
 
-(* The repo profile itself must be clean: the same scan the @lint alias
-   runs, executed from the repo root (scopes are relative paths). *)
+(* ---- typed tier (A1/F1) ---- *)
+
+let a1_roots = [ "lint_fixtures_typed/a1.ml" ]
+let f1_roots = [ "lint_fixtures_typed/f1.ml"; "lint_fixtures_typed/f1.mli" ]
+
+(* Structural claims over the A1 fixture beyond the golden: every [@hot]
+   binding surfaces as a hot root, clean roots report a zero budget, and
+   suppressed sites still count toward their root's words/sites. *)
+let a1_hot_roots () =
+  let report = scan_typed a1_roots in
+  check_bool "typed tier ran" true report.Driver.typed_ran;
+  let names = List.map (fun (h : Typed.hot_root) -> h.Typed.hr_name) report.Driver.hot_roots in
+  check_bool "all [@hot] roots surface, sorted" true
+    (names
+    = [
+        "A1.calls_helper"; "A1.dispatch"; "A1.install"; "A1.masked"; "A1.pair";
+        "A1.read_boxed"; "A1.slow_pair";
+      ]);
+  let root n = List.find (fun (h : Typed.hot_root) -> h.Typed.hr_name = n) report.Driver.hot_roots in
+  let masked = root "A1.masked" in
+  check_int "clean root has no sites" 0 masked.Typed.hr_sites;
+  check_int "clean root costs no words" 0 masked.Typed.hr_words;
+  let pair = root "A1.pair" in
+  check_int "tuple root has one site" 1 pair.Typed.hr_sites;
+  check_bool "tuple root costs words" true (pair.Typed.hr_words > 0);
+  let dispatch = root "A1.dispatch" in
+  check_int "suppressed site still counts in the budget" 1 dispatch.Typed.hr_sites
+
+(* Interprocedural attribution: the helper's conses are charged to the
+   hot caller, at the helper's own source position, naming both. *)
+let a1_interprocedural () =
+  let report = scan_typed a1_roots in
+  let on_17 =
+    List.filter
+      (fun f -> f.Finding.rule = Finding.A1 && f.Finding.line = 17)
+      report.Driver.findings
+  in
+  check_int "both helper conses flagged once each" 2 (List.length on_17);
+  List.iter
+    (fun f ->
+      check_bool "finding names the helper" true (contains ~needle:"A1.helper" f.Finding.msg);
+      check_bool "finding names the hot root" true
+        (contains ~needle:"A1.calls_helper" f.Finding.msg))
+    on_17
+
+(* A pragma above the first line of a multi-line expression suppresses
+   the finding the expression reports at its start line. *)
+let a1_multiline_pragma () =
+  let report = scan_typed a1_roots in
+  let f =
+    List.find
+      (fun f -> f.Finding.rule = Finding.A1 && f.Finding.line = 27)
+      report.Driver.findings
+  in
+  check_bool "multi-line tuple suppressed" true (Finding.is_suppressed f)
+
+(* F1 placement: findings sit on exported entry points only — the
+   private helper is reported through its callers, the wedge-guarded
+   dispatcher stays clean, and the witness spells out the call chain. *)
+let f1_entries () =
+  let report = scan_typed f1_roots in
+  let f1 = List.filter (fun f -> f.Finding.rule = Finding.F1) report.Driver.findings in
+  let live = List.filter (fun f -> not (Finding.is_suppressed f)) f1 in
+  check_bool "findings sit on the exported entries" true
+    (List.sort compare (List.map (fun f -> f.Finding.line) live) = [ 18; 21; 24 ]);
+  check_bool "no finding on the private helper" true
+    (not (List.exists (fun f -> f.Finding.line = 15) f1));
+  check_bool "wedge-guarded handle is clean" true
+    (not (List.exists (fun f -> f.Finding.line = 29) f1));
+  let via = List.find (fun f -> f.Finding.line = 21) live in
+  check_bool "witness chains through the private helper" true
+    (contains ~needle:"F1.log_raw" via.Finding.msg
+    && contains ~needle:"Wal.append" via.Finding.msg)
+
+(* A hot-path file with no .cmt must fail loudly, not pass silently. *)
+let typed_missing_cmt () =
+  let report = Driver.scan ~cmt_dir:"lint_fixtures/golden" Config.fixtures a1_roots in
+  check_bool "missing cmt is an error" true (Driver.errors report > 0);
+  check_bool "message points at --cmt-dir" true
+    (List.exists
+       (fun f -> f.Finding.rule = Finding.A1 && contains ~needle:"no .cmt" f.Finding.msg)
+       report.Driver.findings)
+
+(* Two pragmas stacked on one line each suppress their own rule on the
+   next line, and neither is reported unused. *)
+let pragma_stacking () =
+  let m = "(* lint" ^ ": " in
+  let src =
+    "let x = 1\n" ^ m ^ "R1 ok — first *) " ^ m ^ "E1 ok — second *)\n" ^ "let y = 2\n"
+  in
+  let ok, bad = Pragma.collect ~file:"inline.ml" src in
+  check_int "two pragmas on one line" 2 (List.length ok);
+  check_int "stacked pragmas parse clean" 0 (List.length bad);
+  let f rule = Finding.make ~file:"inline.ml" ~line:3 ~col:0 ~rule (Finding.rule_name rule ^ ": t") in
+  let applied = Pragma.apply ~file:"inline.ml" ok [ f Finding.R1; f Finding.E1 ] in
+  check_int "no unused-pragma findings appear" 2 (List.length applied);
+  check_int "both findings suppressed" 2
+    (List.length (List.filter Finding.is_suppressed applied))
+
+(* Typed-tier pragma naming, and the unused-pragma audit's gating: an
+   unused A1/F1 pragma is an error only when the typed tier ran, while
+   surface-tier pragmas are audited either way. *)
+let pragma_typed_rules () =
+  let m = "(* lint" ^ ": " in
+  let collect src = Pragma.collect ~file:"inline.ml" src in
+  (match collect (m ^ "A1 ok — hot-path budget reviewed *)\n") with
+  | [ p ], [] -> check_bool "A1 pragma names the typed rule" true (p.Pragma.rule = Finding.A1)
+  | _ -> Alcotest.fail "expected one clean A1 pragma");
+  (match collect (m ^ "F1 ok — control plane, fenced upstream *)\n") with
+  | [ p ], [] -> check_bool "F1 pragma names the typed rule" true (p.Pragma.rule = Finding.F1)
+  | _ -> Alcotest.fail "expected one clean F1 pragma");
+  let unused rule = { Pragma.line = 4; rule; reason = "why"; used = false } in
+  check_int "unused A1 pragma silent without cmts" 0
+    (List.length (Pragma.apply ~typed_ran:false ~file:"f.ml" [ unused Finding.A1 ] []));
+  check_int "unused A1 pragma surfaces with cmts" 1
+    (List.length (Pragma.apply ~typed_ran:true ~file:"f.ml" [ unused Finding.A1 ] []));
+  check_int "unused R1 pragma surfaces either way" 1
+    (List.length (Pragma.apply ~typed_ran:false ~file:"f.ml" [ unused Finding.R1 ] []))
+
+(* Runtime cross-check of A1's verdict: the repo lint report (written by
+   the @lint rule this test run depends on) says these exported [@hot]
+   roots are allocation-free; Gc.minor_words must agree per call. *)
+let probe_hot_roots () =
+  let report = Json.of_string (read_file "../lint-report.json") in
+  let roots =
+    match Json.member "hot_roots" report with
+    | Some (Json.Arr l) -> l
+    | _ -> Alcotest.fail "lint-report.json has no hot_roots"
+  in
+  let est name =
+    match
+      List.find_opt (fun r -> Json.member "name" r = Some (Json.Str name)) roots
+    with
+    | None -> Alcotest.failf "%s not among hot_roots in lint-report.json" name
+    | Some r -> (
+        match Json.member "est_words" r with
+        | Some (Json.Num w) -> int_of_float w
+        | _ -> Alcotest.fail "hot root without est_words")
+  in
+  let measure f =
+    for _ = 1 to 256 do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let n = 2048 in
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Gc.minor_words () -. before) /. float_of_int n
+  in
+  let agree name f =
+    check_int (name ^ " static budget") 0 (est name);
+    let per_call = measure f in
+    if per_call > 0.5 then
+      Alcotest.failf "%s allocates %.3f words/call at runtime; A1 says none" name per_call
+  in
+  (* XDR decode primitives over one long zeroed buffer, so the consuming
+     calls never need a fresh decoder inside the measured loop *)
+  let d = Xdr.Dec.of_bytes (Bytes.make 65536 '\x00') in
+  agree "Dec.u32" (fun () -> Xdr.Dec.u32 d);
+  agree "Dec.bool" (fun () -> Xdr.Dec.bool d);
+  agree "Dec.enum" (fun () -> Xdr.Dec.enum d);
+  agree "Dec.skip" (fun () -> Xdr.Dec.skip d 4);
+  agree "Dec.pos" (fun () -> Xdr.Dec.pos d);
+  agree "Dec.remaining" (fun () -> Xdr.Dec.remaining d);
+  agree "Dec.items_read" (fun () -> Xdr.Dec.items_read d);
+  (* codec peek path and µproxy reply inspection on a zeroed packet *)
+  let pkt = Bytes.make 64 '\x00' in
+  agree "Codec.is_call" (fun () -> Codec.is_call pkt);
+  agree "Codec.xid_of" (fun () -> Codec.xid_of pkt);
+  agree "Codec.int_of_status" (fun () -> Codec.int_of_status Slice_nfs.Nfs.OK);
+  agree "Proxy.reply_status" (fun () -> Proxy.reply_status pkt);
+  agree "Proxy.op_of_proc" (fun () -> Proxy.op_of_proc 6)
+
+(* The repo profile itself must be clean — the same scan the @lint alias
+   runs, typed tier included, executed from the repo root (scopes and
+   --cmt-dir are relative paths). *)
 let repo_clean () =
-  let report = Driver.scan Config.repo [ "lib"; "bin"; "bench"; "examples" ] in
+  let report = Driver.scan ~cmt_dir:"." Config.repo [ "lib"; "bin"; "bench"; "examples" ] in
   check_int "repo unsuppressed findings" 0 (Driver.errors report);
+  check_bool "typed tier ran over the repo" true report.Driver.typed_ran;
+  check_bool "repo hot roots discovered" true
+    (List.exists (fun (h : Typed.hot_root) -> h.Typed.hr_name = "Dec.u32") report.Driver.hot_roots
+    && List.exists (fun (h : Typed.hot_root) -> h.Typed.hr_name = "Engine.step") report.Driver.hot_roots);
   check_bool "repo suppressions all carry reasons" true
     (List.for_all
        (fun f ->
@@ -167,9 +360,23 @@ let suite =
     fixture_case "P1 fires and suppresses"
       (fires Finding.P1 [ "lint_fixtures/p1.ml" ] ~live:4 ~suppressed:1);
     fixture_case "X1 fires" (fires Finding.X1 [ "lint_fixtures/x1" ] ~live:2 ~suppressed:0);
+    fixture_case "golden a1" (golden ~typed:true "a1" a1_roots);
+    fixture_case "golden f1" (golden ~typed:true "f1" f1_roots);
+    fixture_case "A1 fires and suppresses"
+      (fires ~typed:true Finding.A1 a1_roots ~live:5 ~suppressed:2);
+    fixture_case "F1 fires and suppresses"
+      (fires ~typed:true Finding.F1 f1_roots ~live:3 ~suppressed:2);
+    fixture_case "A1 hot-root accounting" a1_hot_roots;
+    fixture_case "A1 interprocedural attribution" a1_interprocedural;
+    fixture_case "A1 pragma covers a multi-line expression" a1_multiline_pragma;
+    fixture_case "F1 findings land on exported entries" f1_entries;
+    fixture_case "typed tier fails loudly without cmts" typed_missing_cmt;
     fixture_case "no false positives" no_false_positives;
     fixture_case "error counting" error_counting;
     Alcotest.test_case "pragma parsing" `Quick pragma_parsing;
     Alcotest.test_case "pragma application" `Quick pragma_application;
+    Alcotest.test_case "pragma stacking" `Quick pragma_stacking;
+    Alcotest.test_case "typed pragma rules and gating" `Quick pragma_typed_rules;
+    fixture_case "Gc probe agrees with A1" probe_hot_roots;
     Alcotest.test_case "repo profile is clean" `Quick (with_cwd "lib" repo_clean);
   ]
