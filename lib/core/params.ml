@@ -18,6 +18,7 @@ type t = {
   meta_cache_ttl : float;
   name_cache_capacity : int;
   map_cache_capacity : int;
+  pending_capacity : int;
   pending_sweep_interval : float;
   pending_expiry : float;
   rpc_port : int;
@@ -43,6 +44,7 @@ let default =
     meta_cache_ttl = 2.0;
     name_cache_capacity = 4096;
     map_cache_capacity = 1024;
+    pending_capacity = 1024;
     pending_sweep_interval = 1.0;
     pending_expiry = 10.0;
     rpc_port = 3001;

@@ -47,6 +47,10 @@ type t = {
           negative entries *)
   map_cache_capacity : int;
       (** entries in the per-file block-map placement cache *)
+  pending_capacity : int;
+      (** pending records (and xid-index headroom) preallocated per
+          µproxy; the pool doubles on overflow, so this is a steady-state
+          sizing hint, not a limit *)
   pending_sweep_interval : float;
       (** period of the sweep that expires abandoned pending records —
           soft state for requests whose reply will never arrive because

@@ -27,3 +27,10 @@ val fold64 : string -> int64
 
 val bucket : string -> int -> int
 (** [bucket msg n] maps [msg] uniformly onto [\[0, n)] via [fold64]. *)
+
+val bucket_bytes : bytes -> pos:int -> len:int -> int -> int
+(** [bucket_bytes buf ~pos ~len n] is [bucket] of [buf.[pos, pos+len)]
+    without materializing the key: the digest runs over the buffer in
+    place and allocates nothing, so routing hashes can be computed
+    directly from a packet's payload bytes on the µproxy hot path.
+    Produces exactly the same bucket as {!bucket} on the same bytes. *)

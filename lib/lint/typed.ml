@@ -60,6 +60,12 @@ let clean_table =
     "Bytes.unsafe_get"; "Bytes.unsafe_set"; "String.get"; "String.unsafe_get";
     "Array.get"; "Array.set"; "Array.unsafe_get"; "Array.unsafe_set";
     "Bytes.get_uint8"; "Bytes.get_int8"; "Bytes.get_uint16_be"; "Bytes.get_uint16_le";
+    (* stores into preexisting buffers: the int16/32/64 setters consume a
+       boxed argument (boxing is charged where the box is built) and
+       allocate nothing themselves, like Bytes.set *)
+    "Bytes.set_uint8"; "Bytes.set_uint16_be"; "Bytes.set_uint16_le";
+    "Bytes.set_int32_be"; "Bytes.set_int32_le"; "Bytes.set_int64_be"; "Bytes.set_int64_le";
+    "Bytes.blit"; "Bytes.fill"; "Bytes.blit_string"; "Array.blit"; "Array.fill";
     "Char.code"; "Char.chr"; "Char.equal"; "Char.compare";
     "Int.equal"; "Int.compare"; "Int.max"; "Int.min"; "String.equal"; "Bool.equal";
     "Int32.to_int"; "Int64.to_int"; "Nativeint.to_int"; "Int64.to_float";
@@ -117,7 +123,7 @@ let allocating_table =
     ("Array.make", 16, "fresh array"); ("Array.init", 16, "fresh array");
     ("Array.copy", 16, "fresh array"); ("Array.append", 16, "fresh array");
     ("Array.sub", 16, "fresh array"); ("Array.to_list", 24, "conses per element");
-    ("Array.blit", 0, ""); ("String.sub", 16, "fresh string");
+    ("String.sub", 16, "fresh string");
     ("String.concat", 16, "fresh string"); ("String.make", 16, "fresh string");
     ("^", 16, "fresh string"); ("String.split_on_char", 32, "list of fresh strings");
     ("String.trim", 16, "fresh string"); ("String.uppercase_ascii", 16, "fresh string");

@@ -40,19 +40,36 @@ let word_at payload i =
     (Char.code (Bytes.get payload i) lsl 8) lor Char.code (Bytes.get payload (i + 1))
   else (Char.code (Bytes.get payload i)) lsl 8
 
-let patch_payload (p : Packet.t) ~off s =
-  let len = String.length s in
-  if off < 0 || off land 1 <> 0 || off + len > Bytes.length p.payload then
-    invalid_arg "Cksum.patch_payload";
-  (* Adjust one aligned 16-bit word at a time. An odd-length patch shares
-     its final word with the following payload byte, handled by word_at. *)
+(* Adjust one aligned 16-bit word at a time. An odd-length patch shares
+   its final word with the following payload byte, handled by word_at. *)
+let patch_words (p : Packet.t) ~off src spos len =
   let i = ref 0 in
   while !i < len do
     let word_off = off + !i in
     let old_word = word_at p.payload word_off in
-    Bytes.set p.payload word_off s.[!i];
-    if !i + 1 < len then Bytes.set p.payload (word_off + 1) s.[!i + 1];
+    Bytes.set p.payload word_off (Bytes.get src (spos + !i));
+    if !i + 1 < len then Bytes.set p.payload (word_off + 1) (Bytes.get src (spos + !i + 1));
     let new_word = word_at p.payload word_off in
     p.cksum <- adjust p.cksum ~old_word ~new_word;
     i := !i + 2
   done
+
+let patch_payload (p : Packet.t) ~off s =
+  let len = String.length s in
+  if off < 0 || off land 1 <> 0 || off + len > Bytes.length p.payload then
+    invalid_arg "Cksum.patch_payload";
+  patch_words p ~off (Bytes.unsafe_of_string s) 0 len
+
+(* Bytes-sourced twin for the µproxy's reused scratch buffers: same word
+   loop, no string materialization between computing a field value and
+   splicing it in. *)
+let patch_payload_bytes (p : Packet.t) ~off src ~spos ~len =
+  if
+    off < 0
+    || off land 1 <> 0
+    || off + len > Bytes.length p.payload
+    || spos < 0
+    || len < 0
+    || spos + len > Bytes.length src
+  then invalid_arg "Cksum.patch_payload_bytes";
+  patch_words p ~off src spos len

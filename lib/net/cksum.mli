@@ -30,3 +30,8 @@ val patch_payload : Packet.t -> off:int -> string -> unit
 (** [patch_payload p ~off s] overwrites payload bytes at [off] (which must
     be even, as all XDR field offsets are) with [s], adjusting the checksum
     word-by-word. Raises [Invalid_argument] if out of range or misaligned. *)
+
+val patch_payload_bytes : Packet.t -> off:int -> bytes -> spos:int -> len:int -> unit
+(** Same splice sourced from [src.[spos, spos+len)] — the µproxy writes
+    field values into a per-instance scratch buffer and patches from it,
+    keeping the rewrite path free of string allocation. *)

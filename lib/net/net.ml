@@ -117,18 +117,25 @@ let rec apply_filters filters pkt =
   | [] -> Some pkt
   | f :: rest -> ( match f pkt with None -> None | Some pkt -> apply_filters rest pkt)
 
+let handle_local t (node : node) (pkt : Packet.t) =
+  match Hashtbl.find node.handlers pkt.dport with
+  | h -> h pkt
+  | exception Not_found -> t.dropped <- t.dropped + 1
+
 let deliver t (pkt : Packet.t) =
   let dst = get t pkt.dst in
-  match apply_filters dst.ingress pkt with
-  | None -> ()
-  | Some pkt -> (
-      match Hashtbl.find_opt dst.handlers pkt.dport with
-      | Some h -> h pkt
-      | None -> t.dropped <- t.dropped + 1)
+  match dst.ingress with
+  | [] -> handle_local t dst pkt
+  | fs -> (
+      match apply_filters fs pkt with
+      | None -> ()
+      | Some pkt -> handle_local t dst pkt)
 
 (* Put the packet on the destination NIC at [arrival]; a node that is down
-   when the packet lands loses it silently. *)
-let deliver_at t (pkt : Packet.t) ~arrival ~ser =
+   when the packet lands loses it silently. The receive serialization
+   time is recomputed from the packet instead of captured, keeping the
+   scheduled closure free of a boxed float. *)
+let deliver_at t (pkt : Packet.t) ~arrival =
   Engine.schedule_at t.eng arrival (fun () ->
       let dst = get t pkt.dst in
       if not dst.up then begin
@@ -136,7 +143,9 @@ let deliver_at t (pkt : Packet.t) ~arrival ~ser =
         t.f_node_drops <- t.f_node_drops + 1
       end
       else begin
-        let rx_done = Resource.reserve dst.rx ser in
+        let rx_done =
+          Resource.reserve dst.rx (float_of_int (Packet.wire_size pkt) /. t.p.bandwidth)
+        in
         Engine.schedule_at t.eng rx_done (fun () -> deliver t pkt)
       end)
 
@@ -190,32 +199,36 @@ let transmit t (pkt : Packet.t) =
     end
     else if t.p.drop_prob > 0.0 && Slice_util.Prng.float t.prng 1.0 < t.p.drop_prob then
       t.dropped <- t.dropped + 1
+    else if t.partition == None && t.link_faults == [] then
+      (* fault-free fast path: no verdict to build, no PRNG draws — the
+         common case stays allocation-light and keeps the exact random
+         stream of runs with no fault schedule configured *)
+      deliver_at t pkt ~arrival:(tx_done +. t.p.wire_latency +. t.p.switch_latency)
     else
       match fault_verdict t pkt with
       | `Drop -> t.dropped <- t.dropped + 1
       | `Deliver (extra_delay, dup) ->
           let arrival = tx_done +. t.p.wire_latency +. t.p.switch_latency +. extra_delay in
-          deliver_at t pkt ~arrival ~ser;
+          deliver_at t pkt ~arrival;
           if dup then begin
             (* an independent copy: downstream filters rewrite in place *)
             t.f_dups <- t.f_dups + 1;
-            deliver_at t (Packet.copy pkt) ~arrival ~ser
+            deliver_at t (Packet.copy pkt) ~arrival
           end
   end
 
 let send t (pkt : Packet.t) =
   let src = get t pkt.src in
-  match apply_filters src.egress pkt with
-  | None -> ()
-  | Some pkt -> transmit t pkt
+  match src.egress with
+  | [] -> transmit t pkt
+  | fs -> (
+      match apply_filters fs pkt with
+      | None -> ()
+      | Some pkt -> transmit t pkt)
 
 let inject t pkt = transmit t pkt
 
-let dispatch t (pkt : Packet.t) =
-  let dst = get t pkt.dst in
-  match Hashtbl.find_opt dst.handlers pkt.dport with
-  | Some h -> h pkt
-  | None -> t.dropped <- t.dropped + 1
+let dispatch t (pkt : Packet.t) = handle_local t (get t pkt.dst) pkt
 (* ---- fault schedule ---- *)
 
 let set_node_up t a up = (get t a).up <- up

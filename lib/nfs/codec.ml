@@ -81,6 +81,7 @@ let[@hot] ftype_of_int = function
 (* fattr block: fixed 84-byte layout (offsets documented in the mli). *)
 let attr_wire_size = 84
 let attr_size_field_off = 20
+let attr_fileid_field_off = 52
 let attr_atime_field_off = 60
 let attr_mtime_field_off = 68
 
@@ -548,6 +549,166 @@ let peek_call buf =
     Some { p with items = Dec.items_read d }
   with Slice_xdr.Xdr.Truncated | Malformed _ -> None
 
+(* ---- cursor peek: the allocation-free twin of [peek_call] ----
+
+   One long-lived cursor per µproxy instance; [peek_call_into] re-reads
+   it from a packet buffer, recording field positions instead of
+   materializing handles and names. Absent fields are -1 (offsets/counts)
+   — the record is all-mutable and reset on every call, so steady-state
+   interception allocates nothing. Field-for-field it consumes exactly
+   the XDR items [peek_call] does, keeping the decode cost model (and so
+   every simulated timing) bit-identical across the two paths. *)
+
+type cursor = {
+  cr : Dec.t;
+  mutable c_xid : int;
+  mutable c_proc : int;
+  mutable c_fh_off : int;  (* span offset of the first handle, -1 = none *)
+  mutable c_fh2_off : int;
+  mutable c_name_off : int;
+  mutable c_name_len : int;  (* -1 = none *)
+  mutable c_name2_off : int;
+  mutable c_name2_len : int;
+  mutable c_offset : int;  (* valid iff c_off_field >= 0 *)
+  mutable c_off_field : int;
+  mutable c_count : int;  (* -1 = none *)
+  mutable c_stable : int;  (* wire stable_how, -1 = none *)
+  mutable c_has_set_size : bool;
+  mutable c_set_size : int;  (* valid iff c_has_set_size *)
+  mutable c_access : int;  (* -1 = none *)
+  mutable c_items : int;
+}
+
+let cursor () =
+  {
+    cr = Dec.of_bytes (Bytes.create 0);
+    c_xid = 0;
+    c_proc = -1;
+    c_fh_off = -1;
+    c_fh2_off = -1;
+    c_name_off = -1;
+    c_name_len = -1;
+    c_name2_off = -1;
+    c_name2_len = -1;
+    c_offset = 0;
+    c_off_field = -1;
+    c_count = -1;
+    c_stable = -1;
+    c_has_set_size = false;
+    c_set_size = 0;
+    c_access = -1;
+    c_items = 0;
+  }
+
+exception Bad_peek
+
+(* Consume a handle-sized opaque and validate it in place. *)
+let[@hot] cur_fh d buf =
+  Dec.opaque_span d;
+  let off = Dec.span_off d in
+  if not (Fh.peek_valid buf off (Dec.span_len d)) then raise Bad_peek;
+  off
+
+(* sattr walk mirroring [dec_sattr]: same item counts (times read as two
+   u32 words each, like [dec_time]), only the size field retained. *)
+let[@hot] cur_sattr c d =
+  if Dec.bool d then ignore (Dec.u32 d);
+  if Dec.bool d then ignore (Dec.u32 d);
+  if Dec.bool d then ignore (Dec.u32 d);
+  (if Dec.bool d then begin
+     c.c_has_set_size <- true;
+     c.c_set_size <- Dec.u64_int d
+   end);
+  (if Dec.bool d then begin
+     ignore (Dec.u32 d);
+     ignore (Dec.u32 d)
+   end);
+  if Dec.bool d then begin
+    ignore (Dec.u32 d);
+    ignore (Dec.u32 d)
+  end
+
+let[@hot] peek_call_into c buf =
+  let d = c.cr in
+  Dec.reset d buf ~pos:0 ~len:(Bytes.length buf);
+  c.c_fh_off <- -1;
+  c.c_fh2_off <- -1;
+  c.c_name_off <- -1;
+  c.c_name_len <- -1;
+  c.c_name2_off <- -1;
+  c.c_name2_len <- -1;
+  c.c_offset <- 0;
+  c.c_off_field <- -1;
+  c.c_count <- -1;
+  c.c_stable <- -1;
+  c.c_has_set_size <- false;
+  c.c_set_size <- 0;
+  c.c_access <- -1;
+  c.c_items <- 0;
+  try
+    c.c_xid <- Dec.u32 d;
+    if Dec.u32 d <> 0 then raise Bad_peek;
+    if Dec.u32 d <> 2 then raise Bad_peek;
+    if Dec.u32 d <> nfs_program then raise Bad_peek;
+    if Dec.u32 d <> nfs_version then raise Bad_peek;
+    let proc = Dec.u32 d in
+    c.c_proc <- proc;
+    ignore (Dec.u32 d) (* cred flavor *);
+    Dec.opaque_span d (* cred body stays in place: no per-packet string *);
+    ignore (Dec.u32 d) (* verf flavor *);
+    Dec.opaque_span d;
+    (match proc with
+    | 0 -> ()
+    | 1 | 5 | 18 -> c.c_fh_off <- cur_fh d buf
+    | 2 ->
+        c.c_fh_off <- cur_fh d buf;
+        cur_sattr c d
+    | 3 | 8 | 9 | 10 | 12 | 13 ->
+        c.c_fh_off <- cur_fh d buf;
+        Dec.opaque_span d;
+        c.c_name_off <- Dec.span_off d;
+        c.c_name_len <- Dec.span_len d
+    | 4 ->
+        c.c_fh_off <- cur_fh d buf;
+        c.c_access <- Dec.u32 d
+    | 6 ->
+        c.c_fh_off <- cur_fh d buf;
+        c.c_off_field <- Dec.pos d;
+        c.c_offset <- Dec.u64_int d;
+        c.c_count <- Dec.u32 d
+    | 7 ->
+        c.c_fh_off <- cur_fh d buf;
+        c.c_off_field <- Dec.pos d;
+        c.c_offset <- Dec.u64_int d;
+        c.c_count <- Dec.u32 d;
+        let stable = Dec.u32 d in
+        if stable > 2 then raise Bad_peek;
+        c.c_stable <- stable
+    | 14 ->
+        c.c_fh_off <- cur_fh d buf;
+        Dec.opaque_span d;
+        c.c_name_off <- Dec.span_off d;
+        c.c_name_len <- Dec.span_len d;
+        c.c_fh2_off <- cur_fh d buf;
+        Dec.opaque_span d;
+        c.c_name2_off <- Dec.span_off d;
+        c.c_name2_len <- Dec.span_len d
+    | 15 ->
+        c.c_fh_off <- cur_fh d buf;
+        c.c_fh2_off <- cur_fh d buf;
+        Dec.opaque_span d;
+        c.c_name_off <- Dec.span_off d;
+        c.c_name_len <- Dec.span_len d
+    | 16 | 21 ->
+        c.c_fh_off <- cur_fh d buf;
+        c.c_off_field <- Dec.pos d;
+        c.c_offset <- Dec.u64_int d;
+        c.c_count <- Dec.u32 d
+    | _ -> raise Bad_peek);
+    c.c_items <- Dec.items_read d;
+    true
+  with Slice_xdr.Xdr.Truncated | Bad_peek -> false
+
 let[@hot] is_call buf =
   Bytes.length buf >= 8 && Int32.to_int (Bytes.get_int32_be buf 4) = 0
 
@@ -595,3 +756,48 @@ let time_be t =
   Bytes.set_int32_be b 0 (Int32.of_int secs);
   Bytes.set_int32_be b 4 (Int32.of_int (min nsecs 999_999_999));
   Bytes.unsafe_to_string b
+
+(* Scratch renderings: the µproxy writes patch values into a reused
+   8-byte scratch and splices with [Cksum.patch_payload_bytes]. Single
+   byte stores keep the int path free of boxed int32/int64. Byte-for-byte
+   identical to [u64_be]/[time_be] on in-range values. *)
+let[@hot] put_u64_be b v =
+  for j = 0 to 7 do
+    Bytes.set_uint8 b j ((v lsr (8 * (7 - j))) land 0xFF)
+  done
+
+(* Not a lint root: the static model charges the local float chain (the
+   compiler unboxes it; the runtime Gc probes confirm zero allocation). *)
+let put_time_be b t =
+  let secs = int_of_float (Float.floor t) in
+  let nsecs = int_of_float ((t -. Float.floor t) *. 1e9) in
+  let ns = if nsecs > 999_999_999 then 999_999_999 else nsecs in
+  for j = 0 to 3 do
+    Bytes.set_uint8 b j ((secs lsr (8 * (3 - j))) land 0xFF);
+    Bytes.set_uint8 b (4 + j) ((ns lsr (8 * (3 - j))) land 0xFF)
+  done
+
+(* Option-free twins of [reply_attr_offset]/[reply_fh_after_attr] for the
+   hot reply path: -1 means absent. *)
+let[@hot] reply_attr_offset_i buf =
+  if Bytes.length buf < reply_attr_block_off then -1
+  else if Int32.to_int (Bytes.get_int32_be buf 4) <> 1 then -1
+  else if Int32.to_int (Bytes.get_int32_be buf reply_status_off) <> 0 then -1
+  else if Int32.to_int (Bytes.get_int32_be buf reply_attr_present_off) <> 1 then -1
+  else reply_attr_block_off
+
+let[@hot] reply_fh_after_attr_off buf =
+  let off = reply_attr_offset_i buf in
+  if off < 0 then -1
+  else begin
+    let tag_off = off + attr_wire_size in
+    if Bytes.length buf < tag_off + 8 then -1
+    else
+      let tag = Int32.to_int (Bytes.get_int32_be buf tag_off) in
+      if tag = 3 || tag = 8 || tag = 9 || tag = 10 then begin
+        let len = Int32.to_int (Bytes.get_int32_be buf (tag_off + 4)) land 0xFFFFFFFF in
+        let fh_off = tag_off + 8 in
+        if fh_off + len <= Bytes.length buf && Fh.peek_valid buf fh_off len then fh_off else -1
+      end
+      else -1
+  end

@@ -57,6 +57,43 @@ val peek_call : bytes -> peek option
     up to four fields of each request"); [None] if the payload is not an
     NFS V3 call. *)
 
+(** {2 Cursor peek}
+
+    The allocation-free twin of {!peek_call}: one long-lived all-mutable
+    cursor per µproxy instance records field {e positions} in the packet
+    buffer instead of materializing handles and names, so steady-state
+    interception allocates nothing. It consumes exactly the XDR items
+    {!peek_call} does, keeping the decode cost model identical. *)
+
+type cursor = {
+  cr : Slice_xdr.Xdr.Dec.t;
+  mutable c_xid : int;
+  mutable c_proc : int;
+  mutable c_fh_off : int;
+      (** span offset of the first handle's 32 wire bytes; -1 = none *)
+  mutable c_fh2_off : int;  (** rename/link second handle; -1 = none *)
+  mutable c_name_off : int;
+  mutable c_name_len : int;  (** -1 = none *)
+  mutable c_name2_off : int;
+  mutable c_name2_len : int;  (** rename destination name; -1 = none *)
+  mutable c_offset : int;  (** valid iff [c_off_field >= 0] *)
+  mutable c_off_field : int;
+      (** byte offset of the 8-byte offset/cookie field; -1 = none *)
+  mutable c_count : int;  (** -1 = none *)
+  mutable c_stable : int;  (** wire stable_how (0/1/2); -1 = none *)
+  mutable c_has_set_size : bool;
+  mutable c_set_size : int;  (** valid iff [c_has_set_size] *)
+  mutable c_access : int;  (** -1 = none *)
+  mutable c_items : int;  (** XDR items consumed — decode cost model *)
+}
+
+val cursor : unit -> cursor
+
+val peek_call_into : cursor -> bytes -> bool
+(** [false] if the payload is not a well-formed NFS V3 call (truncated
+    buffers and oversized length fields included — bounds are enforced
+    before any read). On [false] the cursor contents are unspecified. *)
+
 val is_call : bytes -> bool
 val xid_of : bytes -> int
 (** XID of either a call or a reply (first word). *)
@@ -73,6 +110,10 @@ val attr_wire_size : int
 val attr_size_field_off : int
 (** Offset of the 8-byte [size] within a fattr block (20). *)
 
+val attr_fileid_field_off : int
+(** Offset of the 8-byte [fileid] within a fattr block (52) — the
+    µproxy's attribute-cache key, readable without decoding the block. *)
+
 val attr_atime_field_off : int
 val attr_mtime_field_off : int
 
@@ -86,3 +127,19 @@ val u64_be : int64 -> string
 
 val time_be : Nfs.time -> string
 (** 8-byte (seconds, nanoseconds) rendering of a timestamp. *)
+
+val reply_attr_offset_i : bytes -> int
+(** {!reply_attr_offset} without the option: -1 = absent. *)
+
+val reply_fh_after_attr_off : bytes -> int
+(** Span offset of the validated handle led by an OK lookup / create /
+    mkdir / symlink reply body, else -1 ({!reply_fh_after_attr} without
+    materializing). *)
+
+val put_u64_be : bytes -> int -> unit
+(** Render an int value big-endian into the first 8 bytes of a reused
+    scratch buffer — [u64_be] without the allocation, for
+    [Cksum.patch_payload_bytes]. *)
+
+val put_time_be : bytes -> Nfs.time -> unit
+(** [time_be] into a reused scratch buffer. *)

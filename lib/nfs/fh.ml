@@ -48,6 +48,31 @@ let decode s =
 
 let key t = encode t
 
+(* ---- in-place peeks: read handle fields straight out of a packet
+   buffer (the 32-byte span located by the codec's cursor) without
+   materializing a string or a record. All [@hot] µproxy routing
+   decisions run over these. [peek_valid] is the gate: every other peek
+   assumes it returned [true] for the same (buf, off). *)
+
+let[@hot] peek_valid buf off len =
+  Int.equal len wire_length
+  && off >= 0
+  && off + wire_length <= Bytes.length buf
+  && Int32.to_int (Bytes.get_int32_be buf off) = magic
+  &&
+  let ft = Char.code (Bytes.get buf (off + 16)) in
+  ft = 1 || ft = 2 || ft = 5
+
+let[@hot] peek_file_id_int buf off = Int64.to_int (Bytes.get_int64_be buf (off + 4))
+let[@hot] peek_gen buf off = Int32.to_int (Bytes.get_int32_be buf (off + 12))
+let[@hot] peek_ftype_code buf off = Char.code (Bytes.get buf (off + 16))
+let[@hot] peek_mirrored buf off = Char.code (Bytes.get buf (off + 17)) = 1
+let[@hot] peek_attr_site buf off = Int32.to_int (Bytes.get_int32_be buf (off + 18))
+
+(* Cold-path materialization of a peeked span (intent logs, writeback,
+   commit orchestration — places that outlive the packet buffer). *)
+let decode_at buf off = decode (Bytes.sub_string buf off wire_length)
+
 (* Keyed equality: exactly the (file_id, gen) identity, via the scalar
    equalities — never polymorphic compare over the whole record (policy
    bits and the capability tag are not identity). *)

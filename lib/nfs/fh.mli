@@ -32,7 +32,34 @@ val decode : string -> t option
 (** [None] when the magic or length is wrong (a stale/garbage handle). *)
 
 val key : t -> string
-(** Canonical byte string for hashing a handle (routing fingerprints). *)
+(** Canonical byte string for hashing a handle (routing fingerprints).
+    Equal to {!encode} — exactly the 32 wire bytes — so routing hashes
+    may equivalently run over a handle's span inside a packet buffer. *)
+
+(** {2 In-place peeks}
+
+    Allocation-free accessors over a handle's 32-byte wire span inside a
+    packet buffer, for the µproxy hot path. {!peek_valid} checks length,
+    magic and file-type byte; the field peeks assume it held. *)
+
+val peek_valid : bytes -> int -> int -> bool
+(** [peek_valid buf off len] — would [decode] of [buf.[off, off+len)]
+    succeed? *)
+
+val peek_file_id_int : bytes -> int -> int
+(** FileID collapsed to an OCaml int (cache keys, routing); simulated
+    fileIDs never reach 2^62. *)
+
+val peek_gen : bytes -> int -> int
+val peek_ftype_code : bytes -> int -> int
+(** Raw wire code: 1 = Reg, 2 = Dir, 5 = Lnk. *)
+
+val peek_mirrored : bytes -> int -> bool
+val peek_attr_site : bytes -> int -> int
+
+val decode_at : bytes -> int -> t option
+(** Materialize a peeked span as a record (cold paths that outlive the
+    packet buffer: intents, writeback, commit orchestration). *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -1,17 +1,20 @@
 type time = float
 
+(* The I/O-tracked fields are mutable so the µproxy's attribute cache can
+   fold write/read traffic into a cached record in place on the per-packet
+   path (no replacement record per reply). *)
 type fattr = {
   ftype : Fh.ftype;
   mode : int;
   nlink : int;
   uid : int;
   gid : int;
-  size : int64;
-  used : int64;
+  mutable size : int64;
+  mutable used : int64;
   fileid : int64;
-  atime : time;
-  mtime : time;
-  ctime : time;
+  mutable atime : time;
+  mutable mtime : time;
+  mutable ctime : time;
 }
 
 let default_attr ~ftype ~fileid ~now =

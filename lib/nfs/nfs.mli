@@ -11,13 +11,16 @@ type fattr = {
   nlink : int;
   uid : int;
   gid : int;
-  size : int64;
-  used : int64;
+  mutable size : int64;
+  mutable used : int64;
   fileid : int64;
-  atime : time;
-  mtime : time;
-  ctime : time;
+  mutable atime : time;
+  mutable mtime : time;
+  mutable ctime : time;
 }
+(** The I/O-tracked fields ([size]/[used]/times) are mutable so the
+    µproxy's attribute cache can update a cached record in place on the
+    per-packet path. *)
 
 val default_attr : ftype:Fh.ftype -> fileid:int64 -> now:time -> fattr
 

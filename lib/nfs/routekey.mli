@@ -43,3 +43,38 @@ val offset_site : int64 -> int
 
 val offset_local : int64 -> int64
 (** The node-local offset encoded in a wire offset. *)
+
+(** {2 In-place variants}
+
+    The same fingerprints computed directly over handle/name spans inside
+    a packet buffer, plus plain-int offset arithmetic — the µproxy's
+    allocation-free routing entry points. Each agrees bit-for-bit with
+    its materializing twin above (test-enforced): servers detect
+    misdirected requests with the string versions. *)
+
+val file_site_at : nsites:int -> bytes -> off:int -> int
+(** {!file_site} of the 32-byte handle span at [off]. *)
+
+val name_site_at :
+  nsites:int -> scratch:bytes -> bytes -> fh_off:int -> name_off:int -> name_len:int -> int
+(** {!name_site} of the handle span at [fh_off] and name span at
+    [name_off]; [scratch] must hold at least [33 + name_len] bytes (the
+    caller owns and sizes it off the hot path). *)
+
+val chunk_of_offset_int : stripe_unit:int -> int -> int
+
+val stripe_site_at : nsites:int -> stripe_unit:int -> bytes -> off:int -> int -> int
+(** {!stripe_site} of the handle span at [off] and an int byte offset. *)
+
+val local_offset_int : nsites:int -> stripe_unit:int -> int -> int
+
+val mirror_partner : nsites:int -> int -> int
+(** Second replica site given the primary ({!file_site_at}); pairs with
+    it to give exactly {!mirror_sites} without the tuple. *)
+
+val site_stride_int : int
+(** [Int64.to_int site_stride] (2^40 fits comfortably in an int). *)
+
+val site_offset_int : site:int -> int -> int
+val offset_site_int : int -> int
+val offset_local_int : int -> int

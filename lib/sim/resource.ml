@@ -2,28 +2,31 @@ type t = {
   eng : Engine.t;
   name : string;
   free_at : float array; (* completion time of the work booked on each server *)
-  mutable busy : float;
-  mutable waited : float;
+  stats : float array; (* [| busy; waited |] — unboxed cells, hot-path stores *)
   mutable served : int;
 }
 
 let create eng ?(capacity = 1) ~name () =
   if capacity <= 0 then invalid_arg "Resource.create: capacity must be positive";
-  { eng; name; free_at = Array.make capacity 0.0; busy = 0.0; waited = 0.0; served = 0 }
+  { eng; name; free_at = Array.make capacity 0.0; stats = [| 0.0; 0.0 |]; served = 0 }
 
-(* Pick the server that frees earliest; FCFS because bookings happen in
-   event order and each booking extends exactly one server's schedule. *)
+(* Index of the server that frees earliest; FCFS because bookings happen
+   in event order and each booking extends exactly one server's schedule.
+   Recursive int scan instead of a [ref] — this runs per packet per NIC. *)
+let rec earliest (free_at : float array) i best =
+  if i >= Array.length free_at then best
+  else earliest free_at (i + 1) (if free_at.(i) < free_at.(best) then i else best)
+
 let book t service =
-  let best = ref 0 in
-  for i = 1 to Array.length t.free_at - 1 do
-    if t.free_at.(i) < t.free_at.(!best) then best := i
-  done;
+  let best =
+    if Array.length t.free_at = 1 then 0 else earliest t.free_at 1 0
+  in
   let now = Engine.now t.eng in
-  let start = if t.free_at.(!best) > now then t.free_at.(!best) else now in
+  let start = if t.free_at.(best) > now then t.free_at.(best) else now in
   let finish = start +. service in
-  t.free_at.(!best) <- finish;
-  t.busy <- t.busy +. service;
-  t.waited <- t.waited +. (start -. now);
+  t.free_at.(best) <- finish;
+  t.stats.(0) <- t.stats.(0) +. service;
+  t.stats.(1) <- t.stats.(1) +. (start -. now);
   t.served <- t.served + 1;
   finish
 
@@ -35,11 +38,12 @@ let use t service =
     Engine.sleep_until t.eng finish
   end
 
-let busy_time t = t.busy
+let busy_time t = t.stats.(0)
 
 let utilization t ~elapsed =
-  if elapsed <= 0.0 then 0.0 else t.busy /. (elapsed *. float_of_int (Array.length t.free_at))
+  if elapsed <= 0.0 then 0.0
+  else t.stats.(0) /. (elapsed *. float_of_int (Array.length t.free_at))
 
-let queue_delay_total t = t.waited
+let queue_delay_total t = t.stats.(1)
 let served t = t.served
 let name t = t.name

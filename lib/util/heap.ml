@@ -28,14 +28,14 @@ let rec sift_up h i =
     end
   end
 
-(* On the engine's event-dispatch path ([Engine.step] -> [pop_exn]):
-   written with shadowed immutables rather than a [ref] so each call
-   allocates nothing. *)
+(* Written with shadowed immutables rather than a [ref] so each call
+   allocates nothing. (The simulation engine used to run on this heap;
+   it now inlines a monomorphic one over pooled event cells to shed the
+   comparator-closure indirection, so this generic heap serves the
+   colder queue users only.) *)
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  (* lint: A1 ok — comparator is caller-supplied; the engine's compare_event is allocation-free *)
   let s = if l < h.size && h.cmp h.data.(l) h.data.(i) < 0 then l else i in
-  (* lint: A1 ok — comparator is caller-supplied; the engine's compare_event is allocation-free *)
   let s = if r < h.size && h.cmp h.data.(r) h.data.(s) < 0 then r else s in
   if s <> i then begin
     let tmp = h.data.(i) in

@@ -31,12 +31,35 @@ module Enc = struct
 end
 
 module Dec = struct
-  type t = { buf : bytes; limit : int; mutable p : int; mutable items : int }
+  type t = {
+    mutable buf : bytes;
+    mutable limit : int;
+    mutable p : int;
+    mutable items : int;
+    (* cursor span: position/length of the last opaque consumed by
+       [opaque_span] / [opaque_fixed_span] — offsets into [buf], so the
+       caller can compare names and handles in place instead of
+       materializing strings (the allocation-free peek path) *)
+    mutable sp_off : int;
+    mutable sp_len : int;
+  }
 
   let of_bytes ?(pos = 0) ?len buf =
     let limit = match len with Some l -> pos + l | None -> Bytes.length buf in
     if pos < 0 || limit > Bytes.length buf then invalid_arg "Xdr.Dec.of_bytes";
-    { buf; limit; p = pos; items = 0 }
+    { buf; limit; p = pos; items = 0; sp_off = 0; sp_len = 0 }
+
+  (* Rebind a decoder to a new buffer without allocating a fresh record:
+     the µproxy keeps one cursor per instance and resets it per packet. *)
+  let reset t buf ~pos ~len =
+    let limit = pos + len in
+    if pos < 0 || len < 0 || limit > Bytes.length buf then invalid_arg "Xdr.Dec.reset";
+    t.buf <- buf;
+    t.limit <- limit;
+    t.p <- pos;
+    t.items <- 0;
+    t.sp_off <- 0;
+    t.sp_len <- 0
 
   let[@hot] pos t = t.p
   let[@hot] remaining t = t.limit - t.p
@@ -73,6 +96,16 @@ module Dec = struct
   let[@hot] bool t = u32 t <> 0
   let[@hot] enum t = u32 t
 
+  (* The u64 read feeds Int64.to_int directly so it stays unboxed (A1);
+     wire values above 2^62 wrap into the int domain, which the routing
+     arithmetic tolerates (simulated offsets and cookies are small). *)
+  let[@hot] u64_int t =
+    need t 8;
+    let p = t.p in
+    t.p <- p + 8;
+    t.items <- t.items + 1;
+    Int64.to_int (Bytes.get_int64_be t.buf p)
+
   let opaque_fixed t n =
     need t (n + pad_len n);
     let s = Bytes.sub_string t.buf t.p n in
@@ -85,5 +118,24 @@ module Dec = struct
     opaque_fixed t n
 
   let str = opaque
+
+  (* ---- cursor peeks: record (offset, length) instead of materializing.
+     [n] comes off the wire, so [need] is the out-of-bounds guard for both
+     truncated buffers and oversized length fields. *)
+
+  let[@hot] opaque_fixed_span t n =
+    if n < 0 then raise Truncated;
+    need t (n + pad_len n);
+    t.sp_off <- t.p;
+    t.sp_len <- n;
+    t.p <- t.p + n + pad_len n;
+    t.items <- t.items + 1
+
+  let[@hot] opaque_span t =
+    let n = u32 t in
+    opaque_fixed_span t n
+
+  let[@hot] span_off t = t.sp_off
+  let[@hot] span_len t = t.sp_len
   let[@hot] items_read t = t.items
 end

@@ -37,6 +37,12 @@ module Dec : sig
   type t
 
   val of_bytes : ?pos:int -> ?len:int -> bytes -> t
+
+  val reset : t -> bytes -> pos:int -> len:int -> unit
+  (** Rebind an existing decoder to [buf.[pos, pos+len)] and clear the
+      item and span state. Lets a long-lived cursor be reused across
+      packets without allocating a decoder per packet. *)
+
   val pos : t -> int
   val remaining : t -> int
   val skip : t -> int -> unit
@@ -44,12 +50,41 @@ module Dec : sig
   val u32 : t -> int
   val i32 : t -> int32
   val u64 : t -> int64
+
+  val u64_int : t -> int
+  (** Unsigned 64-bit read collapsed into an OCaml int without boxing the
+      intermediate [int64]. Wire values ≥ 2^62 wrap; simulated offsets
+      and cookies never reach that range. *)
+
   val bool : t -> bool
   val enum : t -> int
 
   val opaque_fixed : t -> int -> string
   val opaque : t -> string
   val str : t -> string
+
+  (** {2 Cursor peeks}
+
+      The allocation-free alternative to {!opaque}/{!opaque_fixed}: the
+      opaque's position and length are recorded in the decoder instead of
+      being copied out, and {!span_off}/{!span_len} expose them so callers
+      compare names and handles in place against the packet buffer.
+      Bounds are enforced exactly as for the materializing reads — a
+      truncated buffer or an oversized length field raises {!Truncated}
+      before any out-of-bounds access. *)
+
+  val opaque_span : t -> unit
+  (** Consume a length-prefixed variable opaque, recording its span. *)
+
+  val opaque_fixed_span : t -> int -> unit
+  (** Consume an [n]-byte fixed opaque (plus padding), recording its span.
+      Raises {!Truncated} on a negative [n]. *)
+
+  val span_off : t -> int
+  (** Offset (into the underlying buffer) of the last opaque span. *)
+
+  val span_len : t -> int
+  (** Length of the last opaque span. *)
 
   val items_read : t -> int
   (** Number of primitive XDR items consumed so far — the µproxy charges

@@ -331,7 +331,10 @@ let repo_clean () =
   check_bool "typed tier ran over the repo" true report.Driver.typed_ran;
   check_bool "repo hot roots discovered" true
     (List.exists (fun (h : Typed.hot_root) -> h.Typed.hr_name = "Dec.u32") report.Driver.hot_roots
-    && List.exists (fun (h : Typed.hot_root) -> h.Typed.hr_name = "Engine.step") report.Driver.hot_roots);
+    && List.exists (fun (h : Typed.hot_root) -> h.Typed.hr_name = "Engine.pop_min") report.Driver.hot_roots);
+  (* the zero-allocation ratchet: every root's static budget is zero *)
+  check_bool "repo hot roots all zero" true
+    (List.for_all (fun (h : Typed.hot_root) -> h.Typed.hr_words = 0) report.Driver.hot_roots);
   check_bool "repo suppressions all carry reasons" true
     (List.for_all
        (fun f ->

@@ -101,6 +101,80 @@ let alignment_invariant =
       Xdr.Enc.opaque e s;
       Xdr.Enc.length e mod 4 = 0)
 
+let span_peeks_match_materializing () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.opaque e "hello-world";
+  Xdr.Enc.opaque_fixed e "abcd";
+  Xdr.Enc.u32 e 7;
+  let buf = Xdr.Enc.to_bytes e in
+  let d = Xdr.Dec.of_bytes buf in
+  Xdr.Dec.opaque_span d;
+  check_string "var span bytes" "hello-world"
+    (Bytes.sub_string buf (Xdr.Dec.span_off d) (Xdr.Dec.span_len d));
+  Xdr.Dec.opaque_fixed_span d 4;
+  check_string "fixed span bytes" "abcd"
+    (Bytes.sub_string buf (Xdr.Dec.span_off d) (Xdr.Dec.span_len d));
+  check_int "trailing word still readable" 7 (Xdr.Dec.u32 d);
+  (* item accounting matches the materializing reads *)
+  let d2 = Xdr.Dec.of_bytes buf in
+  ignore (Xdr.Dec.opaque d2);
+  ignore (Xdr.Dec.opaque_fixed d2 4);
+  ignore (Xdr.Dec.u32 d2);
+  let d3 = Xdr.Dec.of_bytes buf in
+  Xdr.Dec.opaque_span d3;
+  Xdr.Dec.opaque_fixed_span d3 4;
+  ignore (Xdr.Dec.u32 d3);
+  check_int "span items = materializing items" (Xdr.Dec.items_read d2) (Xdr.Dec.items_read d3)
+
+let reset_reuses_decoder () =
+  let mk s =
+    let e = Xdr.Enc.create () in
+    Xdr.Enc.opaque e s;
+    Xdr.Enc.to_bytes e
+  in
+  let b1 = mk "first" and b2 = mk "second-buffer" in
+  let d = Xdr.Dec.of_bytes b1 in
+  Xdr.Dec.opaque_span d;
+  Xdr.Dec.reset d b2 ~pos:0 ~len:(Bytes.length b2);
+  check_int "pos cleared" 0 (Xdr.Dec.pos d);
+  check_int "items cleared" 0 (Xdr.Dec.items_read d);
+  Xdr.Dec.opaque_span d;
+  check_string "rebinds to the new buffer" "second-buffer"
+    (Bytes.sub_string b2 (Xdr.Dec.span_off d) (Xdr.Dec.span_len d))
+
+(* Span reads must bounds-check before touching memory: any random
+   buffer either yields an in-bounds span or raises Truncated — never an
+   out-of-bounds access (which would surface as Invalid_argument). *)
+let span_bounds_fuzz =
+  qtest "span peeks never read out of bounds"
+    QCheck2.Gen.(pair (string_size (int_range 0 64)) (int_range (-4) 72))
+    (fun (raw, n) ->
+      let buf = Bytes.of_string raw in
+      let len = Bytes.length buf in
+      let in_bounds d = Xdr.Dec.span_off d >= 0 && Xdr.Dec.span_off d + Xdr.Dec.span_len d <= len in
+      let var_ok =
+        let d = Xdr.Dec.of_bytes buf in
+        match Xdr.Dec.opaque_span d with
+        | () -> in_bounds d
+        | exception Xdr.Truncated -> true
+      in
+      let fixed_ok =
+        let d = Xdr.Dec.of_bytes buf in
+        match Xdr.Dec.opaque_fixed_span d n with
+        | () -> n >= 0 && in_bounds d
+        | exception Xdr.Truncated -> true
+      in
+      var_ok && fixed_ok)
+
+let u64_int_matches_u64 =
+  qtest "u64_int agrees with u64 on simulation-range values"
+    QCheck2.Gen.(int_range 0 max_int)
+    (fun v ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.u64 e (Int64.of_int v);
+      let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+      Xdr.Dec.u64_int d = v)
+
 let suite =
   [
     ("roundtrip primitives", `Quick, roundtrip_primitives);
@@ -109,6 +183,10 @@ let suite =
     ("truncation raises", `Quick, truncation_raises);
     ("skip and pos", `Quick, skip_and_pos);
     ("items counted", `Quick, items_counted);
+    ("span peeks match materializing", `Quick, span_peeks_match_materializing);
+    ("decoder reset reuse", `Quick, reset_reuses_decoder);
     roundtrip_sequences;
     alignment_invariant;
+    span_bounds_fuzz;
+    u64_int_matches_u64;
   ]
