@@ -729,6 +729,109 @@ let write_pr9_json ~packet_path ~specsfs =
   Printf.printf "\nwrote %s (%d packets, %.1f words/packet, %.0f ns/packet)\n" bench_pr9_path
     packets wpp nspp
 
+(* ---- multi-tenant QoS storm (BENCH_PR10.json): the isolation gate.
+   The three-tenant storm runs FIFO then with the full QoS stack from
+   one seed; the artifact gates the interactive tenant's p99 under the
+   configured bound, aggregate throughput within 5% of the FIFO run,
+   and re-asserts that the PR 9 packet-path budgets are unchanged —
+   QoS scheduling lives on the cold side of the allocation-free
+   path. ---- *)
+
+let bench_pr10_path = "BENCH_PR10.json"
+let pr10_ratio_floor = 0.95
+
+let pr10_json (st : E.Storm.t) =
+  Json.Obj
+    [
+      ("schema_version", Json.Num 1.0);
+      ( "gates",
+        Json.Obj
+          [
+            ("p99_bound_ms", Json.Num st.E.Storm.st_p99_bound_ms);
+            ("throughput_ratio_floor", Json.Num pr10_ratio_floor);
+            ("pr9_words_budget", Json.Num pr9_words_budget);
+            ("pr9_baseline_words_per_packet", Json.Num pr9_baseline_words);
+          ] );
+      ("storm", E.Storm.json_of st);
+    ]
+
+let validate_pr10_json txt =
+  let problem = ref None in
+  let fail msg = if !problem = None then problem := Some msg in
+  let num k o = match Json.member k o with Some (Json.Num v) -> Some v | _ -> None in
+  (match Json.of_string txt with
+  | exception Json.Parse_error m -> fail ("parse error: " ^ m)
+  | j -> (
+      match (Json.member "gates" j, Json.member "storm" j) with
+      | Some gates, Some storm -> (
+          match
+            ( num "p99_bound_ms" gates,
+              num "throughput_ratio_floor" gates,
+              num "pr9_words_budget" gates,
+              num "pr9_baseline_words_per_packet" gates,
+              num "interactive_p99_on_ms" storm,
+              num "interactive_p99_off_ms" storm,
+              num "throughput_ratio" storm )
+          with
+          | ( Some bound,
+              Some floor_,
+              Some wb,
+              Some bw,
+              Some p99_on,
+              Some p99_off,
+              Some ratio ) ->
+              (* the PR 9 ratchet must ride along unchanged: QoS stays off
+                 the allocation-free packet path *)
+              if wb <> pr9_words_budget then
+                fail (Printf.sprintf "pr9 words budget drifted: %.1f" wb);
+              if bw <> pr9_baseline_words then
+                fail (Printf.sprintf "pr9 baseline words drifted: %.1f" bw);
+              if not (Float.is_finite p99_off && p99_off > 0.0) then
+                fail "storm: qos-off interactive p99 not positive";
+              if not (Float.is_finite p99_on && p99_on > 0.0) then
+                fail "storm: qos-on interactive p99 not positive";
+              if p99_on > bound then
+                fail
+                  (Printf.sprintf "interactive p99 %.1f ms over the %.0f ms bound" p99_on bound);
+              if ratio < floor_ then
+                fail
+                  (Printf.sprintf "aggregate throughput ratio %.3f under floor %.2f" ratio floor_);
+              let side_ok label =
+                match Json.member label storm with
+                | Some side -> (
+                    match num "total_ops" side with
+                    | Some ops when ops > 0.0 -> ()
+                    | _ -> fail (label ^ ": no measured ops"))
+                | None -> fail ("missing storm." ^ label)
+              in
+              side_ok "qos_off";
+              side_ok "qos_on";
+              (match Json.member "qos_on" storm with
+              | Some side -> (
+                  match (num "admission_deferrals" side, num "p2c_probes" side) with
+                  | Some d, Some p ->
+                      if d <= 0.0 then fail "qos_on: admission gate never engaged";
+                      if p <= 0.0 then fail "qos_on: p2c read probe never engaged"
+                  | _ -> fail "qos_on: missing admission/p2c counters")
+              | None -> ())
+          | _ -> fail "missing numeric fields in gates/storm")
+      | _ -> fail "missing top-level keys {gates, storm}"));
+  match !problem with
+  | None -> true
+  | Some msg ->
+      Printf.eprintf "%s: validation failed: %s\n" bench_pr10_path msg;
+      false
+
+let write_pr10_json st =
+  let oc = open_out bench_pr10_path in
+  output_string oc (Json.to_string (pr10_json st));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (p99 %.1f -> %.1f ms, ratio %.3f)\n" bench_pr10_path
+    (E.Storm.interactive_p99_ms st.E.Storm.st_off)
+    (E.Storm.interactive_p99_ms st.E.Storm.st_on)
+    st.E.Storm.st_throughput_ratio
+
 (* ---- ablations ---- *)
 
 let hash_balance_ablation () =
@@ -906,6 +1009,18 @@ let run_smoke () =
   write_pr9_json ~packet_path:pp ~specsfs:sfs8;
   if validate_pr9_json (read_file bench_pr9_path) then
     print_endline "bench smoke: BENCH_PR9.json OK (packet path under words budget)"
+  else exit 1;
+  print_endline "bench smoke: multi-tenant storm (FIFO vs per-tenant QoS)";
+  let st = E.Storm.compute () in
+  Printf.printf
+    "  storm smoke: interactive p99 %.1f -> %.1f ms (bound %.0f), aggregate kept %.1f%%\n"
+    (E.Storm.interactive_p99_ms st.E.Storm.st_off)
+    (E.Storm.interactive_p99_ms st.E.Storm.st_on)
+    st.E.Storm.st_p99_bound_ms
+    (100.0 *. st.E.Storm.st_throughput_ratio);
+  write_pr10_json st;
+  if validate_pr10_json (read_file bench_pr10_path) then
+    print_endline "bench smoke: BENCH_PR10.json OK (tenant isolation under bound)"
   else exit 1
 
 let () =

@@ -169,6 +169,34 @@ let failover_cmd =
       const (fun s j tj -> with_trace_dump tj (fun () -> run_failover s j))
       $ scale_arg ~default:1.0 $ json $ trace_json_arg)
 
+let run_storm scale json =
+  let t = E.Storm.compute ~scale () in
+  E.Report.print (E.Storm.report_of t);
+  match json with
+  | None -> ()
+  | Some path ->
+      write_file path (Slice_util.Json.to_string (E.Storm.json_of t));
+      Printf.printf "wrote %s\n%!" path
+
+let storm_cmd =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the storm report (per-tenant throughput/latency for the QoS-off and QoS-on \
+             runs, admission/p2c counters, ensemble metrics) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Multi-tenant traffic storm: web + flood + scan tenants, FIFO vs per-tenant QoS (WFQ, \
+          admission, p2c mirrored reads).")
+    Term.(
+      const (fun s j tj -> with_trace_dump tj (fun () -> run_storm s j))
+      $ scale_arg ~default:1.0 $ json $ trace_json_arg)
+
 (* Every exhibit in one table: its subcommand plus what `all` runs for it
    ([None] = covered by another row — fig6 rides with fig5). Both the
    CLI's command list and `all` derive from here, so a new exhibit shows
@@ -188,6 +216,7 @@ let exhibits : (unit Cmd.t * (fast:float -> fast_points:int -> unit) option) lis
     (trace_cmd, Some (fun ~fast ~fast_points:_ -> run_trace (0.25 *. fast) None));
     (scale_cmd, Some (fun ~fast ~fast_points:_ -> run_scale (0.2 *. fast) None));
     (failover_cmd, Some (fun ~fast:_ ~fast_points:_ -> run_failover 1.0 None));
+    (storm_cmd, Some (fun ~fast ~fast_points:_ -> run_storm (0.5 *. fast) None));
     (chaos_cmd, Some (fun ~fast:_ ~fast_points:_ -> run_chaos ()));
   ]
 

@@ -15,6 +15,20 @@ module Dirserver = Slice_dir.Dirserver
 module Trace = Slice_trace.Trace
 module Metrics = Slice_util.Metrics
 
+(* Multi-tenant QoS: one shared tenant registry, a WFQ scheduler per
+   server, token-bucket admission at tenant µproxies, and (optionally)
+   power-of-two-choices mirrored reads. [system_tenant] is the tenant
+   the infrastructure's own traffic accounts to — dataless small-file
+   managers reach the storage array through their own storage-only
+   µproxies, so their backend I/O arrives with the manager host as
+   source and must not be charged to whichever tenant is id 0. *)
+type qos_config = {
+  tenants : Slice_qos.Tenant.spec array;
+  wfq_depth : int;
+  p2c_reads : bool;
+  system_tenant : int;
+}
+
 type config = {
   seed : int;
   net_params : Net.params option;
@@ -36,6 +50,7 @@ type config = {
           site count). 0 means one site per initial server, the
           pre-reconfiguration identity mapping. Run more sites than
           servers to leave headroom for {!add_dir_server} & co. *)
+  qos : qos_config option;
 }
 
 let default_config =
@@ -55,7 +70,10 @@ let default_config =
     dir_sites = 0;
     smallfile_sites = 0;
     storage_sites = 0;
+    qos = None;
   }
+
+type qos_rt = { qr_cfg : qos_config; qr_reg : Slice_qos.Tenant.t }
 
 type t = {
   cfg : config;
@@ -73,7 +91,29 @@ type t = {
   sf_tbl : Table.t option;
   mutable next_client : int;
   mutable client_proxies : Proxy.t list; (* newest first *)
+  qos_ : qos_rt option;
 }
+
+(* Every server gets its own WFQ instance: fair shares are per-server
+   (the contended resource is that server's CPU), the registry is
+   shared. Dataless managers (directory and small-file servers) hold a
+   dispatch slot across their backend round trips to network storage,
+   so they run 4x the configured depth — enough concurrency to cover
+   the backend bandwidth-delay product without loosening the storage
+   nodes' own isolation. *)
+let wfq_of ?(dataless = false) qos_ eng =
+  match qos_ with
+  | Some q ->
+      let depth = q.qr_cfg.wfq_depth * if dataless then 4 else 1 in
+      Some (Slice_qos.Wfq.create eng ~tenants:q.qr_reg ~depth ())
+  | None -> None
+
+let bind_system_host qos_ (host : Host.t) =
+  match qos_ with
+  | Some q ->
+      Slice_qos.Tenant.bind_addr q.qr_reg ~addr:host.Host.addr
+        ~tenant:q.qr_cfg.system_tenant
+  | None -> ()
 
 let root = Fh.root
 
@@ -222,7 +262,10 @@ let attach_dir t ~idx ~host ~also_owns =
       also_owns;
     }
   in
-  Dirserver.attach host ?costs:t.cfg.dir_costs ?trace:t.trace_ config
+  bind_system_host t.qos_ host;
+  Dirserver.attach host ?costs:t.cfg.dir_costs ?trace:t.trace_
+    ?qos:(wfq_of ~dataless:true t.qos_ t.eng)
+    config
 
 let smallfile_host t idx =
   if Array.length t.storage_ > 0 then
@@ -235,6 +278,7 @@ let smallfile_host t idx =
    a storage-only µproxy on the manager's own host. *)
 let attach_smallfile t ~idx ~host ~sites =
   let nsites = match t.sf_tbl with Some tbl -> Table.nsites tbl | None -> 1 in
+  bind_system_host t.qos_ host;
   if Array.length t.storage_ > 0 then begin
     let storage_only = { t.cfg.proxy_params with Params.threshold = 0 } in
     let _px : Proxy.t =
@@ -253,11 +297,13 @@ let attach_smallfile t ~idx ~host ~sites =
         ~stripe_unit:t.cfg.proxy_params.Params.stripe_unit
     in
     Smallfile.attach host ~cache_bytes:t.cfg.smallfile_cache
-      ~threshold:t.cfg.proxy_params.Params.threshold ~nsites ~sites ~backend ?trace:t.trace_ ()
+      ~threshold:t.cfg.proxy_params.Params.threshold ~nsites ~sites ~backend ?trace:t.trace_
+      ?qos:(wfq_of ~dataless:true t.qos_ t.eng) ()
   end
   else
     Smallfile.attach host ~cache_bytes:t.cfg.smallfile_cache
-      ~threshold:t.cfg.proxy_params.Params.threshold ~nsites ~sites ?trace:t.trace_ ()
+      ~threshold:t.cfg.proxy_params.Params.threshold ~nsites ~sites ?trace:t.trace_
+      ?qos:(wfq_of ~dataless:true t.qos_ t.eng) ()
 
 let create cfg =
   let eng = Engine.create () in
@@ -268,6 +314,14 @@ let create cfg =
     else None
   in
   (match trace_ with Some tr -> trace_registry := tr :: !trace_registry | None -> ());
+  let qos_ =
+    match cfg.qos with
+    | Some qc ->
+        if qc.system_tenant < 0 || qc.system_tenant >= Array.length qc.tenants then
+          invalid_arg "Ensemble.create: system_tenant out of range";
+        Some { qr_cfg = qc; qr_reg = Slice_qos.Tenant.create qc.tenants }
+    | None -> None
+  in
   let vaddr = Net.add_node net_ ~name:"virtual-nfs" in
   let l_st = if cfg.storage_sites > 0 then cfg.storage_sites else cfg.storage_nodes in
   let l_dir = if cfg.dir_sites > 0 then cfg.dir_sites else cfg.dir_servers in
@@ -278,13 +332,14 @@ let create cfg =
         Host.create net_ ~name:(Printf.sprintf "storage%d" i) ~cpu_scale:1.6
           ~disks:cfg.disks_per_node ())
   in
+  Array.iter (bind_system_host qos_) storage_hosts;
   let storage_ =
     Array.mapi
       (fun i h ->
         Obsd.attach h ~cache_bytes:cfg.storage_cache
           ?cap_secret:(if cfg.secure_objects then Some cap_secret else None)
           ~sites:(sites_owned_by ~servers:cfg.storage_nodes ~sites:l_st i)
-          ?trace:trace_ ())
+          ?trace:trace_ ?qos:(wfq_of qos_ eng) ())
       storage_hosts
   in
   let storage_addrs = Array.map (fun (h : Host.t) -> h.Host.addr) storage_hosts in
@@ -346,6 +401,7 @@ let create cfg =
       sf_tbl;
       next_client = 0;
       client_proxies = [];
+      qos_;
     }
   in
   t.dirs_ <-
@@ -364,15 +420,62 @@ let engine t = t.eng
 let net t = t.net_
 let virtual_addr t = t.vaddr
 
-let add_client t ~name:client_name =
+(* Replica load probe for power-of-two-choices: logical storage site ->
+   instantaneous backlog of the node currently serving it (resolved
+   through the live table, so migrations keep the gauge honest). *)
+let site_backlog t site =
+  match t.st_tbl with
+  | None -> 0.0
+  | Some tbl ->
+      let addr = Table.lookup tbl site in
+      let n = Array.length t.storage_addrs in
+      let rec find i =
+        if i >= n then 0.0
+        else if t.storage_addrs.(i) = addr then Obsd.queue_depth t.storage_.(i)
+        else find (i + 1)
+      in
+      find 0
+
+let add_client ?tenant t ~name:client_name =
   t.next_client <- t.next_client + 1;
   let host = Host.create t.net_ ~name:client_name () in
   (* Resolved at call time: a coordinator takeover swaps [t.coord] and
      every existing µproxy follows without being reinstalled. *)
   let coordinator () = coord_endpoint t root in
+  let qos =
+    match (t.qos_, tenant) with
+    | None, _ -> None
+    | Some q, None ->
+        (* unlabelled client under a QoS config: accounts to the system
+           tenant, no admission gate, no probing *)
+        Slice_qos.Tenant.bind_addr q.qr_reg ~addr:host.Host.addr
+          ~tenant:q.qr_cfg.system_tenant;
+        Some
+          {
+            Proxy.q_tenant = q.qr_cfg.system_tenant;
+            q_tenants = q.qr_reg;
+            q_admit = None;
+            q_read_probe = None;
+          }
+    | Some q, Some id ->
+        if id < 0 || id >= Slice_qos.Tenant.count q.qr_reg then
+          invalid_arg "Ensemble.add_client: tenant out of range";
+        Slice_qos.Tenant.bind_addr q.qr_reg ~addr:host.Host.addr ~tenant:id;
+        let spec = Slice_qos.Tenant.spec_of q.qr_reg id in
+        let admit =
+          if spec.Slice_qos.Tenant.admit_rate > 0.0 then
+            Some
+              (Slice_qos.Bucket.create ~rate:spec.Slice_qos.Tenant.admit_rate
+                 ~burst:spec.Slice_qos.Tenant.admit_burst)
+          else None
+        in
+        let probe = if q.qr_cfg.p2c_reads then Some (site_backlog t) else None in
+        Some
+          { Proxy.q_tenant = id; q_tenants = q.qr_reg; q_admit = admit; q_read_probe = probe }
+  in
   let proxy =
     Proxy.install host ~params:t.cfg.proxy_params ~seed:(t.cfg.seed + t.next_client)
-      ?trace:t.trace_
+      ?trace:t.trace_ ?qos
       {
         Proxy.virtual_addr = t.vaddr;
         dir_table = t.dir_tbl;
@@ -422,10 +525,11 @@ let add_storage_node t =
     Host.create t.net_ ~name:(Printf.sprintf "storage%d" i) ~cpu_scale:1.6
       ~disks:t.cfg.disks_per_node ()
   in
+  bind_system_host t.qos_ host;
   let s =
     Obsd.attach host ~cache_bytes:t.cfg.storage_cache
       ?cap_secret:(if t.cfg.secure_objects then Some cap_secret else None)
-      ~sites:[] ?trace:t.trace_ ()
+      ~sites:[] ?trace:t.trace_ ?qos:(wfq_of t.qos_ t.eng) ()
   in
   t.storage_ <- Array.append t.storage_ [| s |];
   t.storage_addrs <- Array.append t.storage_addrs [| host.Host.addr |];
@@ -483,6 +587,8 @@ let meta_cache_totals t =
 let dir_ops_served t = Array.fold_left (fun acc d -> acc + Dirserver.ops_served d) 0 t.dirs_
 let run ?until t = Engine.run ?until t.eng
 
+let qos_tenants t = match t.qos_ with Some q -> Some q.qr_reg | None -> None
+
 let trace t = t.trace_
 
 (* One registry over every counter the ensemble's parts already keep:
@@ -516,6 +622,10 @@ let metrics t =
   g "proxy.meta_stale" (fun () -> (meta_cache_totals t).Proxy.stale);
   g "proxy.meta_invalidations" (fun () -> (meta_cache_totals t).Proxy.invalidations);
   g "proxy.fence_invalidations" (sum_proxies Proxy.fence_invalidations);
+  g "proxy.admission_deferrals" (sum_proxies Proxy.admission_deferrals);
+  g "proxy.p2c_probes" (sum_proxies Proxy.p2c_probes);
+  g "proxy.p2c_diverted" (sum_proxies Proxy.p2c_diverted);
+  (match t.qos_ with Some q -> Slice_qos.Tenant.register_metrics q.qr_reg m | None -> ());
   g "storage.reads" (fun () -> Array.fold_left (fun a s -> a + Obsd.reads s) 0 t.storage_);
   g "storage.writes" (fun () -> Array.fold_left (fun a s -> a + Obsd.writes s) 0 t.storage_);
   g "storage.bytes_read" (fun () -> Array.fold_left (fun a s -> a + Obsd.bytes_read s) 0 t.storage_);

@@ -14,6 +14,28 @@
     - clients are PC-class hosts whose µproxy interposes on the path to
       the virtual server address. *)
 
+type qos_config = {
+  tenants : Slice_qos.Tenant.spec array;
+      (** tenant roster shared by every layer; ids are array indices *)
+  wfq_depth : int;
+      (** concurrent jobs per server's WFQ scheduler. Dataless managers
+          (directory and small-file servers) hold a dispatch slot across
+          backend round trips, so they run at 4x this depth; storage
+          nodes use it as-is. Size it to the storage node's disk-arm
+          count: deeper dispatch just moves queueing below the
+          scheduler, where weights cannot protect anyone. *)
+  p2c_reads : bool;
+      (** route mirrored reads by power-of-two-choices over replica
+          backlogs instead of chunk-parity alternation *)
+  system_tenant : int;
+      (** tenant charged for infrastructure traffic (dataless managers'
+          backend I/O, unlabelled clients); index into [tenants] *)
+}
+(** Per-tenant QoS: a shared tenant registry, a WFQ scheduler replacing
+    FIFO dispatch at every server, token-bucket admission at tenant
+    µproxies (for specs with a positive [admit_rate]) and optional
+    power-of-d mirrored reads. *)
+
 type config = {
   seed : int;
   net_params : Slice_net.Net.params option;
@@ -38,6 +60,7 @@ type config = {
           per initial server; run more sites than servers to leave
           headroom for elastic scaling ({!add_dir_server} & co. plus
           [Slice_reconfig]). *)
+  qos : qos_config option;  (** per-tenant QoS; [None] = FIFO everywhere *)
 }
 
 val default_config : config
@@ -54,8 +77,17 @@ val virtual_addr : t -> Slice_net.Packet.addr
 val root : Slice_nfs.Fh.t
 (** The volume root handle clients start from. *)
 
-val add_client : t -> name:string -> Slice_storage.Host.t * Proxy.t
-(** A fresh client host with its µproxy interposed. *)
+val add_client : ?tenant:int -> t -> name:string -> Slice_storage.Host.t * Proxy.t
+(** A fresh client host with its µproxy interposed. Under a QoS config,
+    [tenant] labels every request from this host (binding its address in
+    the registry and arming the tenant's admission bucket and, when
+    configured, the p2c read probe); omitted, the client accounts to the
+    system tenant, ungated.
+    @raise Invalid_argument when [tenant] is out of range. *)
+
+val qos_tenants : t -> Slice_qos.Tenant.t option
+(** The shared tenant registry, when a QoS config is active — the
+    per-tenant ops/bytes/latency/queue-delay readout. *)
 
 val crash_storage : t -> int -> unit
 (** Fail-stop storage node [i]: silences its service (cold cache on

@@ -65,6 +65,9 @@ type pending = {
   mutable p_sfv : int;
   mutable p_stv : int;
   mutable p_retries : int; (* misdirect retries already spent *)
+  mutable p_tenant : int; (* QoS tenant id stamped at forward time; the
+                             tag survives retransmit/supersede slot reuse
+                             because [remember] restamps every fill *)
   mutable p_mirror_left : int;
   mutable p_worst : int; (* worst NFS status seen across mirror acks *)
   mutable p_span : Trace.span; (* request root; finished on reply *)
@@ -97,12 +100,25 @@ type meta_cache_stats = {
    the cell is reused. *)
 type cost = { c_tot : float array; mutable c_span : Trace.span }
 
+(* QoS configuration of one µproxy: which tenant its client is, the
+   shared registry to account into, an optional token-bucket admission
+   gate (background-class tenants), and an optional load probe over
+   logical storage sites that turns mirrored-read routing from
+   chunk-parity alternation into power-of-two-choices. *)
+type qos = {
+  q_tenant : int;
+  q_tenants : Slice_qos.Tenant.t;
+  q_admit : Slice_qos.Bucket.t option;
+  q_read_probe : (int -> float) option;
+}
+
 type t = {
   host : Host.t;
   net : Net.t;
   eng : Engine.t;
   p : Params.t;
   trace : Trace.t option;
+  qos : qos option;
   tg : targets;
   prng : Prng.t;
   rpc : Rpc.t;
@@ -170,6 +186,9 @@ type t = {
   mutable n_meta_miss : int;
   mutable n_meta_stale : int;
   mutable n_meta_inval : int;
+  mutable n_admit_defer : int;
+  mutable n_p2c_probes : int;
+  mutable n_p2c_diverted : int;
   mutable sweep_armed : bool;
 }
 
@@ -241,6 +260,7 @@ let fresh_pending () =
     p_sfv = 0;
     p_stv = 0;
     p_retries = 0;
+    p_tenant = 0;
     p_mirror_left = 0;
     p_worst = 0;
     p_span = Trace.null;
@@ -552,6 +572,7 @@ let remember t (cur : Codec.cursor) (payload : bytes) ~span ~klass ~rd_site ~mir
   pd.p_sfv <- t.sf_version;
   pd.p_stv <- t.st_version;
   pd.p_retries <- retries;
+  pd.p_tenant <- (match t.qos with Some q -> q.q_tenant | None -> 0);
   pd.p_mirror_left <- mirrors;
   pd.p_worst <- 0;
   pd.p_span <- span;
@@ -727,8 +748,22 @@ let rec route_io t (c : cost) (pkt : Packet.t) (cur : Codec.cursor) ~retries =
       let r1 = Routekey.mirror_partner ~nsites:n r0 in
       let chunk = Routekey.chunk_of_offset_int ~stripe_unit:t.p.Params.stripe_unit off in
       if cur.Codec.c_proc = 6 then begin
-        (* mirrored read: alternate between the replicas to balance load *)
-        let site = if chunk land 1 = 0 then r0 else r1 in
+        (* mirrored read: either replica can serve it. Default policy
+           alternates on chunk parity; with a QoS load probe this becomes
+           power-of-two-choices — read the two replicas' instantaneous
+           backlogs and take the shorter queue (ties keep the default, so
+           an idle system behaves exactly like parity alternation). *)
+        let parity_site = if chunk land 1 = 0 then r0 else r1 in
+        let site =
+          match t.qos with
+          | Some { q_read_probe = Some probe; _ } when r0 <> r1 ->
+              t.n_p2c_probes <- t.n_p2c_probes + 1;
+              let l0 = probe r0 and l1 = probe r1 in
+              let best = if l0 < l1 then r0 else if l1 < l0 then r1 else parity_site in
+              if best <> parity_site then t.n_p2c_diverted <- t.n_p2c_diverted + 1;
+              best
+          | _ -> parity_site
+        in
         t.n_storage <- t.n_storage + 1;
         remember t cur payload ~span:c.c_span ~klass:KStorage ~rd_site:0 ~mirrors:1 ~retries;
         patch_offset t c pkt cur (Routekey.site_offset_int ~site off);
@@ -998,7 +1033,36 @@ let[@hot] op_of_proc = function
   | 21 -> "commit"
   | _ -> "other"
 
-let handle_request ?(retries = 0) t (pkt : Packet.t) =
+let rec handle_request ?(retries = 0) t (pkt : Packet.t) =
+  (* Admission gate: a background-class tenant over its token rate has
+     the request held at its own µproxy — deferred, not dropped — until a
+     token accrues. Backpressure lands at the edge, before the request
+     can queue on any shared server. *)
+  let admitted =
+    match t.qos with
+    | Some { q_admit = Some b; q_tenants; q_tenant; _ } ->
+        let now = Engine.now t.eng in
+        if Slice_qos.Bucket.try_take b ~now then begin
+          Slice_qos.Tenant.note_admitted q_tenants q_tenant;
+          true
+        end
+        else begin
+          t.n_admit_defer <- t.n_admit_defer + 1;
+          Slice_qos.Tenant.note_deferred q_tenants q_tenant;
+          (* Floor the retry delay at 1 µs: when the bucket sits within
+             one ulp of a whole token, [next_ready] can be smaller than
+             the clock's own resolution and [now +. delay = now] would
+             respin this event at a frozen instant forever. *)
+          Engine.schedule t.eng
+            (Float.max (Slice_qos.Bucket.next_ready b ~now) 1e-6)
+            (fun () -> handle_request ~retries t pkt);
+          false
+        end
+    | _ -> true
+  in
+  if admitted then handle_admitted ~retries t pkt
+
+and handle_admitted ~retries t (pkt : Packet.t) =
   t.n_intercepted <- t.n_intercepted + 1;
   let c = t.cost in
   c.c_tot.(0) <- 0.0;
@@ -1347,7 +1411,17 @@ let ingress_filter t (pkt : Packet.t) =
       if last then begin
         t.xidx.(pos) <- 0;
         xidx_shift t pos pos;
-        Trace.unbind_xid pd.p_span xid
+        Trace.unbind_xid pd.p_span xid;
+        (* per-tenant accounting on the closing reply: one op, the
+           response bytes, and the client-visible latency measured from
+           the pending record's (retransmit-refreshed) arrival stamp *)
+        match t.qos with
+        | Some q ->
+            Slice_qos.Tenant.note_reply q.q_tenants pd.p_tenant
+              ~bytes:(Bytes.length pkt.Packet.payload + pkt.Packet.extra_size);
+            Slice_qos.Tenant.observe_latency q.q_tenants pd.p_tenant
+              (Engine.now t.eng -. t.pool_born.(slot))
+        | None -> ()
       end;
       let r = handle_reply t pkt pd in
       if last then release_slot t slot;
@@ -1361,7 +1435,7 @@ let rec writeback_tick t =
         writeback_dirty_attrs t;
         writeback_tick t)
 
-let install host ?(params = Params.default) ?(seed = 7) ?trace targets =
+let install host ?(params = Params.default) ?(seed = 7) ?trace ?qos targets =
   let net = host.Host.net in
   let dir_map, dir_version = Table.snapshot targets.dir_table in
   let sf_map, sf_version =
@@ -1392,6 +1466,7 @@ let install host ?(params = Params.default) ?(seed = 7) ?trace targets =
       eng = host.Host.eng;
       p = params;
       trace;
+      qos;
       tg = targets;
       prng = Prng.create (seed + (host.Host.addr * 7919));
       rpc = Rpc.create net host.Host.addr ~port:params.Params.rpc_port;
@@ -1443,6 +1518,9 @@ let install host ?(params = Params.default) ?(seed = 7) ?trace targets =
       n_meta_miss = 0;
       n_meta_stale = 0;
       n_meta_inval = 0;
+      n_admit_defer = 0;
+      n_p2c_probes = 0;
+      n_p2c_diverted = 0;
       sweep_armed = false;
     }
   in
@@ -1512,3 +1590,13 @@ let meta_cache_stats t =
 let name_cache_entries t = Lru.entry_count t.name_cache
 let map_cache_entries t = Lru.entry_count t.map_cache
 let fence_invalidations t = t.n_fence_inval
+let admission_deferrals t = t.n_admit_defer
+let p2c_probes t = t.n_p2c_probes
+let p2c_diverted t = t.n_p2c_diverted
+
+(* Test hook: the tenant stamped on the live pending record for [xid]
+   (None when no record is pending). Exercises tag preservation across
+   retransmit-supersede slot reuse. *)
+let pending_tenant t ~xid =
+  let pos = xidx_pos t xid in
+  if pos < 0 then None else Some t.pool.(t.xidx.(pos) - 1).p_tenant

@@ -51,17 +51,32 @@ type targets = {
           coordinator takeover rebinds it without reinstalling proxies *)
 }
 
+type qos = {
+  q_tenant : int;  (** tenant id of this µproxy's client *)
+  q_tenants : Slice_qos.Tenant.t;  (** shared registry accounted into *)
+  q_admit : Slice_qos.Bucket.t option;
+      (** token-bucket admission gate; over-rate requests are deferred at
+          this edge (never dropped) until a token accrues *)
+  q_read_probe : (int -> float) option;
+      (** instantaneous backlog of a logical storage site; its presence
+          turns mirrored-read routing into power-of-two-choices *)
+}
+(** Per-µproxy QoS wiring (normally built by [Slice_core.Ensemble]). *)
+
 val install :
   Slice_storage.Host.t ->
   ?params:Params.t ->
   ?seed:int ->
   ?trace:Slice_trace.Trace.t ->
+  ?qos:qos ->
   targets ->
   t
 (** Interpose on all traffic of this host. [seed] drives the
     mkdir-switching coin. With [trace], every intercepted NFS call opens
     a request-root span; proxy CPU bookings, outgoing RPCs and remote
-    server work attach under it. *)
+    server work attach under it. With [qos], requests pass the admission
+    gate before routing, replies account ops/bytes/latency to the
+    tenant, and mirrored reads go to the less-loaded replica. *)
 
 val params : t -> Params.t
 val refresh_tables : t -> unit
@@ -149,3 +164,16 @@ val fence_invalidations : t -> int
     from). Clean entries are dropped, dirty attributes keep their bytes
     (lease revoked, written back to the successor) so no acked update is
     lost. *)
+
+val admission_deferrals : t -> int
+(** Requests the QoS token bucket held back (each wait counts once). *)
+
+val p2c_probes : t -> int
+(** Mirrored reads routed by power-of-two-choices. *)
+
+val p2c_diverted : t -> int
+(** Mirrored reads the load probe steered away from the chunk-parity
+    default replica. *)
+
+val pending_tenant : t -> xid:int -> int option
+(** Test hook: tenant stamped on the live pending record for [xid]. *)

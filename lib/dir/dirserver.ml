@@ -751,7 +751,7 @@ let make_wal (host : Host.t) =
   | None -> Wal.create ~name:"dir.wal" ()
 
 (* lint: F1 ok — bootstrap: installs the root cell before the server is exposed to clients; no deposed instance can exist yet *)
-let attach host ?(port = 2049) ?(costs = default_costs) ?trace cfg =
+let attach host ?(port = 2049) ?(costs = default_costs) ?trace ?qos cfg =
   let t =
     {
       host;
@@ -791,7 +791,7 @@ let attach host ?(port = 2049) ?(costs = default_costs) ?trace cfg =
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = costs.per_op; per_byte = 0.0 }
     ~alive:(fun () -> t.up)
-    ?trace ~handler:(handle t) ();
+    ?trace ?qos ~handler:(handle t) ();
   serve_peer t;
   Engine.spawn host.Host.eng (fun () -> install_root t);
   t

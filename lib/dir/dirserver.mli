@@ -67,6 +67,7 @@ val attach :
   ?port:int ->
   ?costs:costs ->
   ?trace:Slice_trace.Trace.t ->
+  ?qos:Slice_qos.Wfq.t ->
   config ->
   t
 (** Serve NFS on [port] (default 2049) and the peer protocol on

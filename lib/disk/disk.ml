@@ -87,5 +87,6 @@ let write_async t ~sequential ~bytes = book t ~is_read:false ~sequential ~bytes
 let ops t = t.ops
 let bytes_transferred t = t.bytes
 let arm_busy_time t = Resource.busy_time t.arms
+let backlog t = Resource.backlog t.arms
 let channel_busy_time t = Resource.busy_time t.channel
 let arms t = t.n_arms

@@ -46,5 +46,11 @@ val write_async : t -> sequential:bool -> bytes:int -> float
 val ops : t -> int
 val bytes_transferred : t -> int
 val arm_busy_time : t -> float
+
+val backlog : t -> float
+(** Seconds until the earliest arm frees up — an instantaneous load
+    gauge over the array (0 when an arm is idle). *)
+
+
 val channel_busy_time : t -> float
 val arms : t -> int

@@ -38,7 +38,7 @@ let repo =
       (fun f ->
         any_prefix
           [ "lib/experiments/"; "bench/"; "examples/"; "lib/trace/";
-            "lib/reconfig/"; "lib/failover/"; "lib/workload/" ]
+            "lib/reconfig/"; "lib/failover/"; "lib/workload/"; "lib/qos/" ]
           f
         || List.mem f [ "lib/util/stats.ml"; "lib/util/metrics.ml" ]);
     (* Long-lived proxy/server modules: state here survives across
@@ -59,6 +59,8 @@ let repo =
             "lib/smallfile/smallfile.ml";
             "lib/reconfig/reconfig.ml";
             "lib/failover/failover.ml";
+            "lib/qos/tenant.ml";
+            "lib/qos/wfq.ml";
             "lib/util/lru.ml";
             "lib/util/metrics.ml";
             "lib/trace/trace.ml";

@@ -44,6 +44,15 @@ let utilization t ~elapsed =
   if elapsed <= 0.0 then 0.0
   else t.stats.(0) /. (elapsed *. float_of_int (Array.length t.free_at))
 
+(* Instantaneous backlog: how long a request arriving now would wait for
+   a free server. The load signal behind power-of-two-choices routing —
+   cumulative counters can't tell a momentarily swamped server from a
+   busy-all-day one. *)
+let backlog t =
+  let best = if Array.length t.free_at = 1 then 0 else earliest t.free_at 1 0 in
+  let wait = t.free_at.(best) -. Engine.now t.eng in
+  if wait > 0.0 then wait else 0.0
+
 let queue_delay_total t = t.stats.(1)
 let served t = t.served
 let name t = t.name

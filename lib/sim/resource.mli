@@ -28,5 +28,10 @@ val utilization : t -> elapsed:float -> float
 val queue_delay_total : t -> float
 (** Accumulated time requests spent waiting for a server. *)
 
+val backlog : t -> float
+(** Seconds a request arriving now would wait for a free server (0.0 when
+    one is idle). The instantaneous load signal used by
+    power-of-two-choices replica routing. *)
+
 val served : t -> int
 val name : t -> string

@@ -337,7 +337,7 @@ let handle t span (call : Nfs.call) : Nfs.response =
 
 let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
     ?(backing_bytes = 68_719_476_736L) ?(threshold = 65536) ?(nsites = 1)
-    ?(sites = [ 0 ]) ?backend ?trace () =
+    ?(sites = [ 0 ]) ?backend ?trace ?qos () =
   let backend =
     match backend with
     | Some b -> b
@@ -374,7 +374,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 1024 * 1024 * 1024)
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = 70e-6; per_byte = 4e-9 }
     ~alive:(fun () -> t.up)
-    ?trace ~handler:(handle t) ();
+    ?trace ?qos ~handler:(handle t) ();
   t
 
 let crash t =

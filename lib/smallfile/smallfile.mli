@@ -23,6 +23,7 @@ val attach :
   ?sites:int list ->
   ?backend:Slice_disk.Bcache.backend ->
   ?trace:Slice_trace.Trace.t ->
+  ?qos:Slice_qos.Wfq.t ->
   unit ->
   t
 (** Default port 2049, cache 1 GB (the SPECsfs configuration), backing

@@ -20,7 +20,20 @@ let request_data_bytes (call : Nfs.call) =
 let response_data_bytes (resp : Nfs.response) =
   match resp with Ok (Nfs.RRead (d, _, _)) -> Nfs.wdata_length d | _ -> 0
 
-let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ?trace ~handler () =
+(* WFQ cost estimate: the CPU this request will charge. For reads the
+   response size isn't known until the handler runs, so the requested
+   count stands in for it — an upper bound, and the right one for
+   scheduling (a tenant pays for what it asked to move). *)
+let estimate_cost cost (call : Nfs.call) =
+  let data =
+    match call with
+    | Nfs.Write (_, _, _, d) -> Nfs.wdata_length d
+    | Nfs.Read (_, _, count) -> count
+    | _ -> 0
+  in
+  cost.per_op +. (cost.per_byte *. float_of_int data)
+
+let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ?trace ?qos ~handler () =
   (* Duplicate request cache: a retransmitted non-idempotent call (create,
      remove, rename, ...) whose reply was lost must get the cached reply,
      not a re-execution. Keyed by XID (globally unique here). *)
@@ -43,27 +56,43 @@ let serve (host : Host.t) ~port ~cost ?(alive = fun () -> true) ?trace ~handler 
                 | None ->
                     if not (Hashtbl.mem in_flight xid) then begin
                       (* a retransmission racing the original execution is
-                         dropped; the eventual reply satisfies both *)
+                         dropped; the eventual reply satisfies both — and the
+                         mark goes in before any WFQ wait, so a request parked
+                         in a tenant queue is already deduplicated *)
                       Hashtbl.replace in_flight xid ();
-                      let span =
-                        Trace.child (Trace.span_of_xid trace xid)
-                          ~op:(Nfs.call_name call) ~hop:"server" ~site:(Host.name host) ()
+                      let execute () =
+                        let span =
+                          Trace.child (Trace.span_of_xid trace xid)
+                            ~op:(Nfs.call_name call) ~hop:"server" ~site:(Host.name host) ()
+                        in
+                        let in_bytes = request_data_bytes call in
+                        Host.cpu host (cost.per_op +. (cost.per_byte *. float_of_int in_bytes));
+                        let resp = handler span call in
+                        let out_bytes = response_data_bytes resp in
+                        if out_bytes > 0 then
+                          Host.cpu host (cost.per_byte *. float_of_int out_bytes);
+                        let outcome =
+                          match resp with Ok _ -> "ok" | Error e -> Nfs.status_name e
+                        in
+                        Trace.finish ~outcome span;
+                        let payload = Codec.encode_reply ~xid resp in
+                        let extra_size = Codec.extra_size_of_response resp in
+                        Hashtbl.remove in_flight xid;
+                        Slice_util.Lru.add drc xid (payload, extra_size);
+                        reply_to host pkt ~extra_size (Bytes.copy payload)
                       in
-                      let in_bytes = request_data_bytes call in
-                      Host.cpu host (cost.per_op +. (cost.per_byte *. float_of_int in_bytes));
-                      let resp = handler span call in
-                      let out_bytes = response_data_bytes resp in
-                      if out_bytes > 0 then
-                        Host.cpu host (cost.per_byte *. float_of_int out_bytes);
-                      let outcome =
-                        match resp with Ok _ -> "ok" | Error e -> Nfs.status_name e
-                      in
-                      Trace.finish ~outcome span;
-                      let payload = Codec.encode_reply ~xid resp in
-                      let extra_size = Codec.extra_size_of_response resp in
-                      Hashtbl.remove in_flight xid;
-                      Slice_util.Lru.add drc xid (payload, extra_size);
-                      reply_to host pkt ~extra_size (Bytes.copy payload)
+                      match qos with
+                      | None -> execute ()
+                      | Some q ->
+                          (* Fair queueing replaces FIFO dispatch: the request
+                             waits its turn in its tenant's queue; the done_
+                             continuation fires after the reply is sent, so
+                             [depth] bounds true concurrent service. *)
+                          let tenant = Slice_qos.Wfq.tenant_of q pkt.src in
+                          Slice_qos.Wfq.submit q ~tenant
+                            ~cost:(estimate_cost cost call) (fun done_ ->
+                              execute ();
+                              done_ ())
                     end)))
 
 let serve_raw (host : Host.t) ~port ~handler = Net.listen host.net host.addr ~port handler

@@ -13,6 +13,7 @@ val serve :
   cost:cost ->
   ?alive:(unit -> bool) ->
   ?trace:Slice_trace.Trace.t ->
+  ?qos:Slice_qos.Wfq.t ->
   handler:(Slice_trace.Trace.span -> Slice_nfs.Nfs.call -> Slice_nfs.Nfs.response) ->
   unit ->
   unit
@@ -27,7 +28,14 @@ val serve :
     to the request's xid (see {!Slice_net.Rpc.call} and the µproxy);
     its outcome is the NFS status. The span is handed to the handler so
     deeper hops (disk, WAL) can nest under it; handlers get
-    {!Slice_trace.Trace.null} when tracing is off. *)
+    {!Slice_trace.Trace.null} when tracing is off.
+
+    With [qos], executed requests pass through the per-tenant WFQ
+    scheduler instead of FIFO dispatch: the source address classifies
+    the tenant, the request's estimated CPU is its scheduling cost, and
+    service order under saturation is weight-proportional. DRC hits and
+    drops bypass the scheduler (they cost one op and must stay fast).
+    Without [qos] the path is unchanged. *)
 
 val serve_raw :
   Host.t ->

@@ -291,7 +291,7 @@ let handle t span (call : Nfs.call) : Nfs.response =
       Error Nfs.ERR_NOTDIR
 
 let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret
-    ?(sites = [ 0 ]) ?trace () =
+    ?(sites = [ 0 ]) ?trace ?qos () =
   let disk = Host.disk_exn host in
   let t =
     {
@@ -328,7 +328,7 @@ let attach host ?(port = 2049) ?(cache_bytes = 256 * 1024 * 1024) ?cap_secret
   Nfs_endpoint.serve host ~port
     ~cost:{ per_op = 40e-6; per_byte = 2.5e-9 }
     ~alive:(fun () -> t.up)
-    ?trace ~handler:(handle t) ();
+    ?trace ?qos ~handler:(handle t) ();
   t
 
 let crash t =
@@ -344,6 +344,16 @@ let is_up t = t.up
 
 let addr t = t.host.Host.addr
 let host t = t.host
+
+(* Instantaneous backlog in seconds — the load gauge a µproxy probes
+   when choosing between two mirror replicas (power-of-two-choices).
+   CPU plus disk arms: under read-heavy storms the arms, not the CPU,
+   are the contended resource, so a CPU-only gauge would see two
+   equally idle processors in front of very differently loaded
+   arrays. *)
+let queue_depth t =
+  Slice_sim.Resource.backlog t.host.Host.cpu
+  +. Slice_disk.Disk.backlog (Host.disk_exn t.host)
 let object_count t = Hashtbl.length t.objects
 
 let object_size t fh =

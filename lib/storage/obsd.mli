@@ -15,7 +15,8 @@ type t
 
 val attach :
   Host.t -> ?port:int -> ?cache_bytes:int -> ?cap_secret:string ->
-  ?sites:int list -> ?trace:Slice_trace.Trace.t -> unit -> t
+  ?sites:int list -> ?trace:Slice_trace.Trace.t ->
+  ?qos:Slice_qos.Wfq.t -> unit -> t
 (** Attach the service to a host with a disk array. Default port 2049,
     default cache 256 MB (the paper's storage nodes had 256 MB RAM).
     With [cap_secret], every request's handle must carry a valid
@@ -25,9 +26,16 @@ val attach :
     [sites] are the logical storage sites this node initially owns
     (default [\[0\]]): bulk-I/O offsets carry their logical site in the
     high bits ({!Slice_nfs.Routekey.site_offset}) and requests for a
-    site not owned here bounce with [SLICE_MISDIRECTED]. *)
+    site not owned here bounce with [SLICE_MISDIRECTED].
+    With [qos], request dispatch goes through the per-tenant WFQ
+    scheduler (see {!Nfs_endpoint.serve}). *)
 
 val addr : t -> Slice_net.Packet.addr
+
+val queue_depth : t -> float
+(** Instantaneous CPU backlog in seconds: how long a request arriving now
+    would wait. The load gauge behind power-of-two-choices mirror
+    routing. *)
 
 val host : t -> Host.t
 (** The host this node runs on (failover attaches a successor

@@ -51,6 +51,18 @@ let value t name =
   | None -> (
       match Hashtbl.find_opt t.gauges name with Some fn -> fn () | None -> 0.0)
 
+(* Labelled scope: a (prefix, tenant) pair baked into one dotted key
+   prefix, so per-tenant series are registered through one constructor
+   instead of hand-concatenated strings at every call site. The dump is
+   sorted at every level, so any set of scopes lands in byte-stable
+   order. *)
+type scope = { sc_reg : t; sc_prefix : string }
+
+let labelled t ~prefix ~tenant = { sc_reg = t; sc_prefix = prefix ^ "." ^ tenant ^ "." }
+let scoped_counter sc name = counter sc.sc_reg (sc.sc_prefix ^ name)
+let scoped_dist sc name = dist sc.sc_reg (sc.sc_prefix ^ name)
+let scoped_gauge sc name fn = gauge sc.sc_reg (sc.sc_prefix ^ name) fn
+
 let sorted_keys tbl =
   (* lint: D2 ok — fold output is sorted on the next line *)
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare

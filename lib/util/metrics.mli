@@ -25,6 +25,19 @@ val remove : t -> string -> unit
     a failed server's load gauges must not keep answering with stale
     values, or consumers (e.g. the greedy rebalancer) are skewed. *)
 
+type scope
+(** A label scope: all series registered through it share a
+    ["prefix.tenant."] key prefix, so per-tenant families dump in sorted,
+    byte-stable order without hand-concatenated key strings. *)
+
+val labelled : t -> prefix:string -> tenant:string -> scope
+(** [labelled t ~prefix:"qos" ~tenant:"web"] names series
+    ["qos.web.<name>"]. *)
+
+val scoped_counter : scope -> string -> int ref
+val scoped_dist : scope -> string -> Stats.t
+val scoped_gauge : scope -> string -> (unit -> float) -> unit
+
 val dist : t -> string -> Stats.t
 (** Find-or-create the named sample distribution. *)
 

@@ -1,0 +1,219 @@
+(* Traffic-storm generators: three co-resident tenant workloads that
+   together saturate a Slice ensemble from opposite directions.
+
+   - [web_run]: open-loop Zipf-skewed 32 KB page reads over a tree of
+     large (mirrored) files — the interactive tenant whose tail latency
+     the QoS machinery must defend. Mid-run it can develop a flash
+     crowd: a fraction of requests collapses onto one directory subtree.
+   - [flood_run]: closed-loop whole-file reads over a 4–64 KB small-file
+     set with many outstanding workers — an AI-training-style ingest
+     flood pounding the small-file class.
+   - [scan_run]: a backup scanner sweeping the namespace end to end —
+     readdir + getattr + sequential read of every file, as fast as the
+     servers let it.
+
+   All randomness comes from caller-provided {!Slice_util.Prng} streams
+   (file picks via the shared {!Zipf} sampler), so a storm replays
+   byte-identically under the same seed. Each generator fills a {!tally}
+   with ops/bytes/latency measured over [t_measure, t_end) — the
+   open-vs-closed loop distinction lives in the generator, the
+   accounting is uniform. *)
+
+module Engine = Slice_sim.Engine
+module Fiber = Slice_sim.Fiber
+module Nfs = Slice_nfs.Nfs
+module Fh = Slice_nfs.Fh
+module Prng = Slice_util.Prng
+module Stats = Slice_util.Stats
+
+type entry = { e_fh : Fh.t; e_size : int }
+
+type tree = {
+  tr_dirs : Fh.t array;
+  tr_files : entry array;
+  tr_dir_of : int array; (* file index -> index into [tr_dirs] *)
+}
+
+type tally = {
+  mutable ops : int;
+  mutable bytes : int;
+  lat : Stats.t;
+  mutable errors : int;
+}
+
+let tally () = { ops = 0; bytes = 0; lat = Stats.create (); errors = 0 }
+
+let io_chunk = 32768
+
+let must what = function
+  | Ok v -> v
+  | Error st -> failwith (what ^ ": " ^ Nfs.status_name st)
+
+let write_whole cl fh size =
+  let rec loop off =
+    if off < size then begin
+      let n = min io_chunk (size - off) in
+      ignore (Client.write_at cl fh ~off:(Int64.of_int off) ~data:(Nfs.Synthetic n) ());
+      loop (off + n)
+    end
+  in
+  loop 0;
+  if size > 0 then ignore (Client.commit cl fh)
+
+(* Build one tenant's subtree under [root]: [dirs] directories of [files]
+   files whose sizes come from [size_of] (deterministic in the index).
+   Fiber context; runs during the shared setup phase. *)
+let build_tree cl ~root ~name ~dirs ~files ~size_of =
+  let top = fst (must "storm mkdir" (Client.mkdir cl root name)) in
+  let dir_count = max 1 dirs in
+  let dir_fhs =
+    Array.init dir_count (fun i ->
+        if i = 0 then top
+        else fst (must "storm mkdir" (Client.mkdir cl top (Printf.sprintf "d%03d" i))))
+  in
+  let dir_of = Array.make (max 1 files) 0 in
+  let entries =
+    Array.init files (fun i ->
+        let d = i mod dir_count in
+        dir_of.(i) <- d;
+        let fh =
+          fst (must "storm create" (Client.create_file cl dir_fhs.(d) (Printf.sprintf "f%05d" i)))
+        in
+        let size = size_of i in
+        write_whole cl fh size;
+        { e_fh = fh; e_size = size })
+  in
+  { tr_dirs = dir_fhs; tr_files = entries; tr_dir_of = dir_of }
+
+let note tally ~t_measure ~t_end ~start ~fin ~bytes ~err =
+  if start >= t_measure && start < t_end then begin
+    tally.ops <- tally.ops + 1;
+    tally.bytes <- tally.bytes + bytes;
+    Stats.add tally.lat (fin -. start);
+    if err then tally.errors <- tally.errors + 1
+  end
+
+(* ---- interactive web tenant ---- *)
+
+type web_config = {
+  web_rate : float;  (* offered 32 KB reads/second, open loop *)
+  web_outstanding : int;  (* arrival shedding cap (a real LB's limit) *)
+  web_hotspot_at : float;  (* absolute onset of the flash crowd; infinity = never *)
+  web_hotspot_frac : float;  (* post-onset fraction aimed at the hot subtree *)
+}
+
+let web_run eng cl ~prng ~zipf ~tree ~cfg ~t0 ~t_measure ~t_end tally =
+  let n = Array.length tree.tr_files in
+  (* the flash crowd collapses onto directory 0's subtree *)
+  let hot =
+    Array.of_list (List.filter (fun i -> tree.tr_dir_of.(i) = 0) (List.init n (fun i -> i)))
+  in
+  let inflight = ref 0 in
+  let rec arrivals t_next =
+    if t_next < t_end then begin
+      Engine.sleep_until eng t_next;
+      if !inflight < cfg.web_outstanding then begin
+        incr inflight;
+        let idx =
+          if
+            Engine.now eng >= cfg.web_hotspot_at
+            && Array.length hot > 0
+            && Prng.float prng 1.0 < cfg.web_hotspot_frac
+          then hot.(Prng.int prng (Array.length hot))
+          else Zipf.sample zipf prng
+        in
+        let f = tree.tr_files.(idx) in
+        (* one page at a mirrored-range offset (>= the small-file
+           threshold), so interactive reads exercise the storage class
+           and its power-of-two-choices replica selection *)
+        let chunks = max 1 (f.e_size / io_chunk) in
+        let lo = min (65536 / io_chunk) (chunks - 1) in
+        let off = (lo + (if chunks > lo then Prng.int prng (chunks - lo) else 0)) * io_chunk in
+        Engine.spawn eng (fun () ->
+            let s = Engine.now eng in
+            let err =
+              match Client.read_at cl f.e_fh ~off:(Int64.of_int off) ~count:io_chunk with
+              | Ok _ -> false
+              | Error _ -> true
+            in
+            decr inflight;
+            note tally ~t_measure ~t_end ~start:s ~fin:(Engine.now eng) ~bytes:io_chunk ~err)
+      end;
+      arrivals (t_next +. Prng.exponential prng (1.0 /. cfg.web_rate))
+    end
+  in
+  arrivals (t0 +. Prng.float prng 0.02)
+
+(* ---- closed-loop helpers shared by flood and scan ---- *)
+
+let read_file cl (f : entry) =
+  let err = ref false in
+  let rec rd off =
+    if off < f.e_size then begin
+      let c = min io_chunk (f.e_size - off) in
+      (match Client.read_at cl f.e_fh ~off:(Int64.of_int off) ~count:c with
+      | Ok _ -> ()
+      | Error _ -> err := true);
+      rd (off + c)
+    end
+  in
+  rd 0;
+  !err
+
+(* ---- small-file flood tenant ---- *)
+
+type flood_config = { flood_workers : int }
+
+let flood_run eng cl ~prng ~tree ~cfg ~t_measure ~t_end tally =
+  let n = Array.length tree.tr_files in
+  let prngs = Array.init cfg.flood_workers (fun _ -> Prng.split prng) in
+  Fiber.join_all eng
+    (List.init cfg.flood_workers (fun w () ->
+         let prng = prngs.(w) in
+         let rec loop () =
+           if Engine.now eng < t_end then begin
+             let f = tree.tr_files.(Prng.int prng n) in
+             let s = Engine.now eng in
+             let err = read_file cl f in
+             note tally ~t_measure ~t_end ~start:s ~fin:(Engine.now eng) ~bytes:f.e_size ~err;
+             loop ()
+           end
+         in
+         loop ()))
+
+(* ---- backup-scan tenant ---- *)
+
+let scan_run eng cl ~workers ~trees ~t_measure ~t_end tally =
+  let w_count = max 1 workers in
+  let scan_file (f : entry) =
+    let s = Engine.now eng in
+    let err_attr = match Client.getattr cl f.e_fh with Ok _ -> false | Error _ -> true in
+    let err = read_file cl f || err_attr in
+    note tally ~t_measure ~t_end ~start:s ~fin:(Engine.now eng) ~bytes:f.e_size ~err
+  in
+  let scan_dir d =
+    let s = Engine.now eng in
+    let err = match Client.readdir_all cl d with Ok _ -> false | Error _ -> true in
+    note tally ~t_measure ~t_end ~start:s ~fin:(Engine.now eng) ~bytes:0 ~err
+  in
+  (* Worker [w] owns the dirs and files whose index mod [workers] = w —
+     a deterministic partition of the sweep, no draws needed. *)
+  Fiber.join_all eng
+    (List.init w_count (fun w () ->
+         let rec sweep () =
+           if Engine.now eng < t_end then begin
+             Array.iter
+               (fun tr ->
+                 Array.iteri
+                   (fun i d ->
+                     if i mod w_count = w && Engine.now eng < t_end then scan_dir d)
+                   tr.tr_dirs;
+                 Array.iteri
+                   (fun i f ->
+                     if i mod w_count = w && Engine.now eng < t_end then scan_file f)
+                   tr.tr_files)
+               trees;
+             if Engine.now eng < t_end then sweep ()
+           end
+         in
+         sweep ()))

@@ -1,0 +1,53 @@
+(* Deterministic Zipf(s) sampler over ranks 0..n-1.
+
+   Popularity of rank k is proportional to 1/(k+1)^s. We precompute the
+   normalized cumulative mass once and sample by binary-searching a
+   uniform draw from the workload's own Prng stream — no [Random], no
+   hidden state, so a storm run is byte-identical under the same seed.
+   Setup is O(n) floats; each draw is O(log n) and allocation-free.
+
+   All three storm generators (web, flood, scan ordering) share this one
+   sampler so their skew knobs mean the same thing. *)
+
+module Prng = Slice_util.Prng
+
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. total
+  done;
+  (* Guard against rounding: the last bucket must catch every draw. *)
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let n t = Array.length t.cdf
+
+(* Smallest rank whose cumulative mass covers the draw. *)
+let rank_of t u =
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sample t prng = rank_of t (Prng.float prng 1.0)
+
+let mass t k =
+  if k < 0 || k >= Array.length t.cdf then invalid_arg "Zipf.mass: rank out of range";
+  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)
+
+let cumulative t k =
+  if k < 0 || k >= Array.length t.cdf then
+    invalid_arg "Zipf.cumulative: rank out of range";
+  t.cdf.(k)

@@ -1,0 +1,22 @@
+(** Deterministic Zipf(s) sampler over ranks [0..n-1]: popularity of rank
+    k is proportional to 1/(k+1)^s. Draws come from the caller's
+    {!Slice_util.Prng} stream (never [Random]), so workloads built on it
+    replay byte-identically under the same seed. Setup is O(n); each
+    sample is an O(log n) allocation-free binary search. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** @raise Invalid_argument when [n <= 0] or [s < 0]. [s = 0] degenerates
+    to uniform; web-like skew is s ~ 0.8–1.2. *)
+
+val n : t -> int
+val sample : t -> Slice_util.Prng.t -> int
+
+val mass : t -> int -> float
+(** Probability of drawing rank [k] — the distribution-shape oracle for
+    tests. @raise Invalid_argument when out of range. *)
+
+val cumulative : t -> int -> float
+(** Probability of drawing a rank [<= k]. @raise Invalid_argument when
+    out of range. *)

@@ -19,6 +19,7 @@ let () =
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
       ("workload", Test_workload.suite);
+      ("qos", Test_qos.suite);
       ("baseline", Test_baseline.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
